@@ -1,0 +1,182 @@
+// Command elephants runs the paper's classification pipeline over a pcap
+// capture and a BGP table: packets are decoded, attributed to BGP
+// destination prefixes by longest-prefix match, aggregated into
+// measurement intervals, and classified with the chosen threshold
+// detection scheme, with or without the latent-heat persistence metric.
+//
+// Usage:
+//
+//	elephants -pcap trace.pcap -table table.txt [-scheme aest|load]
+//	          [-beta 0.8] [-alpha 0.5] [-latent] [-window 12]
+//	          [-interval 5m] [-top 10]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/pcap"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		pcapPath  = flag.String("pcap", "", "input pcap path (required)")
+		tablePath = flag.String("table", "", "input BGP table path (required)")
+		scheme    = flag.String("scheme", "load", "threshold scheme: aest or load")
+		beta      = flag.Float64("beta", 0.8, "constant-load target fraction")
+		alpha     = flag.Float64("alpha", 0.5, "EWMA weight")
+		latent    = flag.Bool("latent", true, "enable the latent-heat (two-feature) classifier")
+		window    = flag.Int("window", 12, "latent-heat window in intervals")
+		interval  = flag.Duration("interval", 5*time.Minute, "measurement interval")
+		top       = flag.Int("top", 10, "print the top-N elephant flows by volume")
+	)
+	flag.Parse()
+	if *pcapPath == "" || *tablePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*pcapPath, *tablePath, *scheme, *beta, *alpha, *latent, *window, *interval, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "elephants:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pcapPath, tablePath, scheme string, beta, alpha float64, latent bool, window int, interval time.Duration, top int) error {
+	tf, err := os.Open(tablePath)
+	if err != nil {
+		return err
+	}
+	table, err := bgp.ReadText(bufio.NewReader(tf))
+	tf.Close()
+	if err != nil {
+		return fmt.Errorf("reading BGP table: %w", err)
+	}
+
+	// First pass over the capture header to size the series window.
+	pf, err := os.Open(pcapPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	span, start, err := captureSpan(pf)
+	if err != nil {
+		return fmt.Errorf("scanning capture: %w", err)
+	}
+	intervals := int(span/interval) + 1
+
+	if _, err := pf.Seek(0, 0); err != nil {
+		return err
+	}
+	series := agg.NewSeries(start, interval, intervals)
+	frames, stats, err := agg.ReadPcap(bufio.NewReaderSize(pf, 1<<20), table, series)
+	if err != nil {
+		return fmt.Errorf("aggregating capture: %w", err)
+	}
+	fmt.Printf("capture: %d frames, %d routed, %d unrouted, %d flows, %d x %v intervals\n",
+		frames, stats.Routed, stats.Unrouted, series.NumFlows(), intervals, interval)
+
+	sc := experiments.SchemeConfig{
+		UseAest:    scheme == "aest",
+		Beta:       beta,
+		Alpha:      alpha,
+		LatentHeat: latent,
+		Window:     window,
+	}
+	if scheme != "aest" && scheme != "load" {
+		return fmt.Errorf("unknown scheme %q (want aest or load)", scheme)
+	}
+	results, err := experiments.RunScheme(series, sc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheme: %s\n\n", sc.Name())
+	tab := report.NewTable("interval", "start", "active", "elephants", "load Mb/s", "eleph frac", "theta Mb/s")
+	for i, r := range results {
+		tab.AddRow(i, series.IntervalTime(i).Format("15:04"), r.ActiveFlows, r.ElephantCount(),
+			fmt.Sprintf("%.1f", r.TotalLoad/1e6),
+			fmt.Sprintf("%.3f", r.LoadFraction()),
+			fmt.Sprintf("%.3f", r.Threshold/1e6))
+	}
+	fmt.Print(tab.String())
+
+	counts := analysis.CountSeries(results)
+	fracs := analysis.FractionSeries(results)
+	fmt.Printf("\nmean elephants: %.1f   mean elephant load fraction: %.3f\n",
+		analysis.MeanInt(counts), analysis.MeanFloat(fracs))
+
+	if top > 0 {
+		printTop(series, results, top)
+	}
+	return nil
+}
+
+// captureSpan reads just the per-packet headers to find the time window.
+func captureSpan(f *os.File) (time.Duration, time.Time, error) {
+	r, err := pcap.NewReader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	var first, last time.Time
+	n := 0
+	for {
+		ci, _, err := r.ReadPacket()
+		if err != nil {
+			break
+		}
+		if n == 0 {
+			first = ci.Timestamp
+		}
+		last = ci.Timestamp
+		n++
+	}
+	if n == 0 {
+		return 0, time.Time{}, fmt.Errorf("empty capture")
+	}
+	return last.Sub(first), first, nil
+}
+
+// printTop lists the flows most often classified as elephants.
+func printTop(series *agg.Series, results []core.Result, top int) {
+	counts := make(map[string]int)
+	vols := make(map[string]float64)
+	for _, r := range results {
+		for p := range r.Elephants {
+			counts[p.String()]++
+			vols[p.String()] += r.TotalLoad // approximation for ordering only
+		}
+	}
+	type row struct {
+		prefix string
+		n      int
+	}
+	rows := make([]row, 0, len(counts))
+	for p, n := range counts {
+		rows = append(rows, row{p, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].prefix < rows[j].prefix
+	})
+	if top > len(rows) {
+		top = len(rows)
+	}
+	fmt.Printf("\ntop %d elephants by intervals in class:\n", top)
+	tab := report.NewTable("prefix", "intervals as elephant")
+	for _, r := range rows[:top] {
+		tab.AddRow(r.prefix, r.n)
+	}
+	fmt.Print(tab.String())
+}

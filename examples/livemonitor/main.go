@@ -1,0 +1,120 @@
+// Live monitor: online elephant classification of a streaming feed.
+//
+// The pipeline in this repository is streaming-first: it consumes one
+// measurement interval at a time and never looks ahead, so it can sit
+// directly behind a live packet feed. This example simulates that
+// deployment: a goroutine "measures" a link and delivers one interval
+// snapshot per tick over a channel; the monitor classifies each snapshot
+// as it arrives and prints a rolling status line, flagging promotions
+// and demotions (the reroute events a TE controller would act on).
+//
+// Run with:
+//
+//	go run ./examples/livemonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// snapshotMsg is one measurement interval delivered by the feed.
+type snapshotMsg struct {
+	interval int
+	at       time.Time
+	flows    map[netip.Prefix]float64
+}
+
+func main() {
+	table, err := bgp.Generate(bgp.GenConfig{Routes: 4000, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := trace.NewLink(trace.LinkConfig{
+		Name:        "live",
+		Profile:     trace.WestCoastProfile(),
+		MeanLoadBps: 80e6,
+		Flows:       1200,
+		Table:       table,
+		Seed:        11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const intervals = 36 // 3 hours of 5-minute slots
+	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	series := link.GenerateSeries(start, 5*time.Minute, intervals)
+
+	// The feed: one snapshot per tick. A real deployment would put the
+	// packet capture + aggregation pipeline here.
+	feed := make(chan snapshotMsg)
+	go func() {
+		defer close(feed)
+		for t := 0; t < series.Intervals; t++ {
+			feed <- snapshotMsg{
+				interval: t,
+				at:       series.IntervalTime(t),
+				flows:    series.IntervalSnapshot(t, nil), // fresh map: it crosses a goroutine
+			}
+		}
+	}()
+
+	lh, err := core.NewLatentHeatClassifier(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := core.NewConstantLoadDetector(0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(core.Config{Detector: det, Alpha: 0.5, Classifier: lh})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prev := make(map[netip.Prefix]bool)
+	for msg := range feed {
+		res, err := pipe.Step(msg.flows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		promoted, demoted := diff(prev, res.Elephants)
+		fmt.Printf("[%s] flows=%4d elephants=%3d load=%5.1f Mb/s eleph=%.2f",
+			msg.at.Format("15:04"), res.ActiveFlows, res.ElephantCount(),
+			res.TotalLoad/1e6, res.LoadFraction())
+		if len(promoted) > 0 {
+			fmt.Printf("  +%d promoted (e.g. %s)", len(promoted), promoted[0])
+		}
+		if len(demoted) > 0 {
+			fmt.Printf("  -%d demoted (e.g. %s)", len(demoted), demoted[0])
+		}
+		fmt.Println()
+		prev = res.Elephants
+	}
+}
+
+// diff returns prefixes entering and leaving the elephant set, sorted
+// for stable output.
+func diff(prev, cur map[netip.Prefix]bool) (promoted, demoted []string) {
+	for p := range cur {
+		if !prev[p] {
+			promoted = append(promoted, p.String())
+		}
+	}
+	for p := range prev {
+		if !cur[p] {
+			demoted = append(demoted, p.String())
+		}
+	}
+	sort.Strings(promoted)
+	sort.Strings(demoted)
+	return promoted, demoted
+}

@@ -1,0 +1,151 @@
+// NetFlow feed: classify elephants from flow records instead of packets.
+//
+// Backbone operators of the paper's era rarely had packet capture on
+// every link — they had NetFlow. This example runs the full flow-export
+// path: packets from a synthetic link go through a router-style flow
+// cache (active/inactive timeouts), are exported as NetFlow v5
+// datagrams, decoded by a collector that spreads each record's bytes
+// over the intervals it covers, and the resulting bandwidth series is
+// classified with the paper's scheme. The elephant sets are then
+// compared against direct packet aggregation of the same traffic.
+//
+// Run with:
+//
+//	go run ./examples/netflowfeed
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/netflow"
+	"repro/internal/trace"
+)
+
+func main() {
+	table, err := bgp.Generate(bgp.GenConfig{Routes: 1200, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := trace.NewLink(trace.LinkConfig{
+		Name:        "edge",
+		Profile:     trace.FlatProfile(),
+		MeanLoadBps: 2e6,
+		Flows:       300,
+		Table:       table,
+		Seed:        21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	const intervals = 6
+	series := link.GenerateSeries(start, time.Minute, intervals)
+
+	// Emit the traffic as real packets.
+	var capture bytes.Buffer
+	if _, err := trace.NewPacketEmitter(22).Emit(&capture, series); err != nil {
+		log.Fatal(err)
+	}
+	raw := capture.Bytes()
+	fmt.Printf("capture: %.1f MiB of packets\n", float64(len(raw))/(1<<20))
+
+	// Path A: direct packet aggregation (what cmd/elephants does).
+	direct := agg.NewSeries(start, time.Minute, intervals)
+	if _, _, err := agg.ReadPcap(bytes.NewReader(raw), table, direct); err != nil {
+		log.Fatal(err)
+	}
+
+	// Path B: router flow cache -> NetFlow v5 datagrams -> collector.
+	viaFlow := agg.NewSeries(start, time.Minute, intervals)
+	collector := netflow.NewCollector(table, viaFlow)
+	var datagrams, bytesOnWire int
+	exporter := netflow.NewExporter(netflow.ExporterConfig{
+		ActiveTimeout:   30 * time.Second,
+		InactiveTimeout: 10 * time.Second,
+	}, func(d *netflow.Datagram) error {
+		wire, err := d.Encode(nil) // the UDP payload a router would send
+		if err != nil {
+			return err
+		}
+		datagrams++
+		bytesOnWire += len(wire)
+		decoded, err := netflow.Decode(wire)
+		if err != nil {
+			return err
+		}
+		collector.AddDatagram(decoded)
+		return nil
+	})
+	src, err := agg.NewPcapPacketSource(bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		ts, sum, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exporter.AddPacket(ts, sum); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := exporter.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("netflow: %d records in %d datagrams (%.1f KiB — %.2f%% of the capture)\n\n",
+		collector.Stats.Records, datagrams, float64(bytesOnWire)/1024,
+		100*float64(bytesOnWire)/float64(len(raw)))
+
+	// Classify both series and compare.
+	classify := func(s *agg.Series) []map[string]bool {
+		det, err := core.NewConstantLoadDetector(0.8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipe, err := core.NewPipeline(core.Config{Detector: det, Alpha: 0.5, Classifier: core.SingleFeatureClassifier{}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out []map[string]bool
+		for t := 0; t < s.Intervals; t++ {
+			res, err := pipe.Step(s.IntervalSnapshot(t, nil))
+			if err != nil {
+				log.Fatal(err)
+			}
+			set := make(map[string]bool, len(res.Elephants))
+			for p := range res.Elephants {
+				set[p.String()] = true
+			}
+			out = append(out, set)
+		}
+		return out
+	}
+	a, b := classify(direct), classify(viaFlow)
+	fmt.Println("interval  elephants(pcap)  elephants(netflow)  agreement")
+	for t := 0; t < intervals; t++ {
+		inter := 0
+		for p := range a[t] {
+			if b[t][p] {
+				inter++
+			}
+		}
+		union := len(a[t]) + len(b[t]) - inter
+		j := 1.0
+		if union > 0 {
+			j = float64(inter) / float64(union)
+		}
+		fmt.Printf("%8d  %15d  %18d  %8.2f\n", t, len(a[t]), len(b[t]), j)
+	}
+	fmt.Println("\nThe classifier is feed-agnostic: flow records compress the capture")
+	fmt.Println("by orders of magnitude yet select (nearly) the same elephants.")
+}

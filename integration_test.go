@@ -1,0 +1,165 @@
+package repro
+
+// End-to-end integration tests across every substrate: synthetic
+// workload -> packet emission -> pcap -> decode -> longest-prefix match
+// aggregation -> threshold detection -> classification -> analysis.
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// TestFullPipelineFromPackets runs the complete wire-format path and
+// cross-checks it against the fast path: classifying the decoded capture
+// must single out (almost exactly) the same elephants as classifying the
+// generator's own bandwidth matrix.
+func TestFullPipelineFromPackets(t *testing.T) {
+	table, err := bgp.Generate(bgp.GenConfig{Routes: 1500, Seed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := trace.NewLink(trace.LinkConfig{
+		Name:        "integration",
+		Profile:     trace.FlatProfile(),
+		MeanLoadBps: 3e6,
+		Flows:       400,
+		Table:       table,
+		Seed:        60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	const intervals = 8
+	fast := link.GenerateSeries(start, time.Minute, intervals)
+
+	var buf bytes.Buffer
+	em := trace.NewPacketEmitter(61)
+	n, err := em.Emit(&buf, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("capture: %d packets, %.1f MiB", n, float64(buf.Len())/(1<<20))
+
+	wire := agg.NewSeries(start, time.Minute, intervals)
+	frames, stats, err := agg.ReadPcap(&buf, table, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != n || stats.Unrouted != 0 || stats.OutOfRange != 0 {
+		t.Fatalf("frames=%d/%d stats=%+v", frames, n, stats)
+	}
+
+	classify := func(s *agg.Series) []core.Result {
+		res, err := experiments.RunScheme(s, experiments.SchemeConfig{LatentHeat: true, Window: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fastRes := classify(fast)
+	wireRes := classify(wire)
+
+	for i := range fastRes {
+		a, b := fastRes[i].Elephants, wireRes[i].Elephants
+		// Jaccard similarity of the two elephant sets: packetization
+		// rounds each flow's bytes, so borderline flows may differ, but
+		// the sets must agree almost everywhere.
+		inter := 0
+		for p := range a {
+			if b[p] {
+				inter++
+			}
+		}
+		union := len(a) + len(b) - inter
+		if union == 0 {
+			continue
+		}
+		if j := float64(inter) / float64(union); j < 0.9 {
+			t.Errorf("interval %d: elephant sets diverge (jaccard %.2f, %d vs %d flows)", i, j, len(a), len(b))
+		}
+	}
+}
+
+// TestReproducibilityAcrossRuns: the whole experiment stack is seeded;
+// two complete runs must agree bit for bit.
+func TestReproducibilityAcrossRuns(t *testing.T) {
+	run := func() []int {
+		ls, err := experiments.BuildLinks(experiments.SmallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := experiments.RunScheme(ls.West, experiments.SchemeConfig{UseAest: true, LatentHeat: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return analysis.CountSeries(res)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interval %d: %d vs %d elephants across identical runs", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSeedSensitivity: different seeds must produce different workloads
+// (guards against a silently ignored seed).
+func TestSeedSensitivity(t *testing.T) {
+	cfg := experiments.SmallConfig()
+	a, err := experiments.BuildLinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = cfg.Seed + 1
+	b, err := experiments.BuildLinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for tt := 0; tt < a.West.Intervals; tt++ {
+		if a.West.TotalBandwidth(tt) == b.West.TotalBandwidth(tt) {
+			same++
+		}
+	}
+	if same == a.West.Intervals {
+		t.Error("different seeds produced identical load series")
+	}
+}
+
+// TestElephantsAreActuallyHeavy: sanity link between classification and
+// ground truth — flows classified as elephants in an interval must have
+// above-median bandwidth in that interval.
+func TestElephantsAreActuallyHeavy(t *testing.T) {
+	ls, err := experiments.BuildLinks(experiments.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.RunScheme(ls.West, experiments.SchemeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[netip.Prefix]float64
+	for tt := 24; tt < len(res); tt += 24 {
+		snap = ls.West.IntervalSnapshot(tt, snap)
+		var sum float64
+		for _, bw := range snap {
+			sum += bw
+		}
+		mean := sum / float64(len(snap))
+		for p := range res[tt].Elephants {
+			if bw := snap[p]; bw < mean {
+				t.Errorf("interval %d: elephant %v has below-mean bandwidth %.0f < %.0f", tt, p, bw, mean)
+			}
+		}
+	}
+}

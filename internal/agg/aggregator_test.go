@@ -1,0 +1,216 @@
+package agg
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/packet"
+	"repro/internal/pcap"
+)
+
+func testTable(t *testing.T) *bgp.Table {
+	t.Helper()
+	tab := bgp.NewTable()
+	for _, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24"} {
+		if err := tab.Insert(bgp.Route{Prefix: netip.MustParsePrefix(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestAddPacketAttribution(t *testing.T) {
+	tab := testTable(t)
+	s := NewSeries(start, time.Minute, 2)
+	a := NewAggregator(tab, s)
+
+	// 10.1.x.y -> the /16 (longest match), 1000 wire bytes = 8000 bits.
+	a.AddPacket(start, packet.Summary{DstIP: netip.MustParseAddr("10.1.2.3"), WireLength: 1000})
+	// 10.2.x.y -> the /8.
+	a.AddPacket(start.Add(61*time.Second), packet.Summary{DstIP: netip.MustParseAddr("10.2.0.1"), WireLength: 600})
+	// Unrouted.
+	a.AddPacket(start, packet.Summary{DstIP: netip.MustParseAddr("203.0.113.1"), WireLength: 100})
+	// Out of window.
+	a.AddPacket(start.Add(time.Hour), packet.Summary{DstIP: netip.MustParseAddr("10.1.2.3"), WireLength: 100})
+
+	if a.Stats.Packets != 4 || a.Stats.Routed != 2 || a.Stats.Unrouted != 1 || a.Stats.OutOfRange != 1 {
+		t.Fatalf("stats = %+v", a.Stats)
+	}
+	p16 := netip.MustParsePrefix("10.1.0.0/16")
+	p8 := netip.MustParsePrefix("10.0.0.0/8")
+	if got := s.Bandwidth(p16, 0); !floatEq(got, 8000.0/60) {
+		t.Errorf("/16 bandwidth = %v, want %v", got, 8000.0/60)
+	}
+	if got := s.Bandwidth(p8, 1); !floatEq(got, 4800.0/60) {
+		t.Errorf("/8 bandwidth = %v, want %v", got, 4800.0/60)
+	}
+	// The /16 packet must NOT also count towards the covering /8.
+	if got := s.Bandwidth(p8, 0); got != 0 {
+		t.Errorf("/8 got leakage from /16 traffic: %v", got)
+	}
+}
+
+func buildTestCapture(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := pcap.NewWriter(&buf, pcap.Header{})
+	b := packet.NewBuilder()
+	write := func(dst string, wire int, at time.Duration) {
+		frame, err := b.Build(packet.FrameSpec{
+			SrcIP:      netip.MustParseAddr("203.0.113.5"),
+			DstIP:      netip.MustParseAddr(dst),
+			Protocol:   packet.IPProtocolUDP,
+			PayloadLen: wire - 42, // 14 + 20 + 8 headers
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci := pcap.CaptureInfo{Timestamp: start.Add(at), CaptureLength: len(frame), Length: len(frame)}
+		if err := w.WritePacket(ci, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("10.1.2.3", 500, 10*time.Second)
+	write("10.9.9.9", 300, 20*time.Second)
+	write("192.0.2.200", 1500, 70*time.Second)
+	write("8.8.8.8", 100, 30*time.Second) // unrouted
+	return buf.Bytes()
+}
+
+func TestReadPcap(t *testing.T) {
+	raw := buildTestCapture(t)
+	tab := testTable(t)
+	s := NewSeries(start, time.Minute, 2)
+	n, stats, err := ReadPcap(bytes.NewReader(raw), tab, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("frames = %d, want 4", n)
+	}
+	if stats.Routed != 3 || stats.Unrouted != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if got := s.Bandwidth(netip.MustParsePrefix("10.1.0.0/16"), 0); !floatEq(got, 500*8.0/60) {
+		t.Errorf("/16 = %v", got)
+	}
+	if got := s.Bandwidth(netip.MustParsePrefix("192.0.2.0/24"), 1); !floatEq(got, 1500*8.0/60) {
+		t.Errorf("/24 = %v", got)
+	}
+}
+
+func TestReadPcapRejectsNonEthernet(t *testing.T) {
+	var buf bytes.Buffer
+	w := pcap.NewWriter(&buf, pcap.Header{LinkType: pcap.LinkTypeRaw})
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadPcap(&buf, testTable(t), NewSeries(start, time.Minute, 1))
+	if err == nil {
+		t.Error("raw link type accepted")
+	}
+}
+
+func TestReadPcapGarbageHeader(t *testing.T) {
+	_, _, err := ReadPcap(bytes.NewReader([]byte{1, 2, 3, 4}), testTable(t), NewSeries(start, time.Minute, 1))
+	if err == nil {
+		t.Error("garbage file accepted")
+	}
+}
+
+func TestReadPcapToleratesUndecodableFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := pcap.NewWriter(&buf, pcap.Header{})
+	// One garbage frame, then one good frame.
+	junk := []byte{0xFF, 0xFF, 0xFF}
+	if err := w.WritePacket(pcap.CaptureInfo{Timestamp: start, CaptureLength: len(junk), Length: len(junk)}, junk); err != nil {
+		t.Fatal(err)
+	}
+	b := packet.NewBuilder()
+	frame, err := b.Build(packet.FrameSpec{
+		SrcIP:    netip.MustParseAddr("203.0.113.5"),
+		DstIP:    netip.MustParseAddr("10.1.2.3"),
+		Protocol: packet.IPProtocolUDP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(pcap.CaptureInfo{Timestamp: start, CaptureLength: len(frame), Length: len(frame)}, frame); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSeries(start, time.Minute, 1)
+	n, stats, err := ReadPcap(&buf, testTable(t), s)
+	if err != nil {
+		t.Fatalf("frame-level junk must not abort the capture: %v", err)
+	}
+	if n != 2 || stats.Routed != 1 {
+		t.Errorf("n=%d stats=%+v", n, stats)
+	}
+}
+
+func TestReadPcapTruncatedFileReportsError(t *testing.T) {
+	raw := buildTestCapture(t)
+	_, _, err := ReadPcap(bytes.NewReader(raw[:len(raw)-5]), testTable(t), NewSeries(start, time.Minute, 2))
+	if err == nil {
+		t.Error("truncated capture accepted")
+	}
+}
+
+// TestReadPcapUsesWireLength: for snapped captures the original wire
+// length, not the captured byte count, must be accounted.
+func TestReadPcapUsesWireLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := pcap.NewWriter(&buf, pcap.Header{})
+	b := packet.NewBuilder()
+	frame, err := b.Build(packet.FrameSpec{
+		SrcIP:    netip.MustParseAddr("203.0.113.5"),
+		DstIP:    netip.MustParseAddr("10.1.2.3"),
+		Protocol: packet.IPProtocolUDP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim the original frame was 1500 bytes on the wire.
+	ci := pcap.CaptureInfo{Timestamp: start, CaptureLength: len(frame), Length: 1500}
+	if err := w.WritePacket(ci, frame); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSeries(start, time.Minute, 1)
+	if _, _, err := ReadPcap(&buf, testTable(t), s); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Bandwidth(netip.MustParsePrefix("10.1.0.0/16"), 0); !floatEq(got, 1500*8.0/60) {
+		t.Errorf("bandwidth = %v, want wire-length based %v", got, 1500*8.0/60)
+	}
+}
+
+// TestReadPcapAutoDetectsPcapng: the ingest path accepts pcapng captures
+// transparently.
+func TestReadPcapAutoDetectsPcapng(t *testing.T) {
+	var buf bytes.Buffer
+	w := pcap.NewNgWriter(&buf, pcap.Header{})
+	b := packet.NewBuilder()
+	frame, err := b.Build(packet.FrameSpec{
+		SrcIP:    netip.MustParseAddr("203.0.113.5"),
+		DstIP:    netip.MustParseAddr("10.1.2.3"),
+		Protocol: packet.IPProtocolUDP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := pcap.CaptureInfo{Timestamp: start, CaptureLength: len(frame), Length: len(frame)}
+	if err := w.WritePacket(ci, frame); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSeries(start, time.Minute, 1)
+	n, stats, err := ReadPcap(&buf, testTable(t), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || stats.Routed != 1 {
+		t.Errorf("n=%d stats=%+v", n, stats)
+	}
+}

@@ -1,0 +1,210 @@
+// Package agg implements the measurement pipeline of the reproduction:
+// it attributes decoded packets to BGP prefix flows by longest-prefix
+// match, accumulates bytes over fixed measurement intervals (the paper's
+// default is 5 minutes) and produces per-flow average-bandwidth series —
+// the x_j(t) values every classification scheme consumes.
+package agg
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Series is a flow-by-interval bandwidth matrix: for each flow (a BGP
+// prefix) it stores the average bandwidth, in bits per second, during
+// each measurement interval.
+type Series struct {
+	// Interval is the measurement interval length Delta.
+	Interval time.Duration
+	// Start is the timestamp of the left edge of interval 0.
+	Start time.Time
+	// Intervals is the number of time slots.
+	Intervals int
+
+	flows map[netip.Prefix]int // prefix -> row index
+	keys  []netip.Prefix       // row index -> prefix
+	rows  [][]float64          // bandwidth in bit/s, len = Intervals
+	total []float64            // per-interval total bandwidth in bit/s
+}
+
+// NewSeries creates an empty series with the given geometry.
+func NewSeries(start time.Time, interval time.Duration, intervals int) *Series {
+	if interval <= 0 {
+		panic(fmt.Sprintf("agg: NewSeries: non-positive interval %v", interval))
+	}
+	if intervals <= 0 {
+		panic(fmt.Sprintf("agg: NewSeries: non-positive interval count %d", intervals))
+	}
+	return &Series{
+		Interval:  interval,
+		Start:     start,
+		Intervals: intervals,
+		flows:     make(map[netip.Prefix]int),
+		total:     make([]float64, intervals),
+	}
+}
+
+// NumFlows reports the number of flows with at least one observation.
+func (s *Series) NumFlows() int { return len(s.keys) }
+
+// Flows returns the flow keys in row order. The slice is shared; do not
+// modify.
+func (s *Series) Flows() []netip.Prefix { return s.keys }
+
+// row returns (creating if needed) the row for prefix p.
+func (s *Series) row(p netip.Prefix) []float64 {
+	if i, ok := s.flows[p]; ok {
+		return s.rows[i]
+	}
+	r := make([]float64, s.Intervals)
+	s.flows[p] = len(s.rows)
+	s.keys = append(s.keys, p)
+	s.rows = append(s.rows, r)
+	return r
+}
+
+// AddBits adds count bits to flow p in interval t, updating the total.
+// Out-of-range intervals panic: the caller owns interval bounds.
+func (s *Series) AddBits(p netip.Prefix, t int, bits float64) {
+	if t < 0 || t >= s.Intervals {
+		panic(fmt.Sprintf("agg: AddBits: interval %d out of [0,%d)", t, s.Intervals))
+	}
+	bw := bits / s.Interval.Seconds()
+	s.row(p)[t] += bw
+	s.total[t] += bw
+}
+
+// SetBandwidth sets flow p's bandwidth in interval t directly (bit/s),
+// used by the synthetic generator's fast path.
+func (s *Series) SetBandwidth(p netip.Prefix, t int, bw float64) {
+	if t < 0 || t >= s.Intervals {
+		panic(fmt.Sprintf("agg: SetBandwidth: interval %d out of [0,%d)", t, s.Intervals))
+	}
+	r := s.row(p)
+	s.total[t] += bw - r[t]
+	r[t] = bw
+}
+
+// Bandwidth returns x_p(t) in bit/s; zero for unknown flows.
+func (s *Series) Bandwidth(p netip.Prefix, t int) float64 {
+	if i, ok := s.flows[p]; ok {
+		return s.rows[i][t]
+	}
+	return 0
+}
+
+// Row returns the full bandwidth series of flow p (shared storage), and
+// whether the flow exists.
+func (s *Series) Row(p netip.Prefix) ([]float64, bool) {
+	if i, ok := s.flows[p]; ok {
+		return s.rows[i], true
+	}
+	return nil, false
+}
+
+// TotalBandwidth returns the aggregate link load in interval t (bit/s).
+func (s *Series) TotalBandwidth(t int) float64 { return s.total[t] }
+
+// IntervalSnapshot copies the non-zero flow bandwidths of interval t into
+// dst (cleared first) and returns it; pass nil to allocate. This is the
+// per-interval view the online classifier consumes.
+func (s *Series) IntervalSnapshot(t int, dst map[netip.Prefix]float64) map[netip.Prefix]float64 {
+	if dst == nil {
+		dst = make(map[netip.Prefix]float64, len(s.keys)/4)
+	}
+	for k := range dst {
+		delete(dst, k)
+	}
+	for i, p := range s.keys {
+		if bw := s.rows[i][t]; bw > 0 {
+			dst[p] = bw
+		}
+	}
+	return dst
+}
+
+// IntervalTime returns the left edge of interval t.
+func (s *Series) IntervalTime(t int) time.Time {
+	return s.Start.Add(time.Duration(t) * s.Interval)
+}
+
+// IntervalOf maps a timestamp to its interval index, or -1 when out of
+// range.
+func (s *Series) IntervalOf(ts time.Time) int {
+	d := ts.Sub(s.Start)
+	if d < 0 {
+		return -1
+	}
+	t := int(d / s.Interval)
+	if t >= s.Intervals {
+		return -1
+	}
+	return t
+}
+
+// ActiveFlows reports the number of flows with non-zero bandwidth in
+// interval t.
+func (s *Series) ActiveFlows(t int) int {
+	n := 0
+	for _, r := range s.rows {
+		if r[t] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Rebin aggregates the series to a coarser interval that must be an
+// integer multiple of the current one; bandwidths are time-averaged.
+// Used for the paper's interval-sensitivity check (1, 5, 10 minutes).
+func (s *Series) Rebin(interval time.Duration) (*Series, error) {
+	if interval == s.Interval {
+		return s, nil
+	}
+	if interval <= 0 || interval%s.Interval != 0 {
+		return nil, fmt.Errorf("agg: Rebin: %v is not a positive multiple of %v", interval, s.Interval)
+	}
+	k := int(interval / s.Interval)
+	if s.Intervals/k == 0 {
+		return nil, fmt.Errorf("agg: Rebin: series too short (%d slots) for factor %d", s.Intervals, k)
+	}
+	out := NewSeries(s.Start, interval, s.Intervals/k)
+	for i, p := range s.keys {
+		row := s.rows[i]
+		for t := 0; t < out.Intervals; t++ {
+			var sum float64
+			for j := 0; j < k; j++ {
+				sum += row[t*k+j]
+			}
+			if sum > 0 {
+				out.SetBandwidth(p, t, sum/float64(k))
+			}
+		}
+	}
+	return out, nil
+}
+
+// SortedFlows returns flow keys sorted by total transmitted volume,
+// descending; useful for reports.
+func (s *Series) SortedFlows() []netip.Prefix {
+	type kv struct {
+		p   netip.Prefix
+		vol float64
+	}
+	vols := make([]kv, len(s.keys))
+	for i, p := range s.keys {
+		var v float64
+		for _, bw := range s.rows[i] {
+			v += bw
+		}
+		vols[i] = kv{p, v}
+	}
+	sort.Slice(vols, func(i, j int) bool { return vols[i].vol > vols[j].vol })
+	out := make([]netip.Prefix, len(vols))
+	for i, e := range vols {
+		out[i] = e.p
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package agg
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	start = time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	pfxA  = netip.MustParsePrefix("10.0.0.0/8")
+	pfxB  = netip.MustParsePrefix("192.0.2.0/24")
+	pfxC  = netip.MustParsePrefix("198.51.100.0/24")
+)
+
+func TestNewSeriesPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		interval  time.Duration
+		intervals int
+	}{
+		{"zero interval", 0, 5},
+		{"negative interval", -time.Minute, 5},
+		{"zero intervals", time.Minute, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			NewSeries(start, tc.interval, tc.intervals)
+		}()
+	}
+}
+
+func TestAddBitsAveragesOverInterval(t *testing.T) {
+	s := NewSeries(start, 5*time.Minute, 2)
+	s.AddBits(pfxA, 0, 300e6) // 300 Mbit over 300 s = 1 Mbit/s
+	if got := s.Bandwidth(pfxA, 0); !floatEq(got, 1e6) {
+		t.Errorf("bandwidth = %v, want 1e6", got)
+	}
+	s.AddBits(pfxA, 0, 300e6) // accumulates
+	if got := s.Bandwidth(pfxA, 0); !floatEq(got, 2e6) {
+		t.Errorf("after second add = %v, want 2e6", got)
+	}
+	if got := s.TotalBandwidth(0); !floatEq(got, 2e6) {
+		t.Errorf("total = %v, want 2e6", got)
+	}
+	if got := s.Bandwidth(pfxA, 1); got != 0 {
+		t.Errorf("untouched interval = %v, want 0", got)
+	}
+}
+
+func TestSetBandwidthMaintainsTotal(t *testing.T) {
+	s := NewSeries(start, time.Minute, 1)
+	s.SetBandwidth(pfxA, 0, 100)
+	s.SetBandwidth(pfxB, 0, 50)
+	if got := s.TotalBandwidth(0); !floatEq(got, 150) {
+		t.Fatalf("total = %v, want 150", got)
+	}
+	s.SetBandwidth(pfxA, 0, 70) // overwrite, not accumulate
+	if got := s.Bandwidth(pfxA, 0); !floatEq(got, 70) {
+		t.Errorf("bandwidth = %v, want 70", got)
+	}
+	if got := s.TotalBandwidth(0); !floatEq(got, 120) {
+		t.Errorf("total after overwrite = %v, want 120", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := NewSeries(start, time.Minute, 2)
+	for _, tt := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddBits(t=%d): expected panic", tt)
+				}
+			}()
+			s.AddBits(pfxA, tt, 1)
+		}()
+	}
+}
+
+func TestUnknownFlow(t *testing.T) {
+	s := NewSeries(start, time.Minute, 1)
+	if got := s.Bandwidth(pfxA, 0); got != 0 {
+		t.Errorf("unknown flow bandwidth = %v", got)
+	}
+	if _, ok := s.Row(pfxA); ok {
+		t.Error("unknown flow has a row")
+	}
+	if s.NumFlows() != 0 {
+		t.Errorf("NumFlows = %d", s.NumFlows())
+	}
+}
+
+func TestIntervalSnapshotSkipsZeros(t *testing.T) {
+	s := NewSeries(start, time.Minute, 2)
+	s.SetBandwidth(pfxA, 0, 10)
+	s.SetBandwidth(pfxB, 1, 20)
+	snap := s.IntervalSnapshot(0, nil)
+	if len(snap) != 1 || snap[pfxA] != 10 {
+		t.Errorf("snapshot 0 = %v", snap)
+	}
+	// Reuse: the same map must be cleared and refilled.
+	snap = s.IntervalSnapshot(1, snap)
+	if len(snap) != 1 || snap[pfxB] != 20 {
+		t.Errorf("snapshot 1 (reused map) = %v", snap)
+	}
+}
+
+func TestIntervalTimeAndOf(t *testing.T) {
+	s := NewSeries(start, 5*time.Minute, 12)
+	if got := s.IntervalTime(3); !got.Equal(start.Add(15 * time.Minute)) {
+		t.Errorf("IntervalTime(3) = %v", got)
+	}
+	cases := []struct {
+		ts   time.Time
+		want int
+	}{
+		{start, 0},
+		{start.Add(4*time.Minute + 59*time.Second), 0},
+		{start.Add(5 * time.Minute), 1},
+		{start.Add(59*time.Minute + 59*time.Second), 11},
+		{start.Add(time.Hour), -1},
+		{start.Add(-time.Second), -1},
+	}
+	for _, tc := range cases {
+		if got := s.IntervalOf(tc.ts); got != tc.want {
+			t.Errorf("IntervalOf(%v) = %d, want %d", tc.ts, got, tc.want)
+		}
+	}
+}
+
+func TestActiveFlows(t *testing.T) {
+	s := NewSeries(start, time.Minute, 2)
+	s.SetBandwidth(pfxA, 0, 10)
+	s.SetBandwidth(pfxB, 0, 20)
+	s.SetBandwidth(pfxC, 1, 30)
+	if got := s.ActiveFlows(0); got != 2 {
+		t.Errorf("ActiveFlows(0) = %d, want 2", got)
+	}
+	if got := s.ActiveFlows(1); got != 1 {
+		t.Errorf("ActiveFlows(1) = %d, want 1", got)
+	}
+}
+
+func TestRebin(t *testing.T) {
+	s := NewSeries(start, time.Minute, 6)
+	// Flow A: 60 bit/s for all six minutes -> 60 bit/s at any bin width.
+	for tt := 0; tt < 6; tt++ {
+		s.SetBandwidth(pfxA, tt, 60)
+	}
+	// Flow B: 120 bit/s in minute 0 only -> 40 bit/s over [0,3).
+	s.SetBandwidth(pfxB, 0, 120)
+
+	r, err := s.Rebin(3 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Intervals != 2 || r.Interval != 3*time.Minute {
+		t.Fatalf("geometry: %d x %v", r.Intervals, r.Interval)
+	}
+	if got := r.Bandwidth(pfxA, 0); !floatEq(got, 60) {
+		t.Errorf("A[0] = %v, want 60 (time average)", got)
+	}
+	if got := r.Bandwidth(pfxB, 0); !floatEq(got, 40) {
+		t.Errorf("B[0] = %v, want 40", got)
+	}
+	if got := r.Bandwidth(pfxB, 1); got != 0 {
+		t.Errorf("B[1] = %v, want 0", got)
+	}
+	// Totals are conserved (time-weighted).
+	if got, want := r.TotalBandwidth(0), (60.0*3+120)/3; !floatEq(got, want) {
+		t.Errorf("total[0] = %v, want %v", got, want)
+	}
+}
+
+func TestRebinIdentity(t *testing.T) {
+	s := NewSeries(start, time.Minute, 4)
+	r, err := s.Rebin(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != s {
+		t.Error("identity rebin must return the same series")
+	}
+}
+
+func TestRebinErrors(t *testing.T) {
+	s := NewSeries(start, 2*time.Minute, 4)
+	if _, err := s.Rebin(3 * time.Minute); err == nil {
+		t.Error("non-multiple interval accepted")
+	}
+	if _, err := s.Rebin(-2 * time.Minute); err == nil {
+		t.Error("negative interval accepted")
+	}
+	short := NewSeries(start, time.Minute, 2)
+	if _, err := short.Rebin(3 * time.Minute); err == nil {
+		t.Error("rebin beyond series length accepted")
+	}
+}
+
+func TestSortedFlows(t *testing.T) {
+	s := NewSeries(start, time.Minute, 2)
+	s.SetBandwidth(pfxA, 0, 10)
+	s.SetBandwidth(pfxB, 0, 100)
+	s.SetBandwidth(pfxC, 1, 50)
+	got := s.SortedFlows()
+	if len(got) != 3 || got[0] != pfxB || got[1] != pfxC || got[2] != pfxA {
+		t.Errorf("SortedFlows = %v", got)
+	}
+}
+
+// TestTotalsMatchRowSums: invariant linking the cached per-interval
+// totals to the row data, under arbitrary Set/Add sequences.
+func TestTotalsMatchRowSums(t *testing.T) {
+	prefixes := []netip.Prefix{pfxA, pfxB, pfxC}
+	prop := func(ops []struct {
+		Set      bool
+		Flow     uint8
+		Interval uint8
+		Value    float64
+	}) bool {
+		s := NewSeries(start, time.Minute, 4)
+		for _, op := range ops {
+			v := math.Abs(op.Value)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep values in a physically plausible bandwidth range;
+			// sums near MaxFloat64 overflow and prove nothing.
+			v = math.Mod(v, 1e12)
+			p := prefixes[int(op.Flow)%len(prefixes)]
+			tt := int(op.Interval) % 4
+			if op.Set {
+				s.SetBandwidth(p, tt, v)
+			} else {
+				s.AddBits(p, tt, v)
+			}
+		}
+		for tt := 0; tt < 4; tt++ {
+			var sum float64
+			for _, p := range prefixes {
+				sum += s.Bandwidth(p, tt)
+			}
+			if !floatEq2(sum, s.TotalBandwidth(tt), 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func floatEq(a, b float64) bool { return floatEq2(a, b, 1e-9) }
+
+func floatEq2(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

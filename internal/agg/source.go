@@ -1,0 +1,58 @@
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcap"
+)
+
+// PcapPacketSource streams decoded packet summaries from an Ethernet
+// capture — classic libpcap or pcapng, auto-detected — skipping frames
+// that fail to decode (counted in Parser stats). It factors the
+// capture-to-summary step out of ReadPcap so other consumers — the
+// NetFlow exporter, ad-hoc analysis tools — can share it.
+type PcapPacketSource struct {
+	r      pcap.PacketReader
+	parser *packet.Parser
+}
+
+// NewPcapPacketSource opens a capture for streaming, sniffing the
+// format.
+func NewPcapPacketSource(r io.Reader) (*PcapPacketSource, error) {
+	pr, linkType, err := pcap.OpenReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("agg: opening capture: %w", err)
+	}
+	if linkType != pcap.LinkTypeEthernet {
+		return nil, fmt.Errorf("agg: unsupported link type %d", linkType)
+	}
+	return &PcapPacketSource{r: pr, parser: packet.NewParser()}, nil
+}
+
+// ParserStats exposes decode counters.
+func (s *PcapPacketSource) ParserStats() packet.ParserStats { return s.parser.Stats }
+
+// Next returns the next decodable packet's capture time and summary.
+// The summary's WireLength is the original on-the-wire length even for
+// snapped captures. io.EOF marks a clean end of file.
+func (s *PcapPacketSource) Next() (time.Time, packet.Summary, error) {
+	for {
+		ci, data, err := s.r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			return time.Time{}, packet.Summary{}, io.EOF
+		}
+		if err != nil {
+			return time.Time{}, packet.Summary{}, fmt.Errorf("agg: reading capture: %w", err)
+		}
+		sum, err := s.parser.Parse(data)
+		if err != nil {
+			continue // non-IP or malformed frame
+		}
+		sum.WireLength = ci.Length
+		return ci.Timestamp, sum, nil
+	}
+}

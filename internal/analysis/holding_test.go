@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func pfx(i int) netip.Prefix {
+	return netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
+}
+
+// resultsFromPattern builds a result sequence from per-flow elephant
+// patterns ('E' = elephant, '.' = mouse), all patterns equal length.
+func resultsFromPattern(patterns map[int]string) []core.Result {
+	n := 0
+	for _, p := range patterns {
+		n = len(p)
+	}
+	out := make([]core.Result, n)
+	for t := range out {
+		out[t] = core.Result{Interval: t, Elephants: map[netip.Prefix]bool{}, TotalLoad: 1}
+		for id, p := range patterns {
+			if p[t] == 'E' {
+				out[t].Elephants[pfx(id)] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestStateSequences(t *testing.T) {
+	res := resultsFromPattern(map[int]string{
+		0: "EE..E",
+		1: ".....",
+		2: "..E..",
+	})
+	seqs := StateSequences(res, 0, 5)
+	if len(seqs) != 2 {
+		t.Fatalf("tracked flows = %d, want 2 (flow 1 was never an elephant)", len(seqs))
+	}
+	want0 := []bool{true, true, false, false, true}
+	for i, v := range want0 {
+		if seqs[pfx(0)][i] != v {
+			t.Errorf("flow 0 seq[%d] = %v", i, seqs[pfx(0)][i])
+		}
+	}
+}
+
+func TestStateSequencesWindowClamping(t *testing.T) {
+	res := resultsFromPattern(map[int]string{0: "EEE"})
+	if got := StateSequences(res, -5, 99); len(got[pfx(0)]) != 3 {
+		t.Errorf("clamped window length = %d", len(got[pfx(0)]))
+	}
+	if got := StateSequences(res, 2, 2); got != nil {
+		t.Errorf("empty window returned %v", got)
+	}
+}
+
+func TestRunLengths(t *testing.T) {
+	cases := []struct {
+		seq  string
+		want []int
+	}{
+		{"", nil},
+		{".....", nil},
+		{"E....", []int{1}},
+		{"EEEEE", []int{5}},
+		{"EE.EE", []int{2, 2}},
+		{"E.E.E", []int{1, 1, 1}},
+		{"..EEE", []int{3}}, // run open at the right edge counts
+	}
+	for _, tc := range cases {
+		seq := make([]bool, len(tc.seq))
+		for i, c := range tc.seq {
+			seq[i] = c == 'E'
+		}
+		got := runLengths(seq)
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: runs = %v, want %v", tc.seq, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q: runs = %v, want %v", tc.seq, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestHoldingTimes(t *testing.T) {
+	res := resultsFromPattern(map[int]string{
+		0: "EEEE....", // one visit of 4
+		1: "E..E..E.", // three visits of 1 -> single-interval flow
+		2: "EE..EE..", // two visits of 2
+		3: "........", // never an elephant
+	})
+	st := HoldingTimes(res, 0, 8)
+	if st.Flows != 3 {
+		t.Fatalf("Flows = %d, want 3", st.Flows)
+	}
+	if got := st.PerFlow[pfx(0)]; got != 4 {
+		t.Errorf("flow 0 avg = %v, want 4", got)
+	}
+	if got := st.PerFlow[pfx(1)]; got != 1 {
+		t.Errorf("flow 1 avg = %v, want 1", got)
+	}
+	if got := st.PerFlow[pfx(2)]; got != 2 {
+		t.Errorf("flow 2 avg = %v, want 2", got)
+	}
+	if st.SingleIntervalFlows != 1 {
+		t.Errorf("SingleIntervalFlows = %d, want 1 (only flow 1)", st.SingleIntervalFlows)
+	}
+	if want := (4.0 + 1 + 2) / 3; math.Abs(st.MeanHolding-want) > 1e-12 {
+		t.Errorf("MeanHolding = %v, want %v", st.MeanHolding, want)
+	}
+}
+
+func TestHoldingHistogram(t *testing.T) {
+	res := resultsFromPattern(map[int]string{
+		0: "EEEE....",
+		1: "E.......",
+		2: "EE......",
+	})
+	st := HoldingTimes(res, 0, 8)
+	h := st.HoldingHistogram(3) // bins [0,1) [1,2) [2,3)+overflow-clamp
+	if h[1] != 1 {              // flow 1: avg 1
+		t.Errorf("bin 1 = %d", h[1])
+	}
+	if h[2] != 2 { // flow 2: avg 2; flow 0: avg 4 clamped into last bin
+		t.Errorf("bin 2 = %d (flow 2 plus clamped flow 0)", h[2])
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("histogram total = %d, want 3", total)
+	}
+}
+
+func TestBusyWindow(t *testing.T) {
+	res := make([]core.Result, 10)
+	loads := []float64{1, 1, 5, 9, 9, 5, 1, 1, 1, 1}
+	for i := range res {
+		res[i] = core.Result{Interval: i, TotalLoad: loads[i]}
+	}
+	from, to, err := BusyWindow(res, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 2 || to != 5 {
+		t.Errorf("busy window = [%d,%d), want [2,5)", from, to)
+	}
+}
+
+func TestBusyWindowWholeSeries(t *testing.T) {
+	res := make([]core.Result, 4)
+	from, to, err := BusyWindow(res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 0 || to != 4 {
+		t.Errorf("window = [%d,%d)", from, to)
+	}
+}
+
+func TestBusyWindowErrors(t *testing.T) {
+	res := make([]core.Result, 3)
+	if _, _, err := BusyWindow(res, 0); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, _, err := BusyWindow(res, 4); err == nil {
+		t.Error("window beyond series accepted")
+	}
+}
+
+func TestCountAndFractionSeries(t *testing.T) {
+	res := resultsFromPattern(map[int]string{0: "E.", 1: "E."})
+	res[0].ElephantLoad, res[0].TotalLoad = 6, 10
+	res[1].ElephantLoad, res[1].TotalLoad = 0, 10
+	counts := CountSeries(res)
+	if counts[0] != 2 || counts[1] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+	fracs := FractionSeries(res)
+	if fracs[0] != 0.6 || fracs[1] != 0 {
+		t.Errorf("fracs = %v", fracs)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if MeanInt(nil) != 0 || MeanFloat(nil) != 0 {
+		t.Error("empty means must be 0")
+	}
+	if got := MeanInt([]int{1, 2, 3}); got != 2 {
+		t.Errorf("MeanInt = %v", got)
+	}
+	if got := MeanFloat([]float64{1, 2}); got != 1.5 {
+		t.Errorf("MeanFloat = %v", got)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	res := resultsFromPattern(map[int]string{
+		0: "EE.E", // promo (t0), steady (t1), demo (t2), promo (t3)
+		1: "..E.", // promo (t2), demo (t3)
+	})
+	tc := Transitions(res, 0, 4)
+	if tc.Promotions != 3 {
+		t.Errorf("Promotions = %d, want 3", tc.Promotions)
+	}
+	if tc.Demotions != 2 {
+		t.Errorf("Demotions = %d, want 2", tc.Demotions)
+	}
+	if tc.SteadyElephant != 1 {
+		t.Errorf("SteadyElephant = %d, want 1", tc.SteadyElephant)
+	}
+}
+
+func TestSortedHoldingTimes(t *testing.T) {
+	res := resultsFromPattern(map[int]string{
+		0: "EEEE",
+		1: "E...",
+		2: "EE..",
+	})
+	st := HoldingTimes(res, 0, 4)
+	got := st.SortedHoldingTimes()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("sorted = %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+func TestPrefixLengths(t *testing.T) {
+	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	s := agg.NewSeries(start, time.Minute, 2)
+	p8 := netip.MustParsePrefix("9.0.0.0/8")
+	p16 := netip.MustParsePrefix("172.16.0.0/16")
+	p24 := netip.MustParsePrefix("192.0.2.0/24")
+	v6 := netip.MustParsePrefix("2001:db8::/32")
+	s.SetBandwidth(p8, 0, 10)
+	s.SetBandwidth(p16, 0, 100)
+	s.SetBandwidth(p24, 1, 200)
+	s.SetBandwidth(v6, 0, 5)
+
+	res := []core.Result{
+		{Interval: 0, Elephants: map[netip.Prefix]bool{p16: true, v6: true}},
+		{Interval: 1, Elephants: map[netip.Prefix]bool{p16: true, p24: true}},
+	}
+	st := PrefixLengths(res, s)
+
+	if st.ActiveSlash8 != 1 || st.ElephantSlash8 != 0 {
+		t.Errorf("slash8: active=%d elephant=%d", st.ActiveSlash8, st.ElephantSlash8)
+	}
+	if st.ActiveLengths[8] != 1 || st.ActiveLengths[16] != 1 || st.ActiveLengths[24] != 1 {
+		t.Errorf("active lengths: %v", st.ActiveLengths)
+	}
+	// v6 must be excluded from the IPv4 histograms.
+	if st.ElephantLengths[32] != 0 {
+		t.Errorf("v6 leaked into the length histogram")
+	}
+	if st.MinLen != 16 || st.MaxLen != 24 {
+		t.Errorf("range = /%d-/%d, want /16-/24", st.MinLen, st.MaxLen)
+	}
+	if st.TotalElephantFlows() != 2 {
+		t.Errorf("TotalElephantFlows = %d, want 2 (v4 only)", st.TotalElephantFlows())
+	}
+}
+
+func TestPrefixLengthsNoElephants(t *testing.T) {
+	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	s := agg.NewSeries(start, time.Minute, 1)
+	st := PrefixLengths([]core.Result{{Elephants: map[netip.Prefix]bool{}}}, s)
+	if st.MinLen != 0 || st.MaxLen != 0 || st.TotalElephantFlows() != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// SetStability quantifies how much the elephant *membership* changes
+// between consecutive intervals — the quantity a traffic-engineering
+// controller pays for, since every membership change is a potential
+// reroute. It complements the count/fraction series: a scheme can hold
+// the count rock-steady (top-K does, by construction) while churning
+// the members underneath.
+type SetStability struct {
+	// MeanJaccard is the average Jaccard similarity of consecutive
+	// elephant sets (1 = frozen membership).
+	MeanJaccard float64
+	// MinJaccard is the worst consecutive-interval similarity.
+	MinJaccard float64
+	// MeanTurnover is the average number of members entering plus
+	// leaving per interval.
+	MeanTurnover float64
+}
+
+// Stability computes SetStability over a result sequence. Sequences
+// shorter than two intervals return the zero value.
+func Stability(results []core.Result) SetStability {
+	if len(results) < 2 {
+		return SetStability{}
+	}
+	var st SetStability
+	st.MinJaccard = 1
+	n := 0
+	for i := 1; i < len(results); i++ {
+		prev, cur := results[i-1].Elephants, results[i].Elephants
+		inter := 0
+		for p := range cur {
+			if prev[p] {
+				inter++
+			}
+		}
+		union := len(prev) + len(cur) - inter
+		j := 1.0
+		if union > 0 {
+			j = float64(inter) / float64(union)
+		}
+		st.MeanJaccard += j
+		if j < st.MinJaccard {
+			st.MinJaccard = j
+		}
+		st.MeanTurnover += float64(union - inter)
+		n++
+	}
+	st.MeanJaccard /= float64(n)
+	st.MeanTurnover /= float64(n)
+	return st
+}
+
+// RankCorrelation computes Kendall's tau-a between two bandwidth
+// snapshots over the flows present in both, measuring whether the heavy
+// flows keep their relative order across intervals. Returns tau in
+// [-1, 1] and the number of common flows; fewer than two common flows
+// yield (0, n).
+func RankCorrelation(a, b map[netip.Prefix]float64) (float64, int) {
+	common := make([]netip.Prefix, 0, len(a))
+	for p := range a {
+		if _, ok := b[p]; ok {
+			common = append(common, p)
+		}
+	}
+	n := len(common)
+	if n < 2 {
+		return 0, n
+	}
+	// Deterministic order for reproducibility.
+	sort.Slice(common, func(i, j int) bool {
+		if c := common[i].Addr().Compare(common[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return common[i].Bits() < common[j].Bits()
+	})
+	var concordant, discordant int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[common[i]] - a[common[j]]
+			db := b[common[i]] - b[common[j]]
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs), n
+}

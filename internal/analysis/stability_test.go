@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestStabilityFrozenSet(t *testing.T) {
+	res := resultsFromPattern(map[int]string{0: "EEEE", 1: "EEEE"})
+	st := Stability(res)
+	if st.MeanJaccard != 1 || st.MinJaccard != 1 || st.MeanTurnover != 0 {
+		t.Errorf("frozen set: %+v", st)
+	}
+}
+
+func TestStabilityFullChurn(t *testing.T) {
+	// Alternating disjoint sets: jaccard 0, turnover 2 per step.
+	res := resultsFromPattern(map[int]string{0: "E.E.", 1: ".E.E"})
+	st := Stability(res)
+	if st.MeanJaccard != 0 || st.MinJaccard != 0 {
+		t.Errorf("disjoint sets: %+v", st)
+	}
+	if st.MeanTurnover != 2 {
+		t.Errorf("turnover = %v, want 2", st.MeanTurnover)
+	}
+}
+
+func TestStabilityPartial(t *testing.T) {
+	// {0,1} -> {0,2}: inter 1, union 3 -> jaccard 1/3, turnover 2.
+	res := resultsFromPattern(map[int]string{0: "EE", 1: "E.", 2: ".E"})
+	st := Stability(res)
+	if math.Abs(st.MeanJaccard-1.0/3) > 1e-12 {
+		t.Errorf("jaccard = %v, want 1/3", st.MeanJaccard)
+	}
+	if st.MeanTurnover != 2 {
+		t.Errorf("turnover = %v", st.MeanTurnover)
+	}
+}
+
+func TestStabilityShortInput(t *testing.T) {
+	if st := Stability([]core.Result{{}}); st != (SetStability{}) {
+		t.Errorf("short input: %+v", st)
+	}
+}
+
+func TestStabilityEmptySets(t *testing.T) {
+	res := []core.Result{
+		{Elephants: map[netip.Prefix]bool{}},
+		{Elephants: map[netip.Prefix]bool{}},
+	}
+	st := Stability(res)
+	if st.MeanJaccard != 1 {
+		t.Errorf("two empty sets are identical: %+v", st)
+	}
+}
+
+func snapOf(vals ...float64) map[netip.Prefix]float64 {
+	m := make(map[netip.Prefix]float64)
+	for i, v := range vals {
+		m[pfx(i)] = v
+	}
+	return m
+}
+
+func TestRankCorrelationPerfect(t *testing.T) {
+	a := snapOf(10, 20, 30, 40)
+	b := snapOf(1, 2, 3, 4) // same order, different scale
+	tau, n := RankCorrelation(a, b)
+	if n != 4 || tau != 1 {
+		t.Errorf("tau = %v, n = %d", tau, n)
+	}
+}
+
+func TestRankCorrelationReversed(t *testing.T) {
+	a := snapOf(10, 20, 30)
+	b := snapOf(30, 20, 10)
+	tau, _ := RankCorrelation(a, b)
+	if tau != -1 {
+		t.Errorf("tau = %v, want -1", tau)
+	}
+}
+
+func TestRankCorrelationCommonOnly(t *testing.T) {
+	a := map[netip.Prefix]float64{pfx(0): 1, pfx(1): 2, pfx(9): 5}
+	b := map[netip.Prefix]float64{pfx(0): 10, pfx(1): 20, pfx(8): 7}
+	tau, n := RankCorrelation(a, b)
+	if n != 2 || tau != 1 {
+		t.Errorf("tau = %v over n = %d common flows", tau, n)
+	}
+}
+
+func TestRankCorrelationDegenerate(t *testing.T) {
+	if tau, n := RankCorrelation(snapOf(1), snapOf(2)); tau != 0 || n != 1 {
+		t.Errorf("single common flow: %v, %d", tau, n)
+	}
+	if tau, n := RankCorrelation(nil, nil); tau != 0 || n != 0 {
+		t.Errorf("empty: %v, %d", tau, n)
+	}
+}
+
+func TestRankCorrelationTies(t *testing.T) {
+	// Ties count as neither concordant nor discordant (tau-a).
+	a := snapOf(1, 1, 2)
+	b := snapOf(5, 6, 7)
+	tau, _ := RankCorrelation(a, b)
+	// Pairs: (0,1) tied in a; (0,2) and (1,2) concordant -> 2/3.
+	if math.Abs(tau-2.0/3) > 1e-12 {
+		t.Errorf("tau = %v, want 2/3", tau)
+	}
+}

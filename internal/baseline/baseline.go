@@ -1,0 +1,100 @@
+// Package baseline implements the classifier baselines the paper's
+// scheme is implicitly compared against: the static absolute threshold
+// and the top-K rule that operational tooling of the era used, plus
+// streaming heavy-hitter sketches (Misra–Gries and Space-Saving) that
+// represent the "common OSS" approach to elephant detection. They plug
+// into the same core.Classifier / core.Detector interfaces so every
+// experiment can swap them in, quantifying what the paper's adaptive
+// threshold + latent heat actually buy.
+package baseline
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// FixedThresholdDetector returns a constant, operator-configured
+// threshold — the naive baseline the paper's adaptive detection phase
+// replaces. Under diurnal load the fixed value is wrong most of the day:
+// too high at night (no elephants), too low at the peak (everything is
+// an elephant).
+type FixedThresholdDetector struct {
+	// Theta is the constant threshold in bit/s.
+	Theta float64
+}
+
+// NewFixedThresholdDetector validates theta and returns the detector.
+func NewFixedThresholdDetector(theta float64) (*FixedThresholdDetector, error) {
+	if theta <= 0 {
+		return nil, fmt.Errorf("baseline: fixed threshold %v must be positive", theta)
+	}
+	return &FixedThresholdDetector{Theta: theta}, nil
+}
+
+// Name implements core.Detector.
+func (d *FixedThresholdDetector) Name() string {
+	return fmt.Sprintf("fixed-%.3g", d.Theta)
+}
+
+// DetectThreshold implements core.Detector.
+func (d *FixedThresholdDetector) DetectThreshold([]float64) (float64, error) {
+	return d.Theta, nil
+}
+
+// TopKClassifier classifies the K highest-bandwidth flows of each
+// interval as elephants, ignoring the threshold entirely — the
+// "show me the top talkers" rule of classic monitoring consoles.
+type TopKClassifier struct {
+	// K is the number of flows classified per interval.
+	K int
+
+	// scratch reuses the sorting buffer across intervals.
+	scratch []flowBW
+}
+
+type flowBW struct {
+	p  netip.Prefix
+	bw float64
+}
+
+// NewTopKClassifier validates k and returns the classifier.
+func NewTopKClassifier(k int) (*TopKClassifier, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: top-k with k=%d", k)
+	}
+	return &TopKClassifier{K: k}, nil
+}
+
+// Name implements core.Classifier.
+func (c *TopKClassifier) Name() string { return fmt.Sprintf("top-%d", c.K) }
+
+// Classify implements core.Classifier. The threshold argument is
+// ignored.
+func (c *TopKClassifier) Classify(snapshot map[netip.Prefix]float64, _ float64) map[netip.Prefix]bool {
+	c.scratch = c.scratch[:0]
+	for p, bw := range snapshot {
+		if bw > 0 {
+			c.scratch = append(c.scratch, flowBW{p, bw})
+		}
+	}
+	sort.Slice(c.scratch, func(i, j int) bool {
+		if c.scratch[i].bw != c.scratch[j].bw {
+			return c.scratch[i].bw > c.scratch[j].bw
+		}
+		// Deterministic tie-break by prefix.
+		if cc := c.scratch[i].p.Addr().Compare(c.scratch[j].p.Addr()); cc != 0 {
+			return cc < 0
+		}
+		return c.scratch[i].p.Bits() < c.scratch[j].p.Bits()
+	})
+	k := c.K
+	if k > len(c.scratch) {
+		k = len(c.scratch)
+	}
+	out := make(map[netip.Prefix]bool, k)
+	for _, f := range c.scratch[:k] {
+		out[f.p] = true
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package bgp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText drives the table parser with arbitrary text: no panics,
+// and accepted tables must survive a write/read roundtrip.
+func FuzzReadText(f *testing.F) {
+	f.Add("10.0.0.0/8 100 tier1\n192.0.2.0/24 65000 tier3\n")
+	f.Add("# comment\n\n198.51.100.0/24\n")
+	f.Add("garbage\n")
+	f.Add("10.0.0.0/8 -1 tier1\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		tab, err := ReadText(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteText(&buf); err != nil {
+			t.Fatalf("write of accepted table failed: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written table failed: %v", err)
+		}
+		if back.Len() != tab.Len() {
+			t.Fatalf("roundtrip length %d != %d", back.Len(), tab.Len())
+		}
+	})
+}

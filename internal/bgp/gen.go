@@ -1,0 +1,170 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// GenConfig controls synthetic table generation.
+type GenConfig struct {
+	// Routes is the number of prefixes to generate.
+	Routes int
+	// Seed feeds the deterministic generator.
+	Seed int64
+	// LengthWeights maps prefix length (8..32) to relative weight.
+	// Nil selects Default2001LengthWeights.
+	LengthWeights map[int]float64
+	// TierWeights gives the relative share of Tier1/Tier2/Tier3 origins.
+	// Zero selects the defaults {0.15, 0.35, 0.50}.
+	TierWeights [3]float64
+}
+
+// Default2001LengthWeights approximates the IPv4 prefix-length mix of a
+// Tier-1 BGP table circa 2001: a strong mode at /24, substantial mass at
+// /16 and /19–/23, a thin population of short prefixes including /8s, and
+// a small tail of longer-than-/24 more-specifics.
+func Default2001LengthWeights() map[int]float64 {
+	return map[int]float64{
+		8:  0.002, // ~the "100 /8 networks" of the paper
+		9:  0.001,
+		10: 0.002,
+		11: 0.003,
+		12: 0.005,
+		13: 0.008,
+		14: 0.015,
+		15: 0.018,
+		16: 0.090,
+		17: 0.025,
+		18: 0.040,
+		19: 0.065,
+		20: 0.055,
+		21: 0.050,
+		22: 0.055,
+		23: 0.060,
+		24: 0.440,
+		25: 0.015,
+		26: 0.020,
+		27: 0.010,
+		28: 0.008,
+		29: 0.006,
+		30: 0.005,
+		31: 0.001,
+		32: 0.001,
+	}
+}
+
+// Generate builds a deterministic synthetic table. Prefixes are drawn
+// without collision (a longer duplicate is re-drawn), origin ASes are
+// assigned per-tier from disjoint ranges so tests can recover the tier
+// from the AS number.
+func Generate(cfg GenConfig) (*Table, error) {
+	if cfg.Routes <= 0 {
+		return nil, fmt.Errorf("bgp: Generate: Routes must be positive, got %d", cfg.Routes)
+	}
+	weights := cfg.LengthWeights
+	if weights == nil {
+		weights = Default2001LengthWeights()
+	}
+	tw := cfg.TierWeights
+	if tw == [3]float64{} {
+		tw = [3]float64{0.15, 0.35, 0.50}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Build a cumulative sampler over lengths.
+	lengths := make([]int, 0, len(weights))
+	for l := range weights {
+		if l < 1 || l > 32 {
+			return nil, fmt.Errorf("bgp: Generate: invalid prefix length %d in weights", l)
+		}
+		lengths = append(lengths, l)
+	}
+	// Deterministic order for the sampler regardless of map iteration.
+	for i := 1; i < len(lengths); i++ {
+		for j := i; j > 0 && lengths[j] < lengths[j-1]; j-- {
+			lengths[j], lengths[j-1] = lengths[j-1], lengths[j]
+		}
+	}
+	cum := make([]float64, len(lengths))
+	total := 0.0
+	for i, l := range lengths {
+		total += weights[l]
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("bgp: Generate: weights sum to zero")
+	}
+
+	sampleLen := func() int {
+		x := rng.Float64() * total
+		for i, c := range cum {
+			if x <= c {
+				return lengths[i]
+			}
+		}
+		return lengths[len(lengths)-1]
+	}
+
+	t := NewTable()
+	seen := make(map[netip.Prefix]bool, cfg.Routes)
+	tierTotal := tw[0] + tw[1] + tw[2]
+	for t.Len() < cfg.Routes {
+		plen := sampleLen()
+		// Draw a random address in unicast space (1.0.0.0–223.255.255.255,
+		// skipping 10/8, 127/8 and 192.168/16 to look like public space).
+		var addr netip.Addr
+		for {
+			raw := uint32(rng.Int63()) & 0xFFFFFFFF
+			first := raw >> 24
+			if first == 0 || first == 10 || first == 127 || first >= 224 {
+				continue
+			}
+			if first == 192 && (raw>>16)&0xFF == 168 {
+				continue
+			}
+			addr = netip.AddrFrom4([4]byte{byte(raw >> 24), byte(raw >> 16), byte(raw >> 8), byte(raw)})
+			break
+		}
+		p, err := addr.Prefix(plen)
+		if err != nil {
+			continue
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+
+		x := rng.Float64() * tierTotal
+		var tier Tier
+		var as uint32
+		switch {
+		case x < tw[0]:
+			tier = Tier1
+			as = 100 + uint32(rng.Intn(100)) // AS 100–199: tier-1
+		case x < tw[0]+tw[1]:
+			tier = Tier2
+			as = 1000 + uint32(rng.Intn(4000)) // AS 1000–4999: tier-2
+		default:
+			tier = Tier3
+			as = 10000 + uint32(rng.Intn(50000)) // AS 10000+: tier-3
+		}
+		if err := t.Insert(Route{Prefix: p, OriginAS: as, Tier: tier}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// RandomAddrInPrefix draws a uniformly random host address inside p using
+// rng. Only IPv4 prefixes are supported.
+func RandomAddrInPrefix(rng *rand.Rand, p netip.Prefix) netip.Addr {
+	base := v4bits(p.Addr())
+	hostBits := 32 - p.Bits()
+	var off uint32
+	if hostBits > 0 {
+		off = uint32(rng.Int63()) & (1<<uint(hostBits) - 1)
+	}
+	v := base | off
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}

@@ -1,0 +1,261 @@
+// Package bgp models the routing-table substrate of the reproduction: BGP
+// network prefixes with attributes, a binary radix (Patricia) trie for
+// longest-prefix match, a text table format, and a synthetic table
+// generator calibrated to the prefix-length mix of a 2001 Tier-1 table.
+//
+// The paper defines a "flow" as the traffic destined to one BGP routing
+// table entry; every packet on the link is attributed to a prefix by
+// longest-prefix match against this table.
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Tier classifies the origin AS of a route for the paper's "elephants
+// belong to other Tier-1 ISPs" analysis.
+type Tier uint8
+
+// Tier values.
+const (
+	TierUnknown Tier = iota
+	Tier1            // another backbone provider
+	Tier2            // regional provider
+	Tier3            // stub / enterprise
+)
+
+// String returns a short name for the tier.
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier1"
+	case Tier2:
+		return "tier2"
+	case Tier3:
+		return "tier3"
+	}
+	return "unknown"
+}
+
+// ParseTier converts a string produced by Tier.String back to a Tier.
+func ParseTier(s string) (Tier, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "tier1":
+		return Tier1, nil
+	case "tier2":
+		return Tier2, nil
+	case "tier3":
+		return Tier3, nil
+	case "unknown", "":
+		return TierUnknown, nil
+	}
+	return TierUnknown, fmt.Errorf("bgp: unknown tier %q", s)
+}
+
+// Route is one routing table entry.
+type Route struct {
+	Prefix   netip.Prefix
+	OriginAS uint32
+	Tier     Tier
+}
+
+// Table is an immutable-after-build BGP routing table with longest-prefix
+// match. The zero value is an empty table; call Insert to populate it and
+// do not mutate it concurrently with lookups.
+type Table struct {
+	v4     trieNode
+	routes []Route
+	byPfx  map[netip.Prefix]int // index into routes
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{byPfx: make(map[netip.Prefix]int)}
+}
+
+// Len reports the number of routes.
+func (t *Table) Len() int { return len(t.routes) }
+
+// Routes returns the table's routes in insertion order. The slice is
+// shared; callers must not modify it.
+func (t *Table) Routes() []Route { return t.routes }
+
+// Insert adds or replaces a route. Only IPv4 prefixes participate in
+// longest-prefix match; IPv6 routes are stored but matched exactly (the
+// paper's traces are IPv4).
+func (t *Table) Insert(r Route) error {
+	if !r.Prefix.IsValid() {
+		return fmt.Errorf("bgp: invalid prefix %v", r.Prefix)
+	}
+	r.Prefix = r.Prefix.Masked()
+	if i, ok := t.byPfx[r.Prefix]; ok {
+		t.routes[i] = r
+	} else {
+		t.byPfx[r.Prefix] = len(t.routes)
+		t.routes = append(t.routes, r)
+	}
+	if r.Prefix.Addr().Is4() {
+		t.v4.insert(v4bits(r.Prefix.Addr()), r.Prefix.Bits(), t.byPfx[r.Prefix])
+	}
+	return nil
+}
+
+// Lookup returns the longest-prefix-match route for addr, or ok=false when
+// no route covers it.
+func (t *Table) Lookup(addr netip.Addr) (Route, bool) {
+	if addr.Is4() || addr.Is4In6() {
+		if addr.Is4In6() {
+			addr = addr.Unmap()
+		}
+		idx, ok := t.v4.lookup(v4bits(addr))
+		if !ok {
+			return Route{}, false
+		}
+		return t.routes[idx], true
+	}
+	// Exact-match fallback for IPv6: walk candidate prefix lengths.
+	for bits := 128; bits >= 0; bits-- {
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if i, ok := t.byPfx[p]; ok {
+			return t.routes[i], true
+		}
+	}
+	return Route{}, false
+}
+
+// PrefixLengthHistogram returns a 33-element histogram of IPv4 prefix
+// lengths (index = prefix bits).
+func (t *Table) PrefixLengthHistogram() [33]int {
+	var h [33]int
+	for _, r := range t.routes {
+		if r.Prefix.Addr().Is4() {
+			h[r.Prefix.Bits()]++
+		}
+	}
+	return h
+}
+
+func v4bits(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// trieNode is a node of a binary trie over IPv4 address bits. A fixed
+// two-way branch per bit keeps the implementation simple and fast enough
+// for table sizes in the 10^5 range; route indices mark terminal entries.
+type trieNode struct {
+	child [2]*trieNode
+	route int // index+1 into routes; 0 = no route here
+}
+
+func (n *trieNode) insert(bits uint32, plen int, idx int) {
+	cur := n
+	for i := 0; i < plen; i++ {
+		b := bits >> (31 - i) & 1
+		if cur.child[b] == nil {
+			cur.child[b] = &trieNode{}
+		}
+		cur = cur.child[b]
+	}
+	cur.route = idx + 1
+}
+
+func (n *trieNode) lookup(bits uint32) (int, bool) {
+	best := 0
+	cur := n
+	for i := 0; i < 32 && cur != nil; i++ {
+		if cur.route != 0 {
+			best = cur.route
+		}
+		cur = cur.child[bits>>(31-i)&1]
+	}
+	if cur != nil && cur.route != 0 {
+		best = cur.route
+	}
+	if best == 0 {
+		return 0, false
+	}
+	return best - 1, true
+}
+
+// WriteText serializes the table in the package's text format:
+// one "prefix originAS tier" triple per line, '#' comments allowed.
+func (t *Table) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d routes\n", len(t.routes))
+	for _, r := range t.routes {
+		if _, err := fmt.Fprintf(bw, "%s %d %s\n", r.Prefix, r.OriginAS, r.Tier); err != nil {
+			return fmt.Errorf("bgp: writing table: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a table in the text format written by WriteText.
+func ReadText(r io.Reader) (*Table, error) {
+	t := NewTable()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 1 {
+			continue
+		}
+		p, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", line, err)
+		}
+		route := Route{Prefix: p}
+		if len(fields) > 1 {
+			var as uint32
+			if _, err := fmt.Sscanf(fields[1], "%d", &as); err != nil {
+				return nil, fmt.Errorf("bgp: line %d: bad origin AS %q", line, fields[1])
+			}
+			route.OriginAS = as
+		}
+		if len(fields) > 2 {
+			tier, err := ParseTier(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("bgp: line %d: %w", line, err)
+			}
+			route.Tier = tier
+		}
+		if err := t.Insert(route); err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bgp: reading table: %w", err)
+	}
+	return t, nil
+}
+
+// SortedPrefixes returns the table's prefixes sorted by address then
+// length; useful for deterministic iteration in tests and reports.
+func (t *Table) SortedPrefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(t.routes))
+	for _, r := range t.routes {
+		out = append(out, r.Prefix)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}

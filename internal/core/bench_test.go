@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// benchSnapshot builds a realistic interval snapshot: lognormal body
+// with a Pareto tail, n flows.
+func benchSnapshot(n int, seed int64) map[netip.Prefix]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(map[netip.Prefix]float64, n)
+	for i := 0; i < n; i++ {
+		bw := math.Exp(rng.NormFloat64() * 1.2)
+		if rng.Float64() < 0.04 {
+			bw = 20 * math.Pow(rng.Float64(), -1/1.9)
+		}
+		s[pfx(i)] = bw * 1e4
+	}
+	return s
+}
+
+func BenchmarkConstantLoadDetect6k(b *testing.B) {
+	snap := benchSnapshot(6500, 1)
+	bws := make([]float64, 0, len(snap))
+	for _, bw := range snap {
+		bws = append(bws, bw)
+	}
+	d, _ := NewConstantLoadDetector(0.8)
+	scratch := make([]float64, len(bws))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, bws)
+		if _, err := d.DetectThreshold(scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAestDetect6k(b *testing.B) {
+	snap := benchSnapshot(6500, 2)
+	bws := make([]float64, 0, len(snap))
+	for _, bw := range snap {
+		bws = append(bws, bw)
+	}
+	d := NewAestDetector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DetectThreshold(bws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleFeatureClassify6k(b *testing.B) {
+	snap := benchSnapshot(6500, 3)
+	c := SingleFeatureClassifier{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(snap, 5e4)
+	}
+}
+
+func BenchmarkLatentHeatClassify6k(b *testing.B) {
+	snap := benchSnapshot(6500, 4)
+	c, _ := NewLatentHeatClassifier(12)
+	// Warm the history so the steady-state cost is measured.
+	for i := 0; i < 14; i++ {
+		c.Classify(snap, 5e4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(snap, 5e4)
+	}
+	b.ReportMetric(float64(c.TrackedFlows()), "tracked-flows")
+}
+
+func BenchmarkPipelineStep6k(b *testing.B) {
+	snap := benchSnapshot(6500, 5)
+	det, _ := NewConstantLoadDetector(0.8)
+	lh, _ := NewLatentHeatClassifier(12)
+	p, _ := NewPipeline(Config{Detector: det, Alpha: 0.5, Classifier: lh})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Step(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrackerObserve(b *testing.B) {
+	// A churning elephant set of ~600 flows out of 6500.
+	rng := rand.New(rand.NewSource(6))
+	sets := make([]map[netip.Prefix]bool, 16)
+	for i := range sets {
+		sets[i] = make(map[netip.Prefix]bool, 600)
+		for j := 0; j < 600; j++ {
+			sets[i][pfx(rng.Intn(6500))] = true
+		}
+	}
+	tr := NewTracker()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(sets[i%len(sets)])
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Class is a flow's classification state: the underlying two-state
+// process the scheme induces on every flow.
+type Class uint8
+
+// Class values.
+const (
+	Mouse Class = iota
+	Elephant
+)
+
+// String returns "mouse" or "elephant".
+func (c Class) String() string {
+	if c == Elephant {
+		return "elephant"
+	}
+	return "mouse"
+}
+
+// Classifier decides, once per interval, which flows are elephants given
+// the interval's bandwidths and the smoothed threshold.
+type Classifier interface {
+	// Classify returns the elephant set for the interval. snapshot maps
+	// each active flow to its average bandwidth x_j(t); thresholdHat is
+	// θ̂(t). Implementations may maintain per-flow history across
+	// calls; calls must be made in interval order.
+	Classify(snapshot map[netip.Prefix]float64, thresholdHat float64) map[netip.Prefix]bool
+	// Name identifies the scheme in reports.
+	Name() string
+}
+
+// SingleFeatureClassifier implements the paper's single-feature scheme:
+// flow j is an elephant at interval t iff x_j(t) > θ̂(t).
+type SingleFeatureClassifier struct{}
+
+// Name implements Classifier.
+func (SingleFeatureClassifier) Name() string { return "single-feature" }
+
+// Classify implements Classifier.
+func (SingleFeatureClassifier) Classify(snapshot map[netip.Prefix]float64, thresholdHat float64) map[netip.Prefix]bool {
+	out := make(map[netip.Prefix]bool)
+	for p, bw := range snapshot {
+		if bw > thresholdHat {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// LatentHeatClassifier implements the two-feature scheme. For every flow
+// it maintains the "latent heat"
+//
+//	LH_j(t) = Σ_{i=t-W+1..t} ( x_j(i) − θ̂(i) )
+//
+// over the past W timeslots (the paper uses W=12, one hour of 5-minute
+// slots) and classifies flow j as an elephant iff LH_j(t) > 0. Slots
+// before a flow's first appearance, and slots where it was idle, count
+// as x_j(i) = 0, so a mouse must overshoot the accumulated threshold
+// deficit before it is promoted — this is what filters one-interval
+// bursts.
+type LatentHeatClassifier struct {
+	// Window is W, the number of timeslots summed. Must be >= 1.
+	Window int
+
+	t       int // intervals processed
+	history []float64
+	// flows maps each known flow to its ring buffer of historical
+	// bandwidths for the last Window slots.
+	flows map[netip.Prefix]*flowHistory
+	// EvictAfter drops a flow's state after this many consecutive idle
+	// intervals with non-positive latent heat, bounding memory on
+	// long runs. Zero selects 4*Window.
+	EvictAfter int
+}
+
+type flowHistory struct {
+	bw       []float64 // ring buffer, len == Window
+	idleRuns int
+	lastSeen int
+}
+
+// NewLatentHeatClassifier returns a classifier with the given window.
+func NewLatentHeatClassifier(window int) (*LatentHeatClassifier, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("core: latent-heat window %d < 1", window)
+	}
+	return &LatentHeatClassifier{
+		Window: window,
+		flows:  make(map[netip.Prefix]*flowHistory),
+	}, nil
+}
+
+// Name implements Classifier.
+func (c *LatentHeatClassifier) Name() string { return "latent-heat" }
+
+// thresholdSum returns Σ θ̂ over the last min(t, Window) slots including
+// the current one.
+func (c *LatentHeatClassifier) thresholdSum() float64 {
+	var s float64
+	n := len(c.history)
+	w := c.Window
+	if n < w {
+		w = n
+	}
+	for i := n - w; i < n; i++ {
+		s += c.history[i]
+	}
+	return s
+}
+
+// LatentHeat returns the current latent heat of flow p, and whether the
+// flow is known. Valid after at least one Classify call.
+func (c *LatentHeatClassifier) LatentHeat(p netip.Prefix) (float64, bool) {
+	fh, ok := c.flows[p]
+	if !ok {
+		return 0, false
+	}
+	var bwSum float64
+	for _, b := range fh.bw {
+		bwSum += b
+	}
+	return bwSum - c.thresholdSum(), true
+}
+
+// Classify implements Classifier.
+func (c *LatentHeatClassifier) Classify(snapshot map[netip.Prefix]float64, thresholdHat float64) map[netip.Prefix]bool {
+	evictAfter := c.EvictAfter
+	if evictAfter == 0 {
+		evictAfter = 4 * c.Window
+	}
+	// Record θ̂(t); keep only the last Window values.
+	c.history = append(c.history, thresholdHat)
+	if len(c.history) > c.Window {
+		c.history = c.history[len(c.history)-c.Window:]
+	}
+	slot := c.t % c.Window
+	c.t++
+
+	// Update known flows (including ones idle this interval).
+	for p, fh := range c.flows {
+		bw := snapshot[p]
+		fh.bw[slot] = bw
+		if bw > 0 {
+			fh.idleRuns = 0
+			fh.lastSeen = c.t
+		} else {
+			fh.idleRuns++
+		}
+	}
+	// Admit newly seen flows.
+	for p, bw := range snapshot {
+		if _, ok := c.flows[p]; ok {
+			continue
+		}
+		fh := &flowHistory{bw: make([]float64, c.Window), lastSeen: c.t}
+		fh.bw[slot] = bw
+		c.flows[p] = fh
+	}
+
+	thrSum := c.thresholdSum()
+	out := make(map[netip.Prefix]bool)
+	for p, fh := range c.flows {
+		var bwSum float64
+		for _, b := range fh.bw {
+			bwSum += b
+		}
+		if bwSum-thrSum > 0 {
+			out[p] = true
+		} else if fh.idleRuns >= evictAfter {
+			delete(c.flows, p)
+		}
+	}
+	return out
+}
+
+// TrackedFlows reports how many flows currently hold history state.
+func (c *LatentHeatClassifier) TrackedFlows() int { return len(c.flows) }

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+func pfx(i int) netip.Prefix {
+	return netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
+}
+
+func snap(pairs ...float64) map[netip.Prefix]float64 {
+	m := make(map[netip.Prefix]float64)
+	for i, bw := range pairs {
+		if bw > 0 {
+			m[pfx(i)] = bw
+		}
+	}
+	return m
+}
+
+func TestClassString(t *testing.T) {
+	if Mouse.String() != "mouse" || Elephant.String() != "elephant" {
+		t.Error("Class.String broken")
+	}
+}
+
+func TestSingleFeatureStrictExceed(t *testing.T) {
+	c := SingleFeatureClassifier{}
+	out := c.Classify(snap(5, 10, 15), 10)
+	if out[pfx(0)] {
+		t.Error("flow below threshold classified")
+	}
+	if out[pfx(1)] {
+		t.Error("flow AT threshold classified; paper requires strict exceedance")
+	}
+	if !out[pfx(2)] {
+		t.Error("flow above threshold not classified")
+	}
+}
+
+func TestSingleFeatureStateless(t *testing.T) {
+	c := SingleFeatureClassifier{}
+	a := c.Classify(snap(20), 10)
+	b := c.Classify(snap(5), 10)
+	if !a[pfx(0)] || b[pfx(0)] {
+		t.Error("single-feature classification must depend only on the current interval")
+	}
+}
+
+func TestLatentHeatValidation(t *testing.T) {
+	if _, err := NewLatentHeatClassifier(0); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, err := NewLatentHeatClassifier(-3); err == nil {
+		t.Error("negative window accepted")
+	}
+	c, err := NewLatentHeatClassifier(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "latent-heat" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+// TestLatentHeatDefinition verifies LH_j(t) = sum over the window of
+// (x_j(i) - thetaHat(i)) against hand-computed values.
+func TestLatentHeatDefinition(t *testing.T) {
+	c, _ := NewLatentHeatClassifier(3)
+	// Interval 0: x=10, theta=8  -> LH = +2 -> elephant
+	out := c.Classify(snap(10), 8)
+	if !out[pfx(0)] {
+		t.Fatal("interval 0: LH=+2 but not classified")
+	}
+	if lh, ok := c.LatentHeat(pfx(0)); !ok || lh != 2 {
+		t.Fatalf("LH = %v, %v; want 2", lh, ok)
+	}
+	// Interval 1: x=5, theta=8 -> LH = 2 + (5-8) = -1 -> mouse
+	out = c.Classify(snap(5), 8)
+	if out[pfx(0)] {
+		t.Fatal("interval 1: LH=-1 but classified")
+	}
+	if lh, _ := c.LatentHeat(pfx(0)); lh != -1 {
+		t.Fatalf("LH = %v, want -1", lh)
+	}
+	// Interval 2: x=12, theta=8 -> LH = 2 - 3 + 4 = +3 -> elephant
+	out = c.Classify(snap(12), 8)
+	if !out[pfx(0)] {
+		t.Fatal("interval 2: LH=+3 but not classified")
+	}
+	// Interval 3: window slides off interval 0 (x=10,theta=8).
+	// x=0 (idle), theta=8 -> LH = -3 + 4 - 8 = -7 -> mouse
+	out = c.Classify(snap(), 8)
+	if out[pfx(0)] {
+		t.Fatal("interval 3: LH=-7 but classified")
+	}
+	if lh, _ := c.LatentHeat(pfx(0)); lh != -7 {
+		t.Fatalf("LH = %v, want -7 (window slid)", lh)
+	}
+}
+
+// TestLatentHeatFiltersOneSlotBurst: the defining behaviour — a mouse
+// bursting above the threshold for a single interval stays a mouse,
+// unlike under single-feature classification.
+func TestLatentHeatFiltersOneSlotBurst(t *testing.T) {
+	lh, _ := NewLatentHeatClassifier(12)
+	sf := SingleFeatureClassifier{}
+	theta := 100.0
+
+	// Eleven intervals of modest traffic below the threshold.
+	for i := 0; i < 11; i++ {
+		lh.Classify(snap(50), theta)
+		sf.Classify(snap(50), theta)
+	}
+	// One interval bursting to 3x the threshold.
+	lhOut := lh.Classify(snap(300), theta)
+	sfOut := sf.Classify(snap(300), theta)
+	if !sfOut[pfx(0)] {
+		t.Error("single-feature must classify the burst interval")
+	}
+	if lhOut[pfx(0)] {
+		t.Error("latent heat must filter a one-slot burst after a deficit history")
+	}
+}
+
+// TestLatentHeatToleratesOneSlotDip: the symmetric case — an
+// established elephant dipping below the threshold for one interval
+// stays an elephant.
+func TestLatentHeatToleratesOneSlotDip(t *testing.T) {
+	lh, _ := NewLatentHeatClassifier(12)
+	theta := 100.0
+	for i := 0; i < 11; i++ {
+		lh.Classify(snap(200), theta)
+	}
+	out := lh.Classify(snap(10), theta) // deep dip
+	if !out[pfx(0)] {
+		t.Error("latent heat must carry an established elephant through a one-slot dip")
+	}
+}
+
+// TestLatentHeatWindowOne: with W=1 the scheme degenerates to
+// single-feature (strictly positive distance).
+func TestLatentHeatWindowOne(t *testing.T) {
+	lh, _ := NewLatentHeatClassifier(1)
+	sf := SingleFeatureClassifier{}
+	for i, s := range []map[netip.Prefix]float64{snap(150), snap(50), snap(101)} {
+		a := lh.Classify(s, 100)
+		b := sf.Classify(s, 100)
+		if len(a) != len(b) {
+			t.Errorf("interval %d: W=1 latent heat disagrees with single-feature: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestLatentHeatNewFlowMidStream: a flow first seen at interval k has no
+// tracked history; only the thresholds since it appeared... actually the
+// window's threshold sum includes slots before its arrival, so a new
+// flow must overcome the full window deficit — the admission control
+// that kills one-interval elephants.
+func TestLatentHeatNewFlowMidStream(t *testing.T) {
+	lh, _ := NewLatentHeatClassifier(4)
+	for i := 0; i < 4; i++ {
+		lh.Classify(snap(0, 200), 100) // only flow 1 active
+	}
+	// Flow 0 appears with bandwidth just above one threshold's worth:
+	// LH = 150 - 4*100 < 0 -> mouse.
+	out := lh.Classify(map[netip.Prefix]float64{pfx(0): 150, pfx(1): 200}, 100)
+	if out[pfx(0)] {
+		t.Error("newly arrived flow with sub-window volume classified")
+	}
+	// A massive arrival beats the whole window: 500 > 4*100.
+	out = lh.Classify(map[netip.Prefix]float64{pfx(0): 1000, pfx(1): 200}, 100)
+	if !out[pfx(0)] {
+		t.Error("overwhelming new flow not classified")
+	}
+}
+
+func TestLatentHeatEviction(t *testing.T) {
+	lh, _ := NewLatentHeatClassifier(2)
+	lh.EvictAfter = 3
+	lh.Classify(snap(500), 100)
+	if lh.TrackedFlows() != 1 {
+		t.Fatalf("tracked = %d", lh.TrackedFlows())
+	}
+	// Idle long enough to be evicted (needs LH <= 0 as well).
+	for i := 0; i < 6; i++ {
+		lh.Classify(snap(), 100)
+	}
+	if lh.TrackedFlows() != 0 {
+		t.Errorf("idle flow not evicted: tracked = %d", lh.TrackedFlows())
+	}
+	if _, ok := lh.LatentHeat(pfx(0)); ok {
+		t.Error("evicted flow still reports latent heat")
+	}
+}
+
+func TestLatentHeatEvictionSparesPositiveLH(t *testing.T) {
+	lh, _ := NewLatentHeatClassifier(8)
+	lh.EvictAfter = 2
+	// Huge volume then idle: LH stays positive for a while, so the flow
+	// must survive eviction while it is still (latently) an elephant.
+	lh.Classify(snap(10000), 100)
+	for i := 0; i < 3; i++ {
+		out := lh.Classify(snap(), 100)
+		if !out[pfx(0)] {
+			t.Fatalf("interval %d: flow with positive LH lost", i+1)
+		}
+	}
+	if lh.TrackedFlows() != 1 {
+		t.Errorf("flow with positive latent heat evicted")
+	}
+}
+
+func TestLatentHeatUnknownFlowQuery(t *testing.T) {
+	lh, _ := NewLatentHeatClassifier(4)
+	if _, ok := lh.LatentHeat(pfx(9)); ok {
+		t.Error("unknown flow reported known")
+	}
+}
+
+// TestLatentHeatManyFlowsIndependent: flows accumulate independent
+// histories.
+func TestLatentHeatManyFlowsIndependent(t *testing.T) {
+	lh, _ := NewLatentHeatClassifier(6)
+	theta := 100.0
+	// Flow 0 steady heavy, flow 1 steady light, flow 2 alternating.
+	for i := 0; i < 12; i++ {
+		s := map[netip.Prefix]float64{pfx(0): 300, pfx(1): 20}
+		if i%2 == 0 {
+			s[pfx(2)] = 250
+		}
+		out := lh.Classify(s, theta)
+		if i > 6 {
+			if !out[pfx(0)] {
+				t.Fatalf("interval %d: steady heavy flow not elephant", i)
+			}
+			if out[pfx(1)] {
+				t.Fatalf("interval %d: steady light flow is elephant", i)
+			}
+			// Alternating 250/0 averages 125 > theta: stays elephant
+			// once history fills.
+			if !out[pfx(2)] {
+				t.Fatalf("interval %d: alternating flow with mean above theta lost", i)
+			}
+		}
+	}
+}

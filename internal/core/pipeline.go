@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config assembles a classification pipeline.
+type Config struct {
+	// Detector is the phase-1 threshold detection technique. Required.
+	Detector Detector
+	// Alpha is the EWMA weight on the previous smoothed threshold:
+	// θ̂(t+1) = α·θ̂(t) + (1−α)·θ(t). The paper finds α = 0.5
+	// sufficiently smooth. Must be in [0, 1).
+	Alpha float64
+	// Classifier decides membership each interval. Required (use
+	// SingleFeatureClassifier{} or NewLatentHeatClassifier).
+	Classifier Classifier
+	// MinFlows is the minimum number of active flows required to run
+	// detection; below it the previous threshold is reused. Defaults
+	// to 16.
+	MinFlows int
+}
+
+// Result describes one classified interval.
+type Result struct {
+	// Interval is the 0-based interval index.
+	Interval int
+	// RawThreshold is θ(t) detected from this interval's data.
+	RawThreshold float64
+	// Threshold is θ̂(t), the smoothed threshold actually used to
+	// classify this interval.
+	Threshold float64
+	// Elephants is the elephant set for the interval.
+	Elephants map[netip.Prefix]bool
+	// ElephantLoad is the total bandwidth of elephant flows (bit/s).
+	ElephantLoad float64
+	// TotalLoad is the total link load in the interval (bit/s).
+	TotalLoad float64
+	// ActiveFlows is the number of flows with positive bandwidth.
+	ActiveFlows int
+}
+
+// ElephantCount returns the size of the interval's elephant set.
+func (r *Result) ElephantCount() int { return len(r.Elephants) }
+
+// LoadFraction returns the fraction of total traffic apportioned to
+// elephants (0 when the link is idle).
+func (r *Result) LoadFraction() float64 {
+	if r.TotalLoad <= 0 {
+		return 0
+	}
+	return r.ElephantLoad / r.TotalLoad
+}
+
+// Pipeline runs the two-phase methodology online: for each measurement
+// interval it classifies flows against the current smoothed threshold
+// θ̂(t), then detects this interval's raw threshold θ(t) and folds it
+// into the EWMA that will govern the next interval.
+type Pipeline struct {
+	cfg  Config
+	ewma *stats.EWMA
+	t    int
+	// scratch and keys reuse their backing arrays across intervals.
+	scratch []float64
+	keys    []netip.Prefix
+}
+
+// NewPipeline validates cfg and returns a ready pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Detector == nil {
+		return nil, fmt.Errorf("core: NewPipeline: Detector is required")
+	}
+	if cfg.Classifier == nil {
+		return nil, fmt.Errorf("core: NewPipeline: Classifier is required")
+	}
+	if cfg.Alpha < 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("core: NewPipeline: alpha %v outside [0,1)", cfg.Alpha)
+	}
+	if cfg.MinFlows == 0 {
+		cfg.MinFlows = 16
+	}
+	return &Pipeline{cfg: cfg, ewma: stats.NewEWMA(cfg.Alpha)}, nil
+}
+
+// Step processes one interval's snapshot (flow -> bandwidth in bit/s;
+// only positive entries are meaningful) and returns the classification
+// result. Calls must be made in interval order.
+func (p *Pipeline) Step(snapshot map[netip.Prefix]float64) (Result, error) {
+	res := Result{Interval: p.t}
+	// Collect active flows in sorted key order. Map iteration order is
+	// random, and the aest detector's block aggregation is sensitive to
+	// sample order, so a deterministic order is required for
+	// reproducible runs; sorting by prefix keeps the order independent
+	// of the bandwidths themselves (block sums still behave like sums
+	// of i.i.d. draws).
+	p.keys = p.keys[:0]
+	for pfx, bw := range snapshot {
+		if bw > 0 {
+			p.keys = append(p.keys, pfx)
+			res.TotalLoad += bw
+		}
+	}
+	sort.Slice(p.keys, func(i, j int) bool {
+		if c := p.keys[i].Addr().Compare(p.keys[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return p.keys[i].Bits() < p.keys[j].Bits()
+	})
+	p.scratch = p.scratch[:0]
+	for _, pfx := range p.keys {
+		p.scratch = append(p.scratch, snapshot[pfx])
+	}
+	res.ActiveFlows = len(p.scratch)
+
+	// Phase 1 for this interval: detect θ(t) if the interval carries
+	// enough flows; otherwise reuse the running estimate.
+	if res.ActiveFlows >= p.cfg.MinFlows {
+		raw, err := p.cfg.Detector.DetectThreshold(p.scratch)
+		if err != nil {
+			return res, fmt.Errorf("core: interval %d: %w", p.t, err)
+		}
+		res.RawThreshold = raw
+	} else if p.ewma.Initialized() {
+		res.RawThreshold = p.ewma.Value()
+	} else {
+		return res, fmt.Errorf("core: interval %d: only %d active flows and no prior threshold", p.t, res.ActiveFlows)
+	}
+
+	// θ̂(t): for the bootstrap interval the raw threshold doubles as
+	// the smoothed one; afterwards the EWMA value carried over from
+	// previous intervals is used, matching the paper's phase ordering.
+	if !p.ewma.Initialized() {
+		res.Threshold = res.RawThreshold
+	} else {
+		res.Threshold = p.ewma.Value()
+	}
+
+	res.Elephants = p.cfg.Classifier.Classify(snapshot, res.Threshold)
+	for pfx := range res.Elephants {
+		res.ElephantLoad += snapshot[pfx]
+	}
+
+	// Phase 2: fold θ(t) into the EWMA governing interval t+1.
+	p.ewma.Update(res.RawThreshold)
+	p.t++
+	return res, nil
+}
+
+// Threshold returns the current smoothed threshold θ̂ that will be used
+// for the next interval.
+func (p *Pipeline) Threshold() float64 { return p.ewma.Value() }
+
+// Intervals reports how many intervals have been processed.
+func (p *Pipeline) Intervals() int { return p.t }
+
+// Config returns the pipeline's configuration (with defaults applied).
+func (p *Pipeline) Config() Config { return p.cfg }

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// fixedDetector returns a constant threshold, for isolating pipeline
+// mechanics from detection.
+type fixedDetector struct{ theta float64 }
+
+func (d fixedDetector) DetectThreshold([]float64) (float64, error) { return d.theta, nil }
+func (d fixedDetector) Name() string                               { return "fixed" }
+
+func TestNewPipelineValidation(t *testing.T) {
+	det := fixedDetector{10}
+	cls := SingleFeatureClassifier{}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no detector", Config{Classifier: cls, Alpha: 0.5}},
+		{"no classifier", Config{Detector: det, Alpha: 0.5}},
+		{"alpha < 0", Config{Detector: det, Classifier: cls, Alpha: -0.1}},
+		{"alpha = 1", Config{Detector: det, Classifier: cls, Alpha: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := NewPipeline(tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPipelineBootstrapUsesRawThreshold(t *testing.T) {
+	p, err := NewPipeline(Config{Detector: fixedDetector{100}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Step(snap(150, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawThreshold != 100 || res.Threshold != 100 {
+		t.Errorf("bootstrap thresholds: raw=%v used=%v", res.RawThreshold, res.Threshold)
+	}
+	if !res.Elephants[pfx(0)] || res.Elephants[pfx(1)] {
+		t.Errorf("elephants = %v", res.Elephants)
+	}
+}
+
+// TestPipelinePhaseOrdering: interval t classifies with the EWMA carried
+// from intervals < t; theta(t) only affects t+1. This is the paper's
+// two-phase structure.
+func TestPipelinePhaseOrdering(t *testing.T) {
+	seq := []float64{100, 200, 400}
+	i := 0
+	det := detectorFunc(func([]float64) (float64, error) {
+		v := seq[i]
+		i++
+		return v, nil
+	})
+	p, _ := NewPipeline(Config{Detector: det, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+
+	r0, _ := p.Step(snap(1000))
+	if r0.Threshold != 100 { // bootstrap
+		t.Errorf("t0 used %v, want 100", r0.Threshold)
+	}
+	r1, _ := p.Step(snap(1000))
+	// EWMA after t0: 100. t1 classifies with 100, then folds 200:
+	// 0.5*100 + 0.5*200 = 150.
+	if r1.Threshold != 100 {
+		t.Errorf("t1 used %v, want 100 (theta(1) must not affect its own interval)", r1.Threshold)
+	}
+	r2, _ := p.Step(snap(1000))
+	if r2.Threshold != 150 {
+		t.Errorf("t2 used %v, want 150", r2.Threshold)
+	}
+	if got := p.Threshold(); got != 0.5*150+0.5*400 {
+		t.Errorf("post-run EWMA = %v, want 275", got)
+	}
+	if p.Intervals() != 3 {
+		t.Errorf("Intervals = %d", p.Intervals())
+	}
+}
+
+type detectorFunc func([]float64) (float64, error)
+
+func (f detectorFunc) DetectThreshold(b []float64) (float64, error) { return f(b) }
+func (f detectorFunc) Name() string                                 { return "func" }
+
+func TestPipelineMinFlowsReusesThreshold(t *testing.T) {
+	calls := 0
+	det := detectorFunc(func([]float64) (float64, error) {
+		calls++
+		return 100, nil
+	})
+	p, _ := NewPipeline(Config{Detector: det, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 3})
+
+	if _, err := p.Step(snap(10, 20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("detector calls = %d", calls)
+	}
+	// Two flows < MinFlows: detector must not run; previous estimate is
+	// reused.
+	res, err := p.Step(snap(10, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("detector ran on a sparse interval")
+	}
+	if res.RawThreshold != 100 {
+		t.Errorf("reused threshold = %v", res.RawThreshold)
+	}
+}
+
+func TestPipelineSparseFirstIntervalFails(t *testing.T) {
+	p, _ := NewPipeline(Config{Detector: fixedDetector{1}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 5})
+	if _, err := p.Step(snap(10)); err == nil {
+		t.Error("sparse bootstrap interval must fail: no prior threshold exists")
+	}
+}
+
+func TestPipelineResultAccounting(t *testing.T) {
+	p, _ := NewPipeline(Config{Detector: fixedDetector{100}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	res, err := p.Step(snap(150, 250, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveFlows != 3 {
+		t.Errorf("ActiveFlows = %d", res.ActiveFlows)
+	}
+	if res.TotalLoad != 450 {
+		t.Errorf("TotalLoad = %v", res.TotalLoad)
+	}
+	if res.ElephantLoad != 400 {
+		t.Errorf("ElephantLoad = %v", res.ElephantLoad)
+	}
+	if got := res.LoadFraction(); math.Abs(got-400.0/450) > 1e-12 {
+		t.Errorf("LoadFraction = %v", got)
+	}
+	if res.ElephantCount() != 2 {
+		t.Errorf("ElephantCount = %d", res.ElephantCount())
+	}
+}
+
+func TestPipelineIgnoresNonPositiveBandwidths(t *testing.T) {
+	p, _ := NewPipeline(Config{Detector: fixedDetector{10}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	s := map[netip.Prefix]float64{pfx(0): 100, pfx(1): 0, pfx(2): -5}
+	res, err := p.Step(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveFlows != 1 || res.TotalLoad != 100 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestLoadFractionIdleLink(t *testing.T) {
+	r := Result{}
+	if r.LoadFraction() != 0 {
+		t.Error("idle link fraction must be 0")
+	}
+}
+
+// TestPipelineAlphaZeroTracksRaw: with alpha=0 the smoothed threshold is
+// just the previous interval's raw threshold.
+func TestPipelineAlphaZeroTracksRaw(t *testing.T) {
+	seq := []float64{100, 300, 700}
+	i := 0
+	det := detectorFunc(func([]float64) (float64, error) { v := seq[i]; i++; return v, nil })
+	p, _ := NewPipeline(Config{Detector: det, Alpha: 0, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	p.Step(snap(1))
+	r1, _ := p.Step(snap(1))
+	r2, _ := p.Step(snap(1))
+	if r1.Threshold != 100 || r2.Threshold != 300 {
+		t.Errorf("thresholds: t1=%v t2=%v, want 100, 300", r1.Threshold, r2.Threshold)
+	}
+}
+
+// TestPipelineSmoothness: higher alpha must yield a smoother threshold
+// series (lower variance of increments) on noisy raw thresholds — the
+// property the paper's alpha=0.5 choice relies on.
+func TestPipelineSmoothness(t *testing.T) {
+	variance := func(alpha float64) float64 {
+		rng := rand.New(rand.NewSource(50))
+		det := detectorFunc(func([]float64) (float64, error) {
+			return 100 * math.Exp(rng.NormFloat64()), nil
+		})
+		p, _ := NewPipeline(Config{Detector: det, Alpha: alpha, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+		var prev float64
+		var incs []float64
+		for i := 0; i < 300; i++ {
+			res, err := p.Step(snap(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 {
+				incs = append(incs, res.Threshold-prev)
+			}
+			prev = res.Threshold
+		}
+		var mean, m2 float64
+		for _, x := range incs {
+			mean += x
+		}
+		mean /= float64(len(incs))
+		for _, x := range incs {
+			m2 += (x - mean) * (x - mean)
+		}
+		return m2 / float64(len(incs))
+	}
+	v0, v9 := variance(0.01), variance(0.9)
+	if v9 >= v0 {
+		t.Errorf("alpha=0.9 increments variance %v >= alpha=0.01 variance %v", v9, v0)
+	}
+}
+
+func TestPipelineDetectorErrorPropagates(t *testing.T) {
+	det := detectorFunc(func([]float64) (float64, error) {
+		return 0, errTest
+	})
+	p, _ := NewPipeline(Config{Detector: det, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	if _, err := p.Step(snap(1)); err == nil {
+		t.Error("detector error swallowed")
+	}
+}
+
+var errTest = &DetectorError{}
+
+// DetectorError is a test-local error type.
+type DetectorError struct{}
+
+func (*DetectorError) Error() string { return "detector boom" }
+
+func TestPipelineConfigEcho(t *testing.T) {
+	p, _ := NewPipeline(Config{Detector: fixedDetector{1}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}})
+	if p.Config().MinFlows != 16 {
+		t.Errorf("default MinFlows = %d, want 16", p.Config().MinFlows)
+	}
+}
+
+// TestPipelineEndToEndWithLatentHeat is a small integration of pipeline +
+// latent heat + constant-load detection over synthetic two-class traffic:
+// persistent heavies must dominate the elephant set, transient bursters
+// must not enter it.
+func TestPipelineEndToEndWithLatentHeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	det, _ := NewConstantLoadDetector(0.8)
+	lh, _ := NewLatentHeatClassifier(6)
+	p, _ := NewPipeline(Config{Detector: det, Alpha: 0.5, Classifier: lh, MinFlows: 1})
+
+	const heavies, mice = 10, 200
+	var lastElephants map[netip.Prefix]bool
+	for t0 := 0; t0 < 40; t0++ {
+		s := make(map[netip.Prefix]float64)
+		for i := 0; i < heavies; i++ {
+			s[pfx(i)] = 1000 * math.Exp(rng.NormFloat64()*0.2)
+		}
+		for i := heavies; i < heavies+mice; i++ {
+			bw := 5 * math.Exp(rng.NormFloat64()*0.5)
+			if rng.Float64() < 0.01 {
+				bw = 2000 // rare one-interval burst
+			}
+			s[pfx(i)] = bw
+		}
+		res, err := p.Step(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastElephants = res.Elephants
+	}
+	for i := 0; i < heavies; i++ {
+		if !lastElephants[pfx(i)] {
+			t.Errorf("persistent heavy flow %d not in final elephant set", i)
+		}
+	}
+	for p0 := range lastElephants {
+		found := false
+		for i := 0; i < heavies; i++ {
+			if p0 == pfx(i) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("transient flow %v in final elephant set", p0)
+		}
+	}
+}

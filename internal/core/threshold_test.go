@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantLoadValidation(t *testing.T) {
+	for _, beta := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewConstantLoadDetector(beta); err == nil {
+			t.Errorf("beta=%v accepted", beta)
+		}
+	}
+	d, err := NewConstantLoadDetector(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "0.80-constant-load" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestConstantLoadEmptyAndZero(t *testing.T) {
+	d, _ := NewConstantLoadDetector(0.8)
+	if _, err := d.DetectThreshold(nil); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := d.DetectThreshold([]float64{0, 0}); err == nil {
+		t.Error("zero traffic accepted")
+	}
+}
+
+// TestConstantLoadSemantics verifies the paper's definition: the flows
+// strictly exceeding theta account for at least the target fraction of
+// total traffic, and removing the smallest of them drops below it.
+func TestConstantLoadSemantics(t *testing.T) {
+	d, _ := NewConstantLoadDetector(0.8)
+	bws := []float64{100, 50, 30, 10, 5, 3, 1, 1}
+	theta, err := d.DetectThreshold(append([]float64(nil), bws...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, above float64
+	var aboveSet []float64
+	for _, b := range bws {
+		total += b
+		if b > theta {
+			above += b
+			aboveSet = append(aboveSet, b)
+		}
+	}
+	if above < 0.8*total {
+		t.Errorf("flows above theta=%v carry %v < 80%% of %v", theta, above, total)
+	}
+	// Minimality: dropping the smallest elephant must fall below target.
+	sort.Float64s(aboveSet)
+	if len(aboveSet) > 0 && above-aboveSet[0] >= 0.8*total {
+		t.Errorf("theta=%v not minimal: removing %v still meets target", theta, aboveSet[0])
+	}
+}
+
+func TestConstantLoadSingleFlow(t *testing.T) {
+	d, _ := NewConstantLoadDetector(0.8)
+	theta, err := d.DetectThreshold([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta >= 42 {
+		t.Errorf("theta = %v; the only flow must be classifiable as elephant", theta)
+	}
+}
+
+func TestConstantLoadAllEqual(t *testing.T) {
+	d, _ := NewConstantLoadDetector(0.5)
+	bws := []float64{10, 10, 10, 10}
+	theta, err := d.DetectThreshold(bws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two flows carry 50%; theta must be the third flow's bandwidth (10),
+	// which leaves... nothing strictly above 10. Equal-bandwidth ties are
+	// inherently unsplittable; accept theta <= 10.
+	if theta > 10 {
+		t.Errorf("theta = %v > max bandwidth", theta)
+	}
+}
+
+// TestConstantLoadProperty: for random positive inputs, the elephants
+// (strictly above theta) always carry >= beta of the traffic.
+func TestConstantLoadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 200; trial++ {
+		beta := 0.1 + 0.8*rng.Float64()
+		d, _ := NewConstantLoadDetector(beta)
+		n := 1 + rng.Intn(200)
+		bws := make([]float64, n)
+		var total float64
+		for i := range bws {
+			bws[i] = math.Exp(rng.NormFloat64() * 2)
+			total += bws[i]
+		}
+		theta, err := d.DetectThreshold(append([]float64(nil), bws...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var above float64
+		for _, b := range bws {
+			if b > theta {
+				above += b
+			}
+		}
+		// Ties can make the strict-exceed set smaller; tolerate only the
+		// tie mass at theta itself.
+		var tieMass float64
+		for _, b := range bws {
+			if b == theta {
+				tieMass += b
+			}
+		}
+		if above+tieMass < beta*total-1e-9 {
+			t.Fatalf("trial %d: beta=%v theta=%v above=%v total=%v", trial, beta, theta, above, total)
+		}
+	}
+}
+
+func TestConstantLoadSortsDescending(t *testing.T) {
+	// The detector documents that it may reorder its input.
+	d, _ := NewConstantLoadDetector(0.8)
+	bws := []float64{1, 100, 50}
+	if _, err := d.DetectThreshold(bws); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(bws))) {
+		t.Log("input reordering is allowed; this documents the behaviour")
+	}
+}
+
+func TestAestDetectorName(t *testing.T) {
+	if NewAestDetector().Name() != "aest" {
+		t.Error("wrong name")
+	}
+}
+
+func TestAestDetectorEmpty(t *testing.T) {
+	if _, err := NewAestDetector().DetectThreshold(nil); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+// TestAestDetectorHeavyTail: on a clear body+tail mixture, the detector
+// must place the threshold above the body median.
+func TestAestDetectorHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	bws := make([]float64, 0, 8000)
+	for i := 0; i < 7600; i++ {
+		bws = append(bws, math.Exp(rng.NormFloat64()))
+	}
+	for i := 0; i < 400; i++ {
+		u := rng.Float64()
+		bws = append(bws, math.Exp(2.5)*math.Pow(u, -1/1.4))
+	}
+	d := NewAestDetector()
+	theta, err := d.DetectThreshold(bws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), bws...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if theta <= median {
+		t.Errorf("theta = %v at or below the median %v", theta, median)
+	}
+	if d.Detections+d.Fallbacks != 1 {
+		t.Errorf("counters: det=%d fb=%d", d.Detections, d.Fallbacks)
+	}
+}
+
+// TestAestDetectorFallback: small light-tailed samples must fall back to
+// the quantile threshold rather than fail.
+func TestAestDetectorFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bws := make([]float64, 100)
+	for i := range bws {
+		bws[i] = 1 + rng.Float64()
+	}
+	d := NewAestDetector()
+	theta, err := d.DetectThreshold(bws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fallbacks != 1 || d.Detections != 0 {
+		t.Errorf("counters: det=%d fb=%d, want fallback", d.Detections, d.Fallbacks)
+	}
+	// The 0.95 quantile of a sample in (1,2) lies in (1,2).
+	if theta < 1 || theta > 2 {
+		t.Errorf("fallback theta = %v outside sample range", theta)
+	}
+}
+
+func TestAestDetectorCustomFallbackQuantile(t *testing.T) {
+	d := NewAestDetector()
+	d.FallbackQuantile = 0.5
+	bws := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	theta, err := d.DetectThreshold(bws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta > 9 {
+		t.Errorf("theta = %v, expected near the median with FallbackQuantile 0.5", theta)
+	}
+}
+
+// TestDetectorsQuickInvariants: no detector may return a negative or NaN
+// threshold on positive input.
+func TestDetectorsQuickInvariants(t *testing.T) {
+	load, _ := NewConstantLoadDetector(0.8)
+	aest := NewAestDetector()
+	prop := func(raw []float64) bool {
+		bws := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if v := math.Abs(x); v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+				bws = append(bws, math.Mod(v, 1e12)+1e-3)
+			}
+		}
+		if len(bws) == 0 {
+			return true
+		}
+		for _, det := range []Detector{load, aest} {
+			theta, err := det.DetectThreshold(append([]float64(nil), bws...))
+			if err != nil {
+				return false
+			}
+			if math.IsNaN(theta) || theta < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

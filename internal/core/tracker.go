@@ -1,0 +1,152 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// Tracker maintains the per-flow two-state process I_j(t) online: feed
+// it each interval's elephant set and it keeps, per flow, the visit
+// count, current and completed holding times, and transition totals —
+// the quantities package analysis derives after the fact, but available
+// streaming for a live deployment (e.g. to expose as metrics or to gate
+// reroutes on a minimum dwell time).
+type Tracker struct {
+	t     int
+	flows map[netip.Prefix]*flowTrack
+
+	// Promotions and Demotions count state transitions across all flows.
+	Promotions, Demotions int
+}
+
+type flowTrack struct {
+	elephant   bool
+	curRun     int   // length of the current elephant run
+	runs       []int // completed run lengths
+	lastChange int   // interval of the last transition
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{flows: make(map[netip.Prefix]*flowTrack)}
+}
+
+// Observe folds one interval's elephant set in. Flows absent from the
+// set (including never-seen flows) are mice for the interval. Calls must
+// be made in interval order.
+func (tr *Tracker) Observe(elephants map[netip.Prefix]bool) {
+	// Demote tracked elephants that left the set.
+	for p, ft := range tr.flows {
+		if ft.elephant && !elephants[p] {
+			ft.elephant = false
+			ft.runs = append(ft.runs, ft.curRun)
+			ft.curRun = 0
+			ft.lastChange = tr.t
+			tr.Demotions++
+		}
+	}
+	// Promote or extend members.
+	for p := range elephants {
+		ft, ok := tr.flows[p]
+		if !ok {
+			ft = &flowTrack{}
+			tr.flows[p] = ft
+		}
+		if !ft.elephant {
+			ft.elephant = true
+			ft.lastChange = tr.t
+			tr.Promotions++
+		}
+		ft.curRun++
+	}
+	tr.t++
+}
+
+// Intervals reports how many intervals have been observed.
+func (tr *Tracker) Intervals() int { return tr.t }
+
+// State returns the flow's current class.
+func (tr *Tracker) State(p netip.Prefix) Class {
+	if ft, ok := tr.flows[p]; ok && ft.elephant {
+		return Elephant
+	}
+	return Mouse
+}
+
+// CurrentRun returns the length (in intervals) of the flow's ongoing
+// elephant run; zero for mice.
+func (tr *Tracker) CurrentRun(p netip.Prefix) int {
+	if ft, ok := tr.flows[p]; ok {
+		return ft.curRun
+	}
+	return 0
+}
+
+// HoldingStat summarises one flow's elephant-state visits.
+type HoldingStat struct {
+	Flow netip.Prefix
+	// Visits counts completed plus ongoing elephant runs.
+	Visits int
+	// MeanHolding is the average run length in intervals, counting the
+	// ongoing run at its current length (the paper's busy-window
+	// convention for runs open at the edge).
+	MeanHolding float64
+	// Elephant reports whether the flow is currently in the class.
+	Elephant bool
+}
+
+// Holdings returns per-flow holding statistics for every flow that ever
+// entered the elephant state, sorted by flow for deterministic output.
+func (tr *Tracker) Holdings() []HoldingStat {
+	out := make([]HoldingStat, 0, len(tr.flows))
+	for p, ft := range tr.flows {
+		runs := len(ft.runs)
+		total := 0
+		for _, r := range ft.runs {
+			total += r
+		}
+		if ft.curRun > 0 {
+			runs++
+			total += ft.curRun
+		}
+		if runs == 0 {
+			continue
+		}
+		out = append(out, HoldingStat{
+			Flow:        p,
+			Visits:      runs,
+			MeanHolding: float64(total) / float64(runs),
+			Elephant:    ft.elephant,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Flow.Addr().Compare(out[j].Flow.Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Flow.Bits() < out[j].Flow.Bits()
+	})
+	return out
+}
+
+// MeanHolding returns the across-flow mean of per-flow average holding
+// times, in intervals (0 when no flow was ever an elephant).
+func (tr *Tracker) MeanHolding() float64 {
+	hs := tr.Holdings()
+	if len(hs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range hs {
+		sum += h.MeanHolding
+	}
+	return sum / float64(len(hs))
+}
+
+// Reset clears all state.
+func (tr *Tracker) Reset() {
+	tr.t = 0
+	tr.Promotions, tr.Demotions = 0, 0
+	for p := range tr.flows {
+		delete(tr.flows, p)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func observePattern(tr *Tracker, id int, pattern string) {
+	// Build per-interval sets for a single flow pattern.
+	for _, c := range pattern {
+		set := map[netip.Prefix]bool{}
+		if c == 'E' {
+			set[pfx(id)] = true
+		}
+		tr.Observe(set)
+	}
+}
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker()
+	observePattern(tr, 0, "EE..E")
+	if tr.Intervals() != 5 {
+		t.Fatalf("intervals = %d", tr.Intervals())
+	}
+	if tr.Promotions != 2 || tr.Demotions != 1 {
+		t.Errorf("promotions=%d demotions=%d, want 2, 1", tr.Promotions, tr.Demotions)
+	}
+	if tr.State(pfx(0)) != Elephant {
+		t.Error("final state should be elephant")
+	}
+	if tr.CurrentRun(pfx(0)) != 1 {
+		t.Errorf("current run = %d", tr.CurrentRun(pfx(0)))
+	}
+	hs := tr.Holdings()
+	if len(hs) != 1 {
+		t.Fatalf("holdings = %d", len(hs))
+	}
+	// Runs: 2 (completed) + 1 (ongoing) -> mean 1.5 over 2 visits.
+	if hs[0].Visits != 2 || hs[0].MeanHolding != 1.5 || !hs[0].Elephant {
+		t.Errorf("holding = %+v", hs[0])
+	}
+}
+
+func TestTrackerNeverElephant(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(map[netip.Prefix]bool{})
+	tr.Observe(map[netip.Prefix]bool{})
+	if tr.State(pfx(1)) != Mouse || tr.CurrentRun(pfx(1)) != 0 {
+		t.Error("unknown flow must be a mouse with no run")
+	}
+	if len(tr.Holdings()) != 0 || tr.MeanHolding() != 0 {
+		t.Error("no holdings expected")
+	}
+}
+
+func TestTrackerMultipleFlows(t *testing.T) {
+	tr := NewTracker()
+	sets := []map[netip.Prefix]bool{
+		{pfx(0): true, pfx(1): true},
+		{pfx(0): true},
+		{pfx(0): true, pfx(2): true},
+	}
+	for _, s := range sets {
+		tr.Observe(s)
+	}
+	if got := tr.CurrentRun(pfx(0)); got != 3 {
+		t.Errorf("flow 0 run = %d", got)
+	}
+	if tr.State(pfx(1)) != Mouse {
+		t.Error("flow 1 should have been demoted")
+	}
+	if got := tr.CurrentRun(pfx(2)); got != 1 {
+		t.Errorf("flow 2 run = %d", got)
+	}
+	hs := tr.Holdings()
+	if len(hs) != 3 {
+		t.Fatalf("holdings = %d", len(hs))
+	}
+	// Deterministic order by prefix.
+	for i := 1; i < len(hs); i++ {
+		if hs[i-1].Flow.Addr().Compare(hs[i].Flow.Addr()) > 0 {
+			t.Error("holdings not sorted")
+		}
+	}
+}
+
+// TestTrackerAgreesWithAnalysis: the online tracker must produce the
+// same mean holding as the post-hoc analysis over the full window.
+func TestTrackerAgreesWithAnalysis(t *testing.T) {
+	patterns := map[int]string{
+		0: "EEEE....EE",
+		1: "E..E..E...",
+		2: "..EEE..EEE",
+	}
+	tr := NewTracker()
+	n := len(patterns[0])
+	for i := 0; i < n; i++ {
+		set := map[netip.Prefix]bool{}
+		for id, p := range patterns {
+			if p[i] == 'E' {
+				set[pfx(id)] = true
+			}
+		}
+		tr.Observe(set)
+	}
+	// Hand-computed: flow0 runs {4,2}: mean 3; flow1 {1,1,1}: 1;
+	// flow2 {3,3}: 3. Across-flow mean = (3+1+3)/3.
+	want := (3.0 + 1 + 3) / 3
+	if got := tr.MeanHolding(); got != want {
+		t.Errorf("MeanHolding = %v, want %v", got, want)
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker()
+	observePattern(tr, 0, "EE")
+	tr.Reset()
+	if tr.Intervals() != 0 || tr.Promotions != 0 || len(tr.Holdings()) != 0 {
+		t.Error("reset incomplete")
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// AblationRow summarises one parameter setting of an ablation sweep.
+type AblationRow struct {
+	// Param names the swept parameter ("alpha", "window", "beta").
+	Param string
+	// Value is the parameter's value for the row.
+	Value float64
+	// MeanElephants is the run-wide average elephant count.
+	MeanElephants float64
+	// MeanLoadFraction is the run-wide average elephant load fraction.
+	MeanLoadFraction float64
+	// MeanHoldingIntervals is the busy-window mean holding time.
+	MeanHoldingIntervals float64
+	// SingleIntervalFlows counts one-interval elephants in the busy
+	// window.
+	SingleIntervalFlows int
+	// ThresholdCV is the coefficient of variation of the smoothed
+	// threshold series — the smoothness the EWMA is meant to provide.
+	ThresholdCV float64
+	// Reclassifications counts promotions+demotions over the run, a
+	// direct churn measure.
+	Reclassifications int
+}
+
+// sweepRow runs one scheme variant over series and summarises it.
+func sweepRow(ls *LinkSet, sc SchemeConfig, param string, value float64) (AblationRow, error) {
+	res, err := RunScheme(ls.West, sc)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("experiments: ablation %s=%v: %w", param, value, err)
+	}
+	busy := busySlots(ls.Cfg.Interval)
+	if busy > len(res) {
+		busy = len(res)
+	}
+	from, to, err := analysis.BusyWindow(res, busy)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	st := analysis.HoldingTimes(res, from, to)
+	tc := analysis.Transitions(res, 0, len(res))
+
+	// Coefficient of variation of θ̂(t).
+	var sum, sumsq float64
+	for i := range res {
+		sum += res[i].Threshold
+	}
+	mean := sum / float64(len(res))
+	for i := range res {
+		d := res[i].Threshold - mean
+		sumsq += d * d
+	}
+	cv := 0.0
+	if mean > 0 {
+		cv = math.Sqrt(sumsq/float64(len(res))) / mean
+	}
+
+	return AblationRow{
+		Param:                param,
+		Value:                value,
+		MeanElephants:        analysis.MeanInt(analysis.CountSeries(res)),
+		MeanLoadFraction:     analysis.MeanFloat(analysis.FractionSeries(res)),
+		MeanHoldingIntervals: st.MeanHolding,
+		SingleIntervalFlows:  st.SingleIntervalFlows,
+		ThresholdCV:          cv,
+		Reclassifications:    tc.Promotions + tc.Demotions,
+	}, nil
+}
+
+// AblationAlpha sweeps the EWMA weight α of the threshold update. The
+// paper settles on α = 0.5 as "sufficiently smooth"; the sweep shows the
+// smoothness/adaptivity trade-off that motivates it.
+func AblationAlpha(ls *LinkSet, alphas []float64) ([]AblationRow, error) {
+	if len(alphas) == 0 {
+		alphas = []float64{0, 0.25, 0.5, 0.75, 0.9}
+	}
+	rows := make([]AblationRow, 0, len(alphas))
+	for _, a := range alphas {
+		sc := SchemeConfig{LatentHeat: true, Alpha: a}
+		if a == 0 {
+			// SchemeConfig.defaults treats 0 as unset; encode "no
+			// smoothing" as a tiny epsilon that the pipeline accepts.
+			sc.Alpha = 1e-9
+		}
+		row, err := sweepRow(ls, sc, "alpha", a)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationWindow sweeps the latent-heat window W. The paper uses 12
+// slots (one hour); the sweep shows how persistence filtering scales
+// with memory length.
+func AblationWindow(ls *LinkSet, windows []int) ([]AblationRow, error) {
+	if len(windows) == 0 {
+		windows = []int{1, 6, 12, 24}
+	}
+	rows := make([]AblationRow, 0, len(windows))
+	for _, w := range windows {
+		sc := SchemeConfig{LatentHeat: true, Window: w}
+		row, err := sweepRow(ls, sc, "window", float64(w))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationBeta sweeps the constant-load target fraction β. The paper
+// uses β = 0.8.
+func AblationBeta(ls *LinkSet, betas []float64) ([]AblationRow, error) {
+	if len(betas) == 0 {
+		betas = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	rows := make([]AblationRow, 0, len(betas))
+	for _, b := range betas {
+		sc := SchemeConfig{LatentHeat: true, Beta: b}
+		row, err := sweepRow(ls, sc, "beta", b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SmallConfig returns a reduced LinksConfig suitable for unit tests and
+// quick benchmark iterations: same structure, two orders of magnitude
+// less work.
+func SmallConfig() LinksConfig {
+	return LinksConfig{
+		Routes:    4000,
+		Flows:     1500,
+		Intervals: 96, // 8 hours of 5-minute slots
+		Interval:  5 * time.Minute,
+		Seed:      7,
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+// BaselineRow compares one classification strategy on the stability
+// metrics the paper cares about. It quantifies what the paper's adaptive
+// threshold and latent-heat persistence buy over the rules operational
+// tooling used: a static absolute threshold and the top-K talkers.
+type BaselineRow struct {
+	// Strategy names the classifier/detector combination.
+	Strategy string
+	// MeanElephants is the run-wide average elephant count.
+	MeanElephants float64
+	// MeanLoadFraction is the run-wide average elephant load share.
+	MeanLoadFraction float64
+	// LoadFractionCV is the coefficient of variation of the load share —
+	// how predictable the elephant-path load is for a TE system.
+	LoadFractionCV float64
+	// CountCV is the coefficient of variation of the per-interval
+	// elephant count. A fixed absolute threshold lets the count swing
+	// with the diurnal load; adaptive detection keeps it stable.
+	CountCV float64
+	// MeanHoldingIntervals is the busy-window mean holding time.
+	MeanHoldingIntervals float64
+	// SingleIntervalFlows counts busy-window one-interval elephants.
+	SingleIntervalFlows int
+	// Reclassifications counts promotions+demotions over the whole run.
+	Reclassifications int
+	// MeanSetJaccard is the average Jaccard similarity of consecutive
+	// elephant sets — membership stability, which a fixed count (top-K)
+	// cannot fake.
+	MeanSetJaccard float64
+}
+
+// BaselineComparison runs the paper's scheme (0.8-constant-load + latent
+// heat) against fixed-threshold and top-K baselines on the west link.
+// The fixed threshold is set "optimally in hindsight" to the run's mean
+// adaptive threshold; K is set to the paper scheme's mean elephant
+// count, so each baseline gets its best shot.
+func BaselineComparison(ls *LinkSet) ([]BaselineRow, error) {
+	// Reference run: the paper's scheme.
+	ref, err := RunScheme(ls.West, SchemeConfig{LatentHeat: true})
+	if err != nil {
+		return nil, err
+	}
+	var thetaSum float64
+	for i := range ref {
+		thetaSum += ref[i].Threshold
+	}
+	meanTheta := thetaSum / float64(len(ref))
+	meanCount := analysis.MeanInt(analysis.CountSeries(ref))
+	k := int(meanCount + 0.5)
+	if k < 1 {
+		k = 1
+	}
+
+	fixedDet, err := baseline.NewFixedThresholdDetector(meanTheta)
+	if err != nil {
+		return nil, err
+	}
+	topK, err := baseline.NewTopKClassifier(k)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := core.NewConstantLoadDetector(0.8)
+	if err != nil {
+		return nil, err
+	}
+
+	type strategy struct {
+		name string
+		det  core.Detector
+		cls  core.Classifier
+	}
+	strategies := []strategy{
+		{"paper: 0.8-load + latent heat", nil, nil}, // precomputed ref
+		{"single-feature 0.8-load", cl, core.SingleFeatureClassifier{}},
+		{fmt.Sprintf("fixed threshold (%.2g b/s)", meanTheta), fixedDet, core.SingleFeatureClassifier{}},
+		{fmt.Sprintf("top-%d talkers", k), cl, topK},
+	}
+
+	rows := make([]BaselineRow, 0, len(strategies))
+	for i, st := range strategies {
+		results := ref
+		if i > 0 {
+			pipe, err := core.NewPipeline(core.Config{Detector: st.det, Alpha: 0.5, Classifier: st.cls})
+			if err != nil {
+				return nil, err
+			}
+			results = make([]core.Result, 0, ls.West.Intervals)
+			var snap map[netip.Prefix]float64
+			for t := 0; t < ls.West.Intervals; t++ {
+				snap = ls.West.IntervalSnapshot(t, snap)
+				res, err := pipe.Step(snap)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, err)
+				}
+				results = append(results, res)
+			}
+		}
+		row, err := summarizeBaseline(st.name, results, ls.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func summarizeBaseline(name string, results []core.Result, cfg LinksConfig) (BaselineRow, error) {
+	busy := busySlots(cfg.Interval)
+	if busy > len(results) {
+		busy = len(results)
+	}
+	from, to, err := analysis.BusyWindow(results, busy)
+	if err != nil {
+		return BaselineRow{}, err
+	}
+	st := analysis.HoldingTimes(results, from, to)
+	tc := analysis.Transitions(results, 0, len(results))
+	fracs := analysis.FractionSeries(results)
+	mean := analysis.MeanFloat(fracs)
+	counts := analysis.CountSeries(results)
+	return BaselineRow{
+		Strategy:             name,
+		MeanElephants:        analysis.MeanInt(counts),
+		MeanLoadFraction:     mean,
+		LoadFractionCV:       cvFloat(fracs, mean),
+		CountCV:              cvInt(counts),
+		MeanHoldingIntervals: st.MeanHolding,
+		SingleIntervalFlows:  st.SingleIntervalFlows,
+		Reclassifications:    tc.Promotions + tc.Demotions,
+		MeanSetJaccard:       analysis.Stability(results).MeanJaccard,
+	}, nil
+}
+
+// cvFloat returns the coefficient of variation of xs given its mean.
+func cvFloat(xs []float64, mean float64) float64 {
+	if mean <= 0 || len(xs) == 0 {
+		return 0
+	}
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(m2/float64(len(xs))) / mean
+}
+
+// cvInt returns the coefficient of variation of an integer series.
+func cvInt(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		fs[i] = float64(x)
+		sum += fs[i]
+	}
+	if len(fs) == 0 {
+		return 0
+	}
+	return cvFloat(fs, sum/float64(len(fs)))
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// smallLinks builds a reduced two-link setup shared by the tests in this
+// file. Sized to keep the full suite fast while leaving enough flows for
+// the statistical claims to hold.
+func smallLinks(t *testing.T) *LinkSet {
+	t.Helper()
+	ls, err := BuildLinks(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+func TestBuildLinksDefaultsAndDeterminism(t *testing.T) {
+	cfg := SmallConfig()
+	a, err := BuildLinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildLinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.West.NumFlows() != b.West.NumFlows() {
+		t.Fatal("flow population not deterministic")
+	}
+	for tt := 0; tt < a.West.Intervals; tt += 13 {
+		if a.West.TotalBandwidth(tt) != b.West.TotalBandwidth(tt) {
+			t.Fatalf("interval %d: totals differ", tt)
+		}
+	}
+	if a.East.NumFlows() >= a.West.NumFlows() {
+		t.Errorf("east flows %d >= west flows %d", a.East.NumFlows(), a.West.NumFlows())
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	cases := []struct {
+		sc   SchemeConfig
+		want string
+	}{
+		{SchemeConfig{}, "0.80-constant-load"},
+		{SchemeConfig{Beta: 0.5}, "0.50-constant-load"},
+		{SchemeConfig{UseAest: true}, "aest"},
+		{SchemeConfig{UseAest: true, LatentHeat: true}, "aest+latent-heat"},
+		{SchemeConfig{LatentHeat: true}, "0.80-constant-load+latent-heat"},
+	}
+	for _, tc := range cases {
+		if got := tc.sc.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestRunSchemeProducesOneResultPerInterval(t *testing.T) {
+	ls := smallLinks(t)
+	res, err := RunScheme(ls.West, SchemeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != ls.West.Intervals {
+		t.Fatalf("results = %d, want %d", len(res), ls.West.Intervals)
+	}
+	for i, r := range res {
+		if r.Interval != i {
+			t.Fatalf("result %d has interval %d", i, r.Interval)
+		}
+		if r.ActiveFlows == 0 || r.TotalLoad <= 0 {
+			t.Fatalf("interval %d: empty (%+v)", i, r)
+		}
+	}
+}
+
+// TestConstantLoadHitsTarget: without latent heat, the 0.8-constant-load
+// scheme must apportion ≈80% of traffic to elephants by construction.
+func TestConstantLoadHitsTarget(t *testing.T) {
+	ls := smallLinks(t)
+	res, err := RunScheme(ls.West, SchemeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := analysis.MeanFloat(analysis.FractionSeries(res))
+	if fr < 0.70 || fr > 0.90 {
+		t.Errorf("single-feature 0.8-load fraction = %.3f, want ≈ 0.8", fr)
+	}
+}
+
+// TestLatentHeatReducesChurn is the paper's central claim at test scale:
+// versus single-feature classification, the latent-heat scheme must
+// (a) lengthen mean elephant holding times by at least 2x,
+// (b) cut single-interval elephants by at least 5x,
+// (c) keep the elephant load fraction within 25% of the single-feature
+//
+//	value.
+func TestLatentHeatReducesChurn(t *testing.T) {
+	ls := smallLinks(t)
+	for _, useAest := range []bool{false, true} {
+		single, err := RunScheme(ls.West, SchemeConfig{UseAest: useAest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := RunScheme(ls.West, SchemeConfig{UseAest: useAest, LatentHeat: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		busy := 60
+		f1, t1, err := analysis.BusyWindow(single, busy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, t2, err := analysis.BusyWindow(two, busy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1 := analysis.HoldingTimes(single, f1, t1)
+		h2 := analysis.HoldingTimes(two, f2, t2)
+
+		if h2.MeanHolding < 2*h1.MeanHolding {
+			t.Errorf("aest=%v: holding %0.1f -> %0.1f, want >= 2x", useAest, h1.MeanHolding, h2.MeanHolding)
+		}
+		if h1.SingleIntervalFlows < 5*h2.SingleIntervalFlows {
+			t.Errorf("aest=%v: 1-slot flows %d -> %d, want >= 5x drop", useAest, h1.SingleIntervalFlows, h2.SingleIntervalFlows)
+		}
+		fr1 := analysis.MeanFloat(analysis.FractionSeries(single))
+		fr2 := analysis.MeanFloat(analysis.FractionSeries(two))
+		if fr2 < fr1*0.75 || fr2 > fr1*1.25 {
+			t.Errorf("aest=%v: fraction %0.3f -> %0.3f drifted more than 25%%", useAest, fr1, fr2)
+		}
+	}
+}
+
+func TestRunFigure1Labels(t *testing.T) {
+	ls := smallLinks(t)
+	runs, err := RunFigure1(ls, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(runs))
+	}
+	want := map[string]bool{
+		"constant load (west coast)": true,
+		"aest (west coast)":          true,
+		"constant load (east coast)": true,
+		"aest (east coast)":          true,
+	}
+	for _, r := range runs {
+		if !want[r.Label()] {
+			t.Errorf("unexpected label %q", r.Label())
+		}
+		delete(want, r.Label())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing labels: %v", want)
+	}
+}
+
+func TestFig1Extractors(t *testing.T) {
+	ls := smallLinks(t)
+	runs, err := RunFigure1(ls, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := Fig1a(runs)
+	fracs := Fig1b(runs)
+	if len(counts) != 4 || len(fracs) != 4 {
+		t.Fatal("series count")
+	}
+	for i := range counts {
+		if len(counts[i].Values) != ls.Cfg.Intervals {
+			t.Errorf("series %d: %d values", i, len(counts[i].Values))
+		}
+		for _, v := range fracs[i].Values {
+			if v < 0 || v > 1 {
+				t.Errorf("fraction %v out of [0,1]", v)
+			}
+		}
+	}
+	cres, err := Fig1c(runs, Fig1cConfig{BusyIntervals: 48, MaxBins: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cres {
+		if len(r.Histogram) != 30 {
+			t.Errorf("histogram bins = %d", len(r.Histogram))
+		}
+		if r.BusyTo-r.BusyFrom != 48 {
+			t.Errorf("busy window = [%d,%d)", r.BusyFrom, r.BusyTo)
+		}
+		sum := 0
+		for _, c := range r.Histogram {
+			sum += c
+		}
+		if sum != r.Stats.Flows {
+			t.Errorf("histogram mass %d != flows %d", sum, r.Stats.Flows)
+		}
+	}
+	series := Fig1cSeries(cres)
+	if len(series) != 4 {
+		t.Errorf("Fig1cSeries = %d", len(series))
+	}
+}
+
+func TestVolatilityClaims(t *testing.T) {
+	ls := smallLinks(t)
+	single, err := SingleFeatureVolatility(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := TwoFeatureStability(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 4 || len(two) != 4 {
+		t.Fatal("expected 4 runs each")
+	}
+	for i := range single {
+		if single[i].MeanHolding <= 0 || two[i].MeanHolding <= 0 {
+			t.Fatalf("non-positive holding times")
+		}
+		if two[i].MeanHolding < single[i].MeanHolding {
+			t.Errorf("%s: latent heat shortened holding (%v -> %v)",
+				single[i].Run.Label(), single[i].MeanHolding, two[i].MeanHolding)
+		}
+	}
+}
+
+func TestPrefixLengthClaim(t *testing.T) {
+	ls := smallLinks(t)
+	rows, err := PrefixLength(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Stats.TotalElephantFlows() == 0 {
+			t.Fatalf("%s: no elephants", r.Run.Label())
+		}
+		// The paper's claim: elephant prefix lengths span a wide range,
+		// i.e. prefix size does not determine elephant status.
+		if r.Stats.MaxLen-r.Stats.MinLen < 8 {
+			t.Errorf("%s: elephant lengths span only /%d-/%d", r.Run.Label(), r.Stats.MinLen, r.Stats.MaxLen)
+		}
+		// /8s must not dominate the elephant set.
+		if r.Stats.ElephantSlash8 > r.Stats.TotalElephantFlows()/10 {
+			t.Errorf("%s: %d of %d elephants are /8s", r.Run.Label(), r.Stats.ElephantSlash8, r.Stats.TotalElephantFlows())
+		}
+	}
+}
+
+func TestIntervalSensitivityRows(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Intervals = 48 // keep the 1-minute regeneration affordable
+	rows, err := IntervalSensitivity(cfg,
+		[]time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute},
+		SchemeConfig{LatentHeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanElephants <= 0 {
+			t.Errorf("%v: no elephants", r.Interval)
+		}
+		if r.MeanLoadFraction <= 0 || r.MeanLoadFraction > 1 {
+			t.Errorf("%v: fraction %v", r.Interval, r.MeanLoadFraction)
+		}
+	}
+	// The 5- and 10-minute rows see literally rebinned versions of the
+	// same traffic: their load fractions must be within 30%.
+	if a, b := rows[1].MeanLoadFraction, rows[2].MeanLoadFraction; a/b > 1.3 || b/a > 1.3 {
+		t.Errorf("5m vs 10m fractions diverge: %v vs %v", a, b)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	ls := smallLinks(t)
+	alpha, err := AblationAlpha(ls, []float64{0.25, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alpha) != 3 {
+		t.Fatal("alpha rows")
+	}
+	// Threshold smoothness (CV) must decrease with alpha.
+	if !(alpha[2].ThresholdCV < alpha[0].ThresholdCV) {
+		t.Errorf("alpha 0.9 CV %v not below alpha 0.25 CV %v", alpha[2].ThresholdCV, alpha[0].ThresholdCV)
+	}
+
+	window, err := AblationWindow(ls, []int{1, 12, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer windows mean longer holding and fewer reclassifications.
+	if !(window[2].MeanHoldingIntervals > window[0].MeanHoldingIntervals) {
+		t.Errorf("W=24 holding %v not above W=1 %v", window[2].MeanHoldingIntervals, window[0].MeanHoldingIntervals)
+	}
+	if !(window[2].Reclassifications < window[0].Reclassifications) {
+		t.Errorf("W=24 reclass %d not below W=1 %d", window[2].Reclassifications, window[0].Reclassifications)
+	}
+
+	beta, err := AblationBeta(ls, []float64{0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher beta -> lower threshold -> more elephants, more load.
+	if !(beta[1].MeanElephants > beta[0].MeanElephants) {
+		t.Errorf("beta 0.8 elephants %v not above beta 0.5 %v", beta[1].MeanElephants, beta[0].MeanElephants)
+	}
+	if !(beta[1].MeanLoadFraction > beta[0].MeanLoadFraction) {
+		t.Errorf("beta 0.8 fraction %v not above beta 0.5 %v", beta[1].MeanLoadFraction, beta[0].MeanLoadFraction)
+	}
+}

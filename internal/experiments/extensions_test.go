@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestBaselineComparison(t *testing.T) {
+	// A full diurnal cycle: the fixed-threshold baseline only shows its
+	// weakness when the load actually swings through day and night.
+	cfg := SmallConfig()
+	cfg.Intervals = 288 // 24 hours of 5-minute slots
+	ls, err := BuildLinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := BaselineComparison(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	paper := rows[0]
+	var single, fixed, topk *BaselineRow
+	for i := range rows[1:] {
+		r := &rows[i+1]
+		switch {
+		case r.Strategy == "single-feature 0.8-load":
+			single = r
+		case len(r.Strategy) > 5 && r.Strategy[:5] == "fixed":
+			fixed = r
+		case len(r.Strategy) > 3 && r.Strategy[:4] == "top-":
+			topk = r
+		}
+	}
+	if single == nil || fixed == nil || topk == nil {
+		t.Fatalf("strategies missing: %+v", rows)
+	}
+	// The paper's scheme must beat every baseline on churn.
+	for _, b := range []*BaselineRow{single, fixed, topk} {
+		if paper.Reclassifications >= b.Reclassifications {
+			t.Errorf("paper scheme reclass %d not below %s's %d",
+				paper.Reclassifications, b.Strategy, b.Reclassifications)
+		}
+		if paper.MeanHoldingIntervals <= b.MeanHoldingIntervals {
+			t.Errorf("paper scheme holding %v not above %s's %v",
+				paper.MeanHoldingIntervals, b.Strategy, b.MeanHoldingIntervals)
+		}
+	}
+	// The fixed threshold is tuned in hindsight, so its mean load can
+	// match; but over a diurnal cycle its elephant count must swing far
+	// more than the adaptive scheme's.
+	if fixed.CountCV <= paper.CountCV {
+		t.Errorf("fixed-threshold count CV %v not above adaptive %v",
+			fixed.CountCV, paper.CountCV)
+	}
+}
+
+func TestConcentration(t *testing.T) {
+	ls := smallLinks(t)
+	rows, err := Concentration(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 per link)", len(rows))
+	}
+	for _, r := range rows {
+		// The elephants-and-mice premise: strong concentration.
+		if r.Gini < 0.5 {
+			t.Errorf("%s@%d: Gini %v too equal for backbone traffic", r.Link, r.Interval, r.Gini)
+		}
+		if r.Top10Share < 0.5 {
+			t.Errorf("%s@%d: top 10%% carries only %v", r.Link, r.Interval, r.Top10Share)
+		}
+		if r.Top1Share >= r.Top10Share {
+			t.Errorf("%s@%d: top1 %v >= top10 %v", r.Link, r.Interval, r.Top1Share, r.Top10Share)
+		}
+		if r.Flows <= 0 {
+			t.Errorf("%s@%d: no flows", r.Link, r.Interval)
+		}
+	}
+}
+
+func TestSamplingImpact(t *testing.T) {
+	ls := smallLinks(t)
+	rows, err := SamplingImpact(ls, []int{1, 100}, SchemeConfig{LatentHeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	unsampled, sampled := rows[0], rows[1]
+	if unsampled.MeanJaccard < 0.999 {
+		t.Errorf("rate-1 run must match the reference: jaccard %v", unsampled.MeanJaccard)
+	}
+	// 1-in-100 sampling must still identify essentially the same
+	// elephants: they are heavy, so their packet counts survive
+	// thinning. This is the robustness property that made sampled
+	// NetFlow usable for heavy-hitter work.
+	if sampled.MeanJaccard < 0.75 {
+		t.Errorf("1-in-100 jaccard %v, want > 0.75", sampled.MeanJaccard)
+	}
+	if sampled.MeanLoadFraction < unsampled.MeanLoadFraction*0.85 {
+		t.Errorf("sampled run lost load coverage: %v vs %v",
+			sampled.MeanLoadFraction, unsampled.MeanLoadFraction)
+	}
+	if sampled.MeanElephants <= 0 || sampled.MeanHoldingIntervals <= 0 {
+		t.Errorf("degenerate sampled row: %+v", sampled)
+	}
+}
+
+func TestSamplingImpactRejectsBadRate(t *testing.T) {
+	ls := smallLinks(t)
+	if _, err := SamplingImpact(ls, []int{0}, SchemeConfig{}); err == nil {
+		t.Error("rate 0 accepted")
+	}
+}
+
+func TestBaselineSetJaccard(t *testing.T) {
+	ls := smallLinks(t)
+	rows, err := BaselineComparison(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := rows[0]
+	if paper.MeanSetJaccard <= 0 || paper.MeanSetJaccard > 1 {
+		t.Fatalf("paper jaccard = %v", paper.MeanSetJaccard)
+	}
+	// The paper's scheme must keep membership more stable than every
+	// baseline.
+	for _, r := range rows[1:] {
+		if r.MeanSetJaccard >= paper.MeanSetJaccard {
+			t.Errorf("%s jaccard %v >= paper %v", r.Strategy, r.MeanSetJaccard, paper.MeanSetJaccard)
+		}
+	}
+}

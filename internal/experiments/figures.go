@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// FigureRun is one (scheme, link) combination with its per-interval
+// classification results.
+type FigureRun struct {
+	// Scheme is the configuration that produced the run.
+	Scheme SchemeConfig
+	// Link is "west" or "east".
+	Link string
+	// Results holds one entry per measurement interval.
+	Results []core.Result
+}
+
+// Label returns the legend label used in the figures, matching the
+// paper's: "constant load (west coast)", "aest (east coast)".
+func (r FigureRun) Label() string {
+	base := "constant load"
+	if r.Scheme.UseAest {
+		base = "aest"
+	}
+	return fmt.Sprintf("%s (%s coast)", base, r.Link)
+}
+
+// RunFigure1 executes the four runs of Figure 1 — {0.8-constant-load,
+// aest} × {west, east} — with the latent-heat metric switched as
+// requested (the paper's Figure 1 has it on).
+func RunFigure1(ls *LinkSet, latentHeat bool) ([]FigureRun, error) {
+	schemes := []SchemeConfig{
+		{UseAest: false, LatentHeat: latentHeat},
+		{UseAest: true, LatentHeat: latentHeat},
+	}
+	links := []struct {
+		name   string
+		series *agg.Series
+	}{
+		{"west", ls.West},
+		{"east", ls.East},
+	}
+	runs := make([]FigureRun, 0, 4)
+	for _, link := range links {
+		for _, sc := range schemes {
+			res, err := RunScheme(link.series, sc)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure 1 run %s/%s: %w", sc.Name(), link.name, err)
+			}
+			runs = append(runs, FigureRun{Scheme: sc, Link: link.name, Results: res})
+		}
+	}
+	return runs, nil
+}
+
+// Fig1a extracts the per-interval elephant-count series of Figure 1(a),
+// one per run.
+func Fig1a(runs []FigureRun) []report.Series {
+	out := make([]report.Series, len(runs))
+	for i, r := range runs {
+		out[i] = report.Series{
+			Label:  r.Label(),
+			Values: report.IntsToFloats(analysis.CountSeries(r.Results)),
+		}
+	}
+	return out
+}
+
+// Fig1b extracts the per-interval elephant traffic-fraction series of
+// Figure 1(b), one per run.
+func Fig1b(runs []FigureRun) []report.Series {
+	out := make([]report.Series, len(runs))
+	for i, r := range runs {
+		out[i] = report.Series{
+			Label:  r.Label(),
+			Values: analysis.FractionSeries(r.Results),
+		}
+	}
+	return out
+}
+
+// Fig1cConfig parameterises the holding-time histogram of Figure 1(c).
+type Fig1cConfig struct {
+	// BusyIntervals is the busy-period length over which holding times
+	// are computed. The paper uses five hours; default is 5h of slots at
+	// the run's interval, i.e. 60 for 5-minute slots.
+	BusyIntervals int
+	// MaxBins is the histogram upper edge in intervals. The paper's
+	// x-axis runs to 60. Default 60.
+	MaxBins int
+}
+
+func (c *Fig1cConfig) defaults() {
+	if c.BusyIntervals == 0 {
+		c.BusyIntervals = 60
+	}
+	if c.MaxBins == 0 {
+		c.MaxBins = 60
+	}
+}
+
+// Fig1cResult is one run's holding-time histogram plus the summary
+// statistics quoted in the text.
+type Fig1cResult struct {
+	Run FigureRun
+	// Histogram counts flows per unit holding-time bin (intervals).
+	Histogram []int
+	// Stats summarises the busy-window holding times.
+	Stats analysis.HoldingStats
+	// BusyFrom and BusyTo delimit the busy window used, in interval
+	// indices.
+	BusyFrom, BusyTo int
+}
+
+// Fig1c computes the holding-time histograms of Figure 1(c) over each
+// run's busiest window.
+func Fig1c(runs []FigureRun, cfg Fig1cConfig) ([]Fig1cResult, error) {
+	cfg.defaults()
+	out := make([]Fig1cResult, 0, len(runs))
+	for _, r := range runs {
+		window := cfg.BusyIntervals
+		if window > len(r.Results) {
+			window = len(r.Results)
+		}
+		from, to, err := analysis.BusyWindow(r.Results, window)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 1(c) %s: %w", r.Label(), err)
+		}
+		st := analysis.HoldingTimes(r.Results, from, to)
+		out = append(out, Fig1cResult{
+			Run:       r,
+			Histogram: st.HoldingHistogram(cfg.MaxBins),
+			Stats:     st,
+			BusyFrom:  from,
+			BusyTo:    to,
+		})
+	}
+	return out, nil
+}
+
+// Fig1cSeries converts Fig1c results into chartable series (log-count
+// histograms, as in the paper).
+func Fig1cSeries(results []Fig1cResult) []report.Series {
+	out := make([]report.Series, len(results))
+	for i, r := range results {
+		out[i] = report.Series{
+			Label:  r.Run.Label(),
+			Values: report.IntsToFloats(r.Histogram),
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+// Package experiments contains the reproduction harness: one entry point
+// per figure panel and per quantitative claim of the paper, shared by the
+// cmd/experiments binary and the repository's benchmarks. Each harness
+// builds the synthetic west/east links, runs the requested classification
+// schemes, and returns the series/rows the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// LinksConfig sizes the synthetic evaluation setup. The zero value
+// selects the paper-scale defaults (28 hours of 5-minute intervals on
+// two OC-12 links); tests use smaller values.
+type LinksConfig struct {
+	// Routes is the BGP table size. Default 60000.
+	Routes int
+	// Flows is the number of active prefix flows per link.
+	// Default 6500, calibrated so the average elephant count lands
+	// near the paper's ~600 (west) / ~500 (east).
+	Flows int
+	// Intervals is the number of measurement slots. Default 336
+	// (28 hours of 5-minute slots, 09:00 Jul 24 to 13:00 Jul 25).
+	Intervals int
+	// Interval is the measurement interval. Default 5 minutes.
+	Interval time.Duration
+	// Seed drives all synthesis. Default 1.
+	Seed int64
+	// MeanLoadBps is the daily-average link load. Default 300 Mbit/s
+	// (an OC-12 at ~50% utilisation).
+	MeanLoadBps float64
+	// Shape overrides the synthetic flow-population shape; zero fields
+	// keep the trace package defaults.
+	Shape ShapeConfig
+}
+
+// ShapeConfig carries the optional flow-population shape overrides of
+// LinksConfig; see trace.LinkConfig for the semantics of each field.
+type ShapeConfig struct {
+	TailIndex  float64
+	TailShare  float64
+	BodySigma  float64
+	BurstSigma float64
+	BurstRho   float64
+}
+
+func (c *LinksConfig) defaults() {
+	if c.Routes == 0 {
+		c.Routes = 60000
+	}
+	if c.Flows == 0 {
+		c.Flows = 6500
+	}
+	if c.Intervals == 0 {
+		c.Intervals = 336
+	}
+	if c.Interval == 0 {
+		c.Interval = 5 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MeanLoadBps == 0 {
+		c.MeanLoadBps = 300e6
+	}
+}
+
+// TraceStart mirrors the paper's trace start: 09:00 local, Jul 24 2001.
+var TraceStart = time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+
+// LinkSet bundles the two evaluation links and their shared BGP table.
+type LinkSet struct {
+	Table *bgp.Table
+	West  *agg.Series
+	East  *agg.Series
+	Cfg   LinksConfig
+}
+
+// BuildLinks synthesizes the two-link evaluation setup deterministically
+// from cfg.Seed.
+func BuildLinks(cfg LinksConfig) (*LinkSet, error) {
+	cfg.defaults()
+	table, err := bgp.Generate(bgp.GenConfig{Routes: cfg.Routes, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating BGP table: %w", err)
+	}
+	west, err := trace.NewLink(trace.LinkConfig{
+		Name:        "west",
+		Profile:     trace.WestCoastProfile(),
+		MeanLoadBps: cfg.MeanLoadBps,
+		Flows:       cfg.Flows,
+		Table:       table,
+		Seed:        cfg.Seed + 100,
+		TailIndex:   cfg.Shape.TailIndex,
+		TailShare:   cfg.Shape.TailShare,
+		BodySigma:   cfg.Shape.BodySigma,
+		BurstSigma:  cfg.Shape.BurstSigma,
+		BurstRho:    cfg.Shape.BurstRho,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building west link: %w", err)
+	}
+	east, err := trace.NewLink(trace.LinkConfig{
+		Name:        "east",
+		Profile:     trace.EastCoastProfile(),
+		MeanLoadBps: cfg.MeanLoadBps * 0.9, // the east link runs a bit lighter
+		Flows:       cfg.Flows * 5 / 6,     // paper: ~500 vs ~600 elephants
+		Table:       table,
+		Seed:        cfg.Seed + 200,
+		TailIndex:   cfg.Shape.TailIndex,
+		TailShare:   cfg.Shape.TailShare,
+		BodySigma:   cfg.Shape.BodySigma,
+		BurstSigma:  cfg.Shape.BurstSigma,
+		BurstRho:    cfg.Shape.BurstRho,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building east link: %w", err)
+	}
+	ls := &LinkSet{Table: table, Cfg: cfg}
+	ls.West = west.GenerateSeries(TraceStart, cfg.Interval, cfg.Intervals)
+	ls.East = east.GenerateSeries(TraceStart, cfg.Interval, cfg.Intervals)
+	return ls, nil
+}
+
+// SchemeConfig selects a classification scheme variant.
+type SchemeConfig struct {
+	// UseAest selects the aest detector; otherwise β-constant-load.
+	UseAest bool
+	// Beta is the constant-load target fraction. Default 0.8.
+	Beta float64
+	// Alpha is the EWMA weight. Default 0.5.
+	Alpha float64
+	// LatentHeat enables the two-feature classifier.
+	LatentHeat bool
+	// Window is the latent-heat window in slots. Default 12.
+	Window int
+}
+
+func (c *SchemeConfig) defaults() {
+	if c.Beta == 0 {
+		c.Beta = 0.8
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.Window == 0 {
+		c.Window = 12
+	}
+}
+
+// Name returns the scheme label used in figures, e.g.
+// "aest+latent-heat" or "0.80-constant-load".
+func (c SchemeConfig) Name() string {
+	c.defaults()
+	var base string
+	if c.UseAest {
+		base = "aest"
+	} else {
+		base = fmt.Sprintf("%.2f-constant-load", c.Beta)
+	}
+	if c.LatentHeat {
+		return base + "+latent-heat"
+	}
+	return base
+}
+
+// RunScheme classifies every interval of series under the scheme and
+// returns the per-interval results.
+func RunScheme(series *agg.Series, sc SchemeConfig) ([]core.Result, error) {
+	sc.defaults()
+	var det core.Detector
+	if sc.UseAest {
+		det = core.NewAestDetector()
+	} else {
+		d, err := core.NewConstantLoadDetector(sc.Beta)
+		if err != nil {
+			return nil, err
+		}
+		det = d
+	}
+	var cls core.Classifier
+	if sc.LatentHeat {
+		lh, err := core.NewLatentHeatClassifier(sc.Window)
+		if err != nil {
+			return nil, err
+		}
+		cls = lh
+	} else {
+		cls = core.SingleFeatureClassifier{}
+	}
+	pipe, err := core.NewPipeline(core.Config{Detector: det, Alpha: sc.Alpha, Classifier: cls})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]core.Result, 0, series.Intervals)
+	var snap map[netip.Prefix]float64
+	for t := 0; t < series.Intervals; t++ {
+		snap = series.IntervalSnapshot(t, snap)
+		res, err := pipe.Step(snap)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scheme %s: %w", sc.Name(), err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+)
+
+// SamplingRow reports how classification degrades when bandwidths are
+// estimated from 1-in-N packet sampling — the measurement mode (sampled
+// NetFlow) backbone routers actually ran, and the natural deployment
+// question for the paper's scheme.
+type SamplingRow struct {
+	// Rate is N in 1-in-N sampling (1 = unsampled ground truth).
+	Rate int
+	// MeanElephants is the run-wide average elephant count.
+	MeanElephants float64
+	// MeanLoadFraction is the run-wide average elephant load share,
+	// measured against the *true* bandwidths.
+	MeanLoadFraction float64
+	// MeanJaccard is the average per-interval Jaccard similarity of the
+	// sampled elephant set to the unsampled one.
+	MeanJaccard float64
+	// MeanHoldingIntervals is the busy-window mean holding time.
+	MeanHoldingIntervals float64
+}
+
+// SamplingImpact classifies the west link from bandwidth estimates
+// reconstructed under 1-in-N packet sampling, for each rate, and
+// compares against the unsampled run. Sampling is simulated per
+// (flow, interval): the packet count implied by the flow's true
+// bandwidth is thinned binomially, then scaled back up by N — exactly
+// the estimator sampled NetFlow used.
+func SamplingImpact(ls *LinkSet, rates []int, sc SchemeConfig) ([]SamplingRow, error) {
+	if len(rates) == 0 {
+		rates = []int{1, 10, 100, 1000}
+	}
+	const meanPacketBytes = 550 // backbone mean packet size of the era
+	truth := ls.West
+
+	ref, err := RunScheme(truth, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]SamplingRow, 0, len(rates))
+	for _, n := range rates {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: sampling rate %d < 1", n)
+		}
+		series := truth
+		if n > 1 {
+			series = sampleSeries(truth, n, meanPacketBytes, ls.Cfg.Seed+int64(n))
+		}
+		res, err := RunScheme(series, sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sampling 1-in-%d: %w", n, err)
+		}
+
+		var jacc, frac float64
+		for i := range res {
+			jacc += jaccard(res[i].Elephants, ref[i].Elephants) / float64(len(res))
+			// Load fraction against true bandwidths.
+			var eleph, total float64
+			snap := truth.IntervalSnapshot(i, nil)
+			for p, bw := range snap {
+				total += bw
+				if res[i].Elephants[p] {
+					eleph += bw
+				}
+			}
+			if total > 0 {
+				frac += eleph / total / float64(len(res))
+			}
+		}
+		busy := busySlots(ls.Cfg.Interval)
+		if busy > len(res) {
+			busy = len(res)
+		}
+		from, to, err := analysis.BusyWindow(res, busy)
+		if err != nil {
+			return nil, err
+		}
+		st := analysis.HoldingTimes(res, from, to)
+		rows = append(rows, SamplingRow{
+			Rate:                 n,
+			MeanElephants:        analysis.MeanInt(analysis.CountSeries(res)),
+			MeanLoadFraction:     frac,
+			MeanJaccard:          jacc,
+			MeanHoldingIntervals: st.MeanHolding,
+		})
+	}
+	return rows, nil
+}
+
+// sampleSeries rebuilds the series from thinned packet counts.
+func sampleSeries(s *agg.Series, n int, meanPacketBytes float64, seed int64) *agg.Series {
+	rng := rand.New(rand.NewSource(seed))
+	out := agg.NewSeries(s.Start, s.Interval, s.Intervals)
+	secs := s.Interval.Seconds()
+	for _, p := range s.Flows() {
+		row, _ := s.Row(p)
+		for t, bw := range row {
+			if bw <= 0 {
+				continue
+			}
+			pkts := bw * secs / 8 / meanPacketBytes
+			sampled := binomialApprox(rng, pkts, 1/float64(n))
+			if sampled == 0 {
+				continue
+			}
+			estBits := float64(sampled) * float64(n) * meanPacketBytes * 8
+			out.AddBits(p, t, estBits)
+		}
+	}
+	return out
+}
+
+// binomialApprox draws Binomial(n, p) for possibly fractional n, using
+// the Poisson limit (accurate for the small p of sampling).
+func binomialApprox(rng *rand.Rand, n, p float64) int {
+	lambda := n * p
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		// Normal approximation deep in the safe regime.
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	// Knuth's Poisson sampler.
+	l := math.Exp(-lambda)
+	k, prod := 0, 1.0
+	for {
+		prod *= rng.Float64()
+		if prod <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func jaccard(a, b map[netip.Prefix]bool) float64 {
+	inter := 0
+	for p := range a {
+		if b[p] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,69 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func BenchmarkEncode30(b *testing.B) {
+	recs := make([]Record, MaxRecordsPerDatagram)
+	for i := range recs {
+		recs[i] = sampleRecord()
+	}
+	d := &Datagram{Header: Header{Count: uint16(len(recs))}, Records: recs}
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = d.Encode(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecode30(b *testing.B) {
+	recs := make([]Record, MaxRecordsPerDatagram)
+	for i := range recs {
+		recs[i] = sampleRecord()
+	}
+	d := &Datagram{Header: Header{Count: uint16(len(recs))}, Records: recs}
+	raw, err := d.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExporterAddPacket(b *testing.B) {
+	e := NewExporter(ExporterConfig{}, func(*Datagram) error { return nil })
+	// 512 concurrent flows cycling.
+	sums := make([]packet.Summary, 512)
+	for i := range sums {
+		sums[i] = packet.Summary{
+			SrcIP:      netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+			DstIP:      netip.AddrFrom4([4]byte{192, 0, 2, byte(i)}),
+			Protocol:   6,
+			SrcPort:    uint16(1024 + i),
+			DstPort:    80,
+			WireLength: 500,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := t0.Add(time.Duration(i) * time.Millisecond)
+		if err := e.AddPacket(ts, sums[i%len(sums)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

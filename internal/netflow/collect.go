@@ -1,0 +1,97 @@
+package netflow
+
+import (
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+)
+
+// CollectorStats counts record attribution outcomes.
+type CollectorStats struct {
+	Datagrams  uint64
+	Records    uint64
+	Routed     uint64
+	Unrouted   uint64
+	OutOfRange uint64
+}
+
+// Collector aggregates NetFlow records into a per-prefix bandwidth
+// series — the flow-record twin of agg.Aggregator. A record's octets are
+// spread uniformly over its [First, Last] span, clipped to the series
+// window, so long flows crossing interval boundaries are apportioned
+// correctly (assigning all bytes to one interval would let the active
+// timeout alias the diurnal signal).
+type Collector struct {
+	table  *bgp.Table
+	series *agg.Series
+
+	// Stats counts attribution outcomes.
+	Stats CollectorStats
+}
+
+// NewCollector creates a collector writing into series.
+func NewCollector(table *bgp.Table, series *agg.Series) *Collector {
+	return &Collector{table: table, series: series}
+}
+
+// Series returns the series under construction.
+func (c *Collector) Series() *agg.Series { return c.series }
+
+// AddDatagram attributes every record of the datagram.
+func (c *Collector) AddDatagram(d *Datagram) {
+	c.Stats.Datagrams++
+	for i := range d.Records {
+		c.addRecord(d.Header, d.Records[i])
+	}
+}
+
+func (c *Collector) addRecord(h Header, r Record) {
+	c.Stats.Records++
+	route, ok := c.table.Lookup(r.DstAddr)
+	if !ok {
+		c.Stats.Unrouted++
+		return
+	}
+	first, last := h.Timestamps(r)
+	bits := float64(r.Octets) * 8
+	span := last.Sub(first)
+	if span <= 0 {
+		// Point flow: all bytes in one interval.
+		t := c.series.IntervalOf(first)
+		if t < 0 {
+			c.Stats.OutOfRange++
+			return
+		}
+		c.Stats.Routed++
+		c.series.AddBits(route.Prefix, t, bits)
+		return
+	}
+	// Spread uniformly across the covered intervals.
+	routed := false
+	for cur := first; cur.Before(last); {
+		t := c.series.IntervalOf(cur)
+		intervalEnd := c.series.Start.Add(time.Duration(t+1) * c.series.Interval)
+		if t < 0 {
+			// Before the window: skip ahead; after: done.
+			if cur.Before(c.series.Start) {
+				cur = c.series.Start
+				continue
+			}
+			break
+		}
+		segEnd := last
+		if intervalEnd.Before(segEnd) {
+			segEnd = intervalEnd
+		}
+		frac := float64(segEnd.Sub(cur)) / float64(span)
+		c.series.AddBits(route.Prefix, t, bits*frac)
+		routed = true
+		cur = segEnd
+	}
+	if routed {
+		c.Stats.Routed++
+	} else {
+		c.Stats.OutOfRange++
+	}
+}

@@ -1,0 +1,40 @@
+package netflow
+
+import (
+	"testing"
+)
+
+// FuzzDecode drives the v5 datagram decoder with arbitrary bytes: no
+// panics, and decodable datagrams must re-encode losslessly.
+func FuzzDecode(f *testing.F) {
+	good, _ := (&Datagram{Header: Header{Count: 1}, Records: []Record{sampleRecord()}}).Encode(nil)
+	f.Add(append([]byte(nil), good...))
+	f.Add(append([]byte(nil), good[:HeaderLen]...))
+	f.Add([]byte{0, 5})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if int(d.Header.Count) != len(d.Records) {
+			t.Fatalf("decoded count %d != %d records", d.Header.Count, len(d.Records))
+		}
+		raw, err := d.Encode(nil)
+		if err != nil {
+			t.Fatalf("re-encode of decoded datagram failed: %v", err)
+		}
+		back, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Header != d.Header {
+			t.Fatalf("header changed across roundtrip")
+		}
+		for i := range d.Records {
+			if back.Records[i] != d.Records[i] {
+				t.Fatalf("record %d changed across roundtrip", i)
+			}
+		}
+	})
+}

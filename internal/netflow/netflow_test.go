@@ -1,0 +1,261 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+var (
+	t0  = time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	aIP = netip.MustParseAddr("10.1.2.3")
+	bIP = netip.MustParseAddr("192.0.2.9")
+)
+
+func sampleRecord() Record {
+	return Record{
+		SrcAddr: aIP, DstAddr: bIP,
+		NextHop: netip.MustParseAddr("203.0.113.1"),
+		InputIf: 3, OutputIf: 7,
+		Packets: 100, Octets: 123456,
+		First: 1000, Last: 61000,
+		SrcPort: 1234, DstPort: 80,
+		TCPFlags: 0x1B, Proto: 6, TOS: 0x20,
+		SrcAS: 65001, DstAS: 65002,
+		SrcMask: 24, DstMask: 16,
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	d := &Datagram{
+		Header: Header{
+			Count: 2, SysUptime: 99000,
+			UnixSecs: uint32(t0.Unix()), UnixNsecs: 500,
+			FlowSequence: 42, EngineType: 1, EngineID: 2, SamplingInterval: 0x4001,
+		},
+		Records: []Record{sampleRecord(), sampleRecord()},
+	}
+	d.Records[1].DstAddr = netip.MustParseAddr("198.51.100.1")
+
+	raw, err := d.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != HeaderLen+2*RecordLen {
+		t.Fatalf("encoded %d bytes, want %d", len(raw), HeaderLen+2*RecordLen)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header != d.Header {
+		t.Errorf("header roundtrip: %+v vs %+v", back.Header, d.Header)
+	}
+	for i := range d.Records {
+		if back.Records[i] != d.Records[i] {
+			t.Errorf("record %d roundtrip:\n got %+v\nwant %+v", i, back.Records[i], d.Records[i])
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	d := &Datagram{Header: Header{Count: 0}}
+	if _, err := d.Encode(nil); err == nil {
+		t.Error("empty datagram accepted")
+	}
+	d = &Datagram{Header: Header{Count: 2}, Records: []Record{sampleRecord()}}
+	if _, err := d.Encode(nil); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	r := sampleRecord()
+	r.DstAddr = netip.MustParseAddr("2001:db8::1")
+	d = &Datagram{Header: Header{Count: 1}, Records: []Record{r}}
+	if _, err := d.Encode(nil); err == nil {
+		t.Error("IPv6 record accepted by v5 encoder")
+	}
+	many := make([]Record, MaxRecordsPerDatagram+1)
+	for i := range many {
+		many[i] = sampleRecord()
+	}
+	d = &Datagram{Header: Header{Count: uint16(len(many))}, Records: many}
+	if _, err := d.Encode(nil); err == nil {
+		t.Error("31 records accepted")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	if _, err := Decode([]byte{0, 5}); err == nil {
+		t.Error("short datagram accepted")
+	}
+	good, _ := (&Datagram{Header: Header{Count: 1}, Records: []Record{sampleRecord()}}).Encode(nil)
+	bad := append([]byte(nil), good...)
+	bad[1] = 9 // version 9
+	if _, err := Decode(bad); err == nil {
+		t.Error("version 9 accepted")
+	}
+	if _, err := Decode(good[:HeaderLen+10]); err == nil {
+		t.Error("truncated records accepted")
+	}
+	bad2 := append([]byte(nil), good...)
+	bad2[3] = 5 // count 5, but only 1 record present
+	if _, err := Decode(bad2); err == nil {
+		t.Error("overclaimed count accepted")
+	}
+}
+
+func TestHeaderTimestamps(t *testing.T) {
+	h := Header{
+		SysUptime: 100000, // exporter has been up 100 s
+		UnixSecs:  uint32(t0.Unix()),
+		UnixNsecs: 0,
+	}
+	r := Record{First: 40000, Last: 70000}
+	first, last := h.Timestamps(r)
+	// boot = t0 - 100 s; first = boot + 40 s = t0 - 60 s.
+	if want := t0.Add(-60 * time.Second); !first.Equal(want) {
+		t.Errorf("first = %v, want %v", first, want)
+	}
+	if want := t0.Add(-30 * time.Second); !last.Equal(want) {
+		t.Errorf("last = %v, want %v", last, want)
+	}
+}
+
+func packetAt(dst netip.Addr, bytes int) packet.Summary {
+	return packet.Summary{
+		SrcIP: aIP, DstIP: dst,
+		Protocol: 6, SrcPort: 1000, DstPort: 80,
+		WireLength: bytes,
+	}
+}
+
+func TestExporterAggregatesFlows(t *testing.T) {
+	var got []*Datagram
+	e := NewExporter(ExporterConfig{}, func(d *Datagram) error {
+		got = append(got, d)
+		return nil
+	})
+	// Three packets of one flow within the timeouts.
+	for i := 0; i < 3; i++ {
+		if err := e.AddPacket(t0.Add(time.Duration(i)*time.Second), packetAt(bIP, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.CachedFlows() != 1 {
+		t.Fatalf("cache = %d flows", e.CachedFlows())
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Records) != 1 {
+		t.Fatalf("datagrams = %v", got)
+	}
+	r := got[0].Records[0]
+	if r.Packets != 3 || r.Octets != 3000 {
+		t.Errorf("record = %+v", r)
+	}
+	if r.Last-r.First != 2000 {
+		t.Errorf("duration = %d ms, want 2000", r.Last-r.First)
+	}
+	if e.Sequence() != 1 {
+		t.Errorf("sequence = %d", e.Sequence())
+	}
+}
+
+func TestExporterInactiveTimeout(t *testing.T) {
+	var records int
+	e := NewExporter(ExporterConfig{InactiveTimeout: 5 * time.Second}, func(d *Datagram) error {
+		records += len(d.Records)
+		return nil
+	})
+	e.AddPacket(t0, packetAt(bIP, 100))
+	// 10 s later the flow is idle-expired; a packet to another dst
+	// triggers the scan.
+	e.AddPacket(t0.Add(10*time.Second), packetAt(netip.MustParseAddr("198.51.100.1"), 100))
+	if e.CachedFlows() != 1 {
+		t.Errorf("cache = %d, want 1 (first flow expired)", e.CachedFlows())
+	}
+	e.Flush()
+	if records != 2 {
+		t.Errorf("records = %d, want 2", records)
+	}
+}
+
+func TestExporterActiveTimeoutSplitsLongFlow(t *testing.T) {
+	var records int
+	e := NewExporter(ExporterConfig{ActiveTimeout: 30 * time.Second, InactiveTimeout: time.Hour},
+		func(d *Datagram) error { records += len(d.Records); return nil })
+	// A flow sending every second for 2 minutes must be flushed at
+	// least three times by the active timeout.
+	for i := 0; i < 120; i++ {
+		if err := e.AddPacket(t0.Add(time.Duration(i)*time.Second), packetAt(bIP, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if records < 3 {
+		t.Errorf("long flow exported as %d records, want >= 3", records)
+	}
+}
+
+func TestExporterSkipsNonIPv4(t *testing.T) {
+	e := NewExporter(ExporterConfig{}, nil)
+	sum := packet.Summary{
+		SrcIP: netip.MustParseAddr("2001:db8::1"),
+		DstIP: netip.MustParseAddr("2001:db8::2"),
+	}
+	if err := e.AddPacket(t0, sum); err != nil {
+		t.Fatal(err)
+	}
+	if e.CachedFlows() != 0 {
+		t.Error("IPv6 packet cached by v5 exporter")
+	}
+}
+
+func TestExporterBatchesDatagrams(t *testing.T) {
+	var sizes []int
+	e := NewExporter(ExporterConfig{InactiveTimeout: time.Millisecond},
+		func(d *Datagram) error { sizes = append(sizes, len(d.Records)); return nil })
+	// 65 distinct one-packet flows, each expiring immediately.
+	for i := 0; i < 65; i++ {
+		dst := netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})
+		e.AddPacket(t0.Add(time.Duration(i)*time.Second), packetAt(dst, 100))
+	}
+	e.Flush()
+	total := 0
+	for _, s := range sizes {
+		if s > MaxRecordsPerDatagram {
+			t.Fatalf("datagram with %d records", s)
+		}
+		total += s
+	}
+	if total != 65 {
+		t.Errorf("exported %d records, want 65", total)
+	}
+}
+
+func TestExporterDeterministic(t *testing.T) {
+	run := func() []uint32 {
+		var seqs []uint32
+		e := NewExporter(ExporterConfig{InactiveTimeout: 2 * time.Second},
+			func(d *Datagram) error { seqs = append(seqs, d.Header.FlowSequence); return nil })
+		for i := 0; i < 200; i++ {
+			dst := netip.AddrFrom4([4]byte{192, 0, 2, byte(i % 16)})
+			e.AddPacket(t0.Add(time.Duration(i)*331*time.Millisecond), packetAt(dst, 100+i))
+		}
+		e.Flush()
+		return seqs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic datagram count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic sequence at %d", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package netflow
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestStreamRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	var want []Record
+	for i := 0; i < 5; i++ {
+		r := sampleRecord()
+		r.Octets = uint32(1000 + i)
+		want = append(want, r)
+		d := &Datagram{Header: Header{Count: 1, FlowSequence: uint32(i)}, Records: []Record{r}}
+		if err := sw.Write(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Count() != 5 {
+		t.Errorf("Count = %d", sw.Count())
+	}
+	sr := NewStreamReader(&buf)
+	for i := 0; ; i++ {
+		d, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			if i != 5 {
+				t.Fatalf("read %d datagrams, want 5", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Records[0] != want[i] {
+			t.Errorf("datagram %d: %+v", i, d.Records[0])
+		}
+		if d.Header.FlowSequence != uint32(i) {
+			t.Errorf("datagram %d: sequence %d", i, d.Header.FlowSequence)
+		}
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	d := &Datagram{Header: Header{Count: 1}, Records: []Record{sampleRecord()}}
+	if err := sw.Write(d); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	sr := NewStreamReader(bytes.NewReader(raw[:len(raw)-3]))
+	if _, err := sr.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestStreamBogusLength(t *testing.T) {
+	sr := NewStreamReader(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0}))
+	if _, err := sr.Next(); err == nil {
+		t.Error("absurd frame length accepted")
+	}
+	sr = NewStreamReader(bytes.NewReader([]byte{0, 0, 0, 1, 0}))
+	if _, err := sr.Next(); err == nil {
+		t.Error("undersized frame length accepted")
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	sr := NewStreamReader(bytes.NewReader(nil))
+	if _, err := sr.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}

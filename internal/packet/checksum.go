@@ -1,0 +1,50 @@
+package packet
+
+import "net/netip"
+
+// addChecksum accumulates data into the ones-complement sum acc. Data of
+// odd length is padded with a virtual zero byte, matching RFC 1071.
+func addChecksum(acc uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		acc += uint32(data[n-1]) << 8
+	}
+	return acc
+}
+
+// foldChecksum folds the 32-bit accumulator into the final 16-bit
+// ones-complement checksum.
+func foldChecksum(acc uint32) uint16 {
+	for acc > 0xFFFF {
+		acc = acc>>16 + acc&0xFFFF
+	}
+	return ^uint16(acc)
+}
+
+// ipChecksum computes the RFC 1071 checksum of an IPv4 header. A header
+// containing a valid checksum field sums to zero.
+func ipChecksum(header []byte) uint16 {
+	return foldChecksum(addChecksum(0, header))
+}
+
+// pseudoHeaderChecksum starts a transport checksum with the IPv4 or IPv6
+// pseudo-header for the given addresses, protocol and transport length.
+func pseudoHeaderChecksum(src, dst netip.Addr, proto uint8, length uint32) uint32 {
+	var acc uint32
+	if src.Is4() {
+		s, d := src.As4(), dst.As4()
+		acc = addChecksum(acc, s[:])
+		acc = addChecksum(acc, d[:])
+	} else {
+		s, d := src.As16(), dst.As16()
+		acc = addChecksum(acc, s[:])
+		acc = addChecksum(acc, d[:])
+	}
+	acc += uint32(proto)
+	acc += length & 0xFFFF
+	acc += length >> 16
+	return acc
+}

@@ -1,0 +1,97 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MACAddr is a 48-bit Ethernet hardware address.
+type MACAddr [6]byte
+
+// String renders the address in the canonical colon-separated form.
+func (m MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EthernetHeaderLen is the length of an Ethernet II header in bytes.
+const EthernetHeaderLen = 14
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	SrcMAC, DstMAC MACAddr
+	EtherType      uint16
+	payload        []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// DecodeFromBytes implements Layer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return truncated(LayerTypeEthernet, len(data), EthernetHeaderLen)
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[EthernetHeaderLen:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (e *Ethernet) NextLayerType() LayerType { return ethertypeNext(e.EtherType) }
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// AppendTo serializes the header, appending it to b.
+func (e *Ethernet) AppendTo(b []byte) []byte {
+	b = append(b, e.DstMAC[:]...)
+	b = append(b, e.SrcMAC[:]...)
+	return binary.BigEndian.AppendUint16(b, e.EtherType)
+}
+
+// Dot1QHeaderLen is the length of an 802.1Q tag in bytes.
+const Dot1QHeaderLen = 4
+
+// Dot1Q is an IEEE 802.1Q VLAN tag.
+type Dot1Q struct {
+	Priority     uint8  // 3-bit PCP
+	DropEligible bool   // DEI bit
+	VLAN         uint16 // 12-bit VLAN identifier
+	EtherType    uint16 // encapsulated ethertype
+	payload      []byte
+}
+
+// LayerType implements Layer.
+func (d *Dot1Q) LayerType() LayerType { return LayerTypeDot1Q }
+
+// DecodeFromBytes implements Layer.
+func (d *Dot1Q) DecodeFromBytes(data []byte) error {
+	if len(data) < Dot1QHeaderLen {
+		return truncated(LayerTypeDot1Q, len(data), Dot1QHeaderLen)
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	d.Priority = uint8(tci >> 13)
+	d.DropEligible = tci&0x1000 != 0
+	d.VLAN = tci & 0x0FFF
+	d.EtherType = binary.BigEndian.Uint16(data[2:4])
+	d.payload = data[Dot1QHeaderLen:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (d *Dot1Q) NextLayerType() LayerType { return ethertypeNext(d.EtherType) }
+
+// LayerPayload implements Layer.
+func (d *Dot1Q) LayerPayload() []byte { return d.payload }
+
+// AppendTo serializes the tag, appending it to b.
+func (d *Dot1Q) AppendTo(b []byte) []byte {
+	tci := uint16(d.Priority)<<13 | d.VLAN&0x0FFF
+	if d.DropEligible {
+		tci |= 0x1000
+	}
+	b = binary.BigEndian.AppendUint16(b, tci)
+	return binary.BigEndian.AppendUint16(b, d.EtherType)
+}

@@ -1,0 +1,133 @@
+// Package packet implements a small, allocation-free layered packet
+// decoder and serializer in the spirit of gopacket, covering the protocol
+// stack observed on backbone links: Ethernet, 802.1Q, IPv4, IPv6, TCP and
+// UDP.
+//
+// The package is the wire-format substrate of the elephants reproduction:
+// the synthetic trace generator serializes packets through it, and the
+// measurement pipeline decodes them back. Decoding follows the
+// DecodingLayer pattern: a caller owns a set of preallocated layer values
+// and invokes DecodeFromBytes on each, so steady-state decoding performs
+// no heap allocation.
+package packet
+
+import "fmt"
+
+// LayerType identifies a protocol layer that this package can decode.
+type LayerType uint8
+
+// Known layer types.
+const (
+	// LayerTypeZero is the zero value; it marks "no further layer".
+	LayerTypeZero LayerType = iota
+	// LayerTypeEthernet is an Ethernet II frame header.
+	LayerTypeEthernet
+	// LayerTypeDot1Q is an IEEE 802.1Q VLAN tag.
+	LayerTypeDot1Q
+	// LayerTypeIPv4 is an IPv4 header.
+	LayerTypeIPv4
+	// LayerTypeIPv6 is an IPv6 fixed header.
+	LayerTypeIPv6
+	// LayerTypeTCP is a TCP header.
+	LayerTypeTCP
+	// LayerTypeUDP is a UDP header.
+	LayerTypeUDP
+	// LayerTypePayload is opaque application payload.
+	LayerTypePayload
+)
+
+// String returns the conventional name of the layer type.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeZero:
+		return "None"
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeDot1Q:
+		return "Dot1Q"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", uint8(t))
+}
+
+// Layer is the interface shared by all decodable protocol layers.
+type Layer interface {
+	// LayerType reports which protocol this layer decodes.
+	LayerType() LayerType
+	// DecodeFromBytes parses the layer from the front of data. It must
+	// not retain data beyond the call unless documented otherwise; the
+	// layer structs in this package alias their payload into data, which
+	// remains valid only as long as data is.
+	DecodeFromBytes(data []byte) error
+	// NextLayerType reports the type of the layer carried in the
+	// payload, or LayerTypeZero/LayerTypePayload when unknown.
+	NextLayerType() LayerType
+	// LayerPayload returns the bytes following this layer's header.
+	LayerPayload() []byte
+}
+
+// DecodeError describes a failure to parse a particular layer.
+type DecodeError struct {
+	Layer  LayerType // layer being decoded
+	Reason string    // human-readable cause
+	Have   int       // bytes available
+	Want   int       // bytes required, if the failure is a truncation
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string {
+	if e.Want > 0 {
+		return fmt.Sprintf("packet: %s: %s (have %d bytes, want %d)", e.Layer, e.Reason, e.Have, e.Want)
+	}
+	return fmt.Sprintf("packet: %s: %s", e.Layer, e.Reason)
+}
+
+func truncated(t LayerType, have, want int) error {
+	return &DecodeError{Layer: t, Reason: "truncated header", Have: have, Want: want}
+}
+
+// EtherType values relevant to the decoder.
+const (
+	EtherTypeIPv4  uint16 = 0x0800
+	EtherTypeDot1Q uint16 = 0x8100
+	EtherTypeIPv6  uint16 = 0x86DD
+)
+
+// IPProtocol numbers relevant to the decoder.
+const (
+	IPProtocolTCP uint8 = 6
+	IPProtocolUDP uint8 = 17
+)
+
+func ethertypeNext(et uint16) LayerType {
+	switch et {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	case EtherTypeDot1Q:
+		return LayerTypeDot1Q
+	default:
+		return LayerTypePayload
+	}
+}
+
+func ipProtoNext(p uint8) LayerType {
+	switch p {
+	case IPProtocolTCP:
+		return LayerTypeTCP
+	case IPProtocolUDP:
+		return LayerTypeUDP
+	default:
+		return LayerTypePayload
+	}
+}

@@ -1,0 +1,188 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP is a TCP segment header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	FIN, SYN, RST    bool
+	PSH, ACK, URG    bool
+	ECE, CWR, NS     bool
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+	payload          []byte
+}
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// DecodeFromBytes implements Layer.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return truncated(LayerTypeTCP, len(data), TCPHeaderLen)
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	hlen := int(t.DataOffset) * 4
+	if hlen < TCPHeaderLen {
+		return &DecodeError{Layer: LayerTypeTCP, Reason: "data offset below minimum"}
+	}
+	if len(data) < hlen {
+		return truncated(LayerTypeTCP, len(data), hlen)
+	}
+	t.NS = data[12]&0x01 != 0
+	f := data[13]
+	t.FIN = f&0x01 != 0
+	t.SYN = f&0x02 != 0
+	t.RST = f&0x04 != 0
+	t.PSH = f&0x08 != 0
+	t.ACK = f&0x10 != 0
+	t.URG = f&0x20 != 0
+	t.ECE = f&0x40 != 0
+	t.CWR = f&0x80 != 0
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = data[TCPHeaderLen:hlen]
+	t.payload = data[hlen:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (t *TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+func (t *TCP) flagByte() byte {
+	var f byte
+	if t.FIN {
+		f |= 0x01
+	}
+	if t.SYN {
+		f |= 0x02
+	}
+	if t.RST {
+		f |= 0x04
+	}
+	if t.PSH {
+		f |= 0x08
+	}
+	if t.ACK {
+		f |= 0x10
+	}
+	if t.URG {
+		f |= 0x20
+	}
+	if t.ECE {
+		f |= 0x40
+	}
+	if t.CWR {
+		f |= 0x80
+	}
+	return f
+}
+
+// AppendTo serializes the header, appending to b. The checksum is computed
+// over the pseudo-header for src/dst plus the supplied payload.
+func (t *TCP) AppendTo(b []byte, src, dst netip.Addr, payload []byte) []byte {
+	hlen := TCPHeaderLen + len(t.Options)
+	if r := hlen % 4; r != 0 {
+		hlen += 4 - r
+	}
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	off := byte(hlen/4) << 4
+	if t.NS {
+		off |= 0x01
+	}
+	b = append(b, off, t.flagByte())
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = append(b, 0, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint16(b, t.Urgent)
+	b = append(b, t.Options...)
+	for len(b)-start < hlen {
+		b = append(b, 0)
+	}
+	sum := pseudoHeaderChecksum(src, dst, IPProtocolTCP, uint32(hlen+len(payload)))
+	sum = addChecksum(sum, b[start:])
+	sum = addChecksum(sum, payload)
+	binary.BigEndian.PutUint16(b[start+16:start+18], foldChecksum(sum))
+	return b
+}
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a UDP datagram header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+	payload          []byte
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// DecodeFromBytes implements Layer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return truncated(LayerTypeUDP, len(data), UDPHeaderLen)
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if u.Length < UDPHeaderLen {
+		return &DecodeError{Layer: LayerTypeUDP, Reason: "length field below header length"}
+	}
+	end := int(u.Length)
+	if end > len(data) {
+		end = len(data)
+	}
+	u.payload = data[UDPHeaderLen:end]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (u *UDP) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+// AppendTo serializes the header, appending to b, computing Length and the
+// pseudo-header checksum from the supplied payload.
+func (u *UDP) AppendTo(b []byte, src, dst netip.Addr, payload []byte) []byte {
+	start := len(b)
+	length := uint16(UDPHeaderLen + len(payload))
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, length)
+	b = append(b, 0, 0)
+	sum := pseudoHeaderChecksum(src, dst, IPProtocolUDP, uint32(length))
+	sum = addChecksum(sum, b[start:])
+	sum = addChecksum(sum, payload)
+	cs := foldChecksum(sum)
+	if cs == 0 {
+		cs = 0xFFFF // UDP transmits all-ones for a computed zero checksum
+	}
+	binary.BigEndian.PutUint16(b[start+6:start+8], cs)
+	return b
+}

@@ -1,0 +1,83 @@
+package pcap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// OpenReader sniffs the capture format — classic libpcap (either byte
+// order, µs or ns) or pcapng — and returns the appropriate reader plus
+// the link type of the capture's (first) interface.
+func OpenReader(r io.Reader) (PacketReader, uint32, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, 0, fmt.Errorf("pcap: sniffing capture format: %w", err)
+	}
+	le := uint32(magic[0]) | uint32(magic[1])<<8 | uint32(magic[2])<<16 | uint32(magic[3])<<24
+	switch le {
+	case MagicMicroseconds, MagicNanoseconds, magicMicrosecondsSwapped, magicNanosecondsSwapped:
+		cr, err := NewReader(br)
+		if err != nil {
+			return nil, 0, err
+		}
+		return cr, cr.Header().LinkType, nil
+	case blockTypeSectionHeader:
+		nr, err := NewNgReader(br)
+		if err != nil {
+			return nil, 0, err
+		}
+		// The link type lives in the first Interface Description Block;
+		// peek it by reading ahead until the first packet would need it.
+		// Simplest robust approach: require the caller to check per
+		// packet; but every normal capture has the IDB before packets,
+		// so read blocks until one interface is known or a packet
+		// arrives.
+		lt, err := nr.peekLinkType()
+		if err != nil {
+			return nil, 0, err
+		}
+		return nr, lt, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown magic %#08x", ErrCorrupt, le)
+	}
+}
+
+// peekLinkType ensures the first interface description has been parsed
+// and returns its link type. pcapng files carry the IDB before any
+// packet, so this consumes no packets.
+func (r *NgReader) peekLinkType() (uint32, error) {
+	if len(r.ifaces) > 0 {
+		return r.ifaces[0].linkType, nil
+	}
+	// Read blocks until an interface appears. Packet blocks before any
+	// IDB are invalid per spec; ReadPacket will error on them.
+	var head [8]byte
+	if _, err := io.ReadFull(r.r, head[:]); err != nil {
+		return 0, fmt.Errorf("pcap: reading first block: %w", err)
+	}
+	btype := r.order.Uint32(head[0:4])
+	total := r.order.Uint32(head[4:8])
+	if btype != blockTypeInterfaceDesc {
+		return 0, fmt.Errorf("%w: first block after section header is %#x, want interface description", ErrCorrupt, btype)
+	}
+	if total < 12 || total > 1<<20 || total%4 != 0 {
+		return 0, fmt.Errorf("%w: block length %d", ErrCorrupt, total)
+	}
+	body := make([]byte, total-12)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return 0, err
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r.r, trailer[:]); err != nil {
+		return 0, err
+	}
+	if r.order.Uint32(trailer[:]) != total {
+		return 0, fmt.Errorf("%w: trailer mismatch", ErrCorrupt)
+	}
+	if err := r.addInterface(body); err != nil {
+		return 0, err
+	}
+	return r.ifaces[0].linkType, nil
+}

@@ -1,0 +1,49 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReader feeds arbitrary bytes to the capture reader: it must never
+// panic or allocate absurd buffers, and every successfully read packet
+// must respect the header's own invariants.
+func FuzzReader(f *testing.F) {
+	// Seed: a valid two-packet capture and mutations of it.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{})
+	ts := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	_ = w.WritePacket(CaptureInfo{Timestamp: ts, CaptureLength: 3, Length: 3}, []byte{1, 2, 3})
+	_ = w.WritePacket(CaptureInfo{Timestamp: ts, CaptureLength: 0, Length: 0}, nil)
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:30]...))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ { // bound work per input
+			ci, pkt, err := r.ReadPacket()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(pkt) != ci.CaptureLength {
+				t.Fatalf("data length %d != capture length %d", len(pkt), ci.CaptureLength)
+			}
+			if ci.Length < ci.CaptureLength {
+				t.Fatalf("wire %d < capture %d accepted", ci.Length, ci.CaptureLength)
+			}
+			if ci.CaptureLength > MaxSnapLen {
+				t.Fatalf("capture length %d above cap", ci.CaptureLength)
+			}
+		}
+	})
+}

@@ -1,0 +1,234 @@
+// Package pcap reads and writes capture files in the classic libpcap
+// format. It supports both byte orders and both microsecond and nanosecond
+// timestamp resolutions, and streams packets without loading the file into
+// memory.
+//
+// The reproduction uses it so that synthetic backbone traces travel
+// through a real on-disk capture format, exactly as the Sprint monitoring
+// infrastructure's traces did.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers identifying pcap files.
+const (
+	MagicMicroseconds        uint32 = 0xA1B2C3D4
+	MagicNanoseconds         uint32 = 0xA1B23C4D
+	magicMicrosecondsSwapped uint32 = 0xD4C3B2A1
+	magicNanosecondsSwapped  uint32 = 0x4D3CB2A1
+)
+
+// LinkType values (subset).
+const (
+	LinkTypeEthernet uint32 = 1
+	LinkTypeRaw      uint32 = 101
+)
+
+const (
+	fileHeaderLen   = 24
+	packetHeaderLen = 16
+	// MaxSnapLen bounds per-packet capture length to protect readers
+	// from corrupt length fields.
+	MaxSnapLen = 262144
+)
+
+// ErrCorrupt reports a structurally invalid capture file.
+var ErrCorrupt = errors.New("pcap: corrupt capture file")
+
+// CaptureInfo describes one captured packet.
+type CaptureInfo struct {
+	// Timestamp is the capture time.
+	Timestamp time.Time
+	// CaptureLength is the number of bytes recorded in the file.
+	CaptureLength int
+	// Length is the original wire length; always >= CaptureLength.
+	Length int
+	// InterfaceIndex identifies the capturing interface for formats
+	// that record it (pcapng); zero otherwise.
+	InterfaceIndex int
+}
+
+// PacketReader is the read side shared by the classic and pcapng
+// readers.
+type PacketReader interface {
+	// ReadPacket returns the next packet; the data slice may be reused
+	// by subsequent calls. io.EOF marks a clean end of file.
+	ReadPacket() (CaptureInfo, []byte, error)
+}
+
+// Header is the global file header.
+type Header struct {
+	SnapLen  uint32
+	LinkType uint32
+	// Nanosecond reports nanosecond timestamp resolution.
+	Nanosecond bool
+}
+
+// Writer emits a pcap file to an io.Writer.
+type Writer struct {
+	w           io.Writer
+	hdr         Header
+	scratch     [packetHeaderLen]byte
+	wroteHeader bool
+}
+
+// NewWriter returns a Writer that will emit packets with the given
+// header parameters. The file header is written lazily on first use or
+// by an explicit WriteHeader call.
+func NewWriter(w io.Writer, hdr Header) *Writer {
+	if hdr.SnapLen == 0 {
+		hdr.SnapLen = 65535
+	}
+	if hdr.LinkType == 0 {
+		hdr.LinkType = LinkTypeEthernet
+	}
+	return &Writer{w: w, hdr: hdr}
+}
+
+// WriteHeader writes the 24-byte global header. It is idempotent.
+func (w *Writer) WriteHeader() error {
+	if w.wroteHeader {
+		return nil
+	}
+	var buf [fileHeaderLen]byte
+	magic := MagicMicroseconds
+	if w.hdr.Nanosecond {
+		magic = MagicNanoseconds
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], magic)
+	binary.LittleEndian.PutUint16(buf[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(buf[6:8], 4) // version minor
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(buf[16:20], w.hdr.SnapLen)
+	binary.LittleEndian.PutUint32(buf[20:24], w.hdr.LinkType)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return fmt.Errorf("pcap: writing file header: %w", err)
+	}
+	w.wroteHeader = true
+	return nil
+}
+
+// WritePacket appends one packet record. ci.CaptureLength must equal
+// len(data); ci.Length may exceed it for truncated captures.
+func (w *Writer) WritePacket(ci CaptureInfo, data []byte) error {
+	if err := w.WriteHeader(); err != nil {
+		return err
+	}
+	if ci.CaptureLength != len(data) {
+		return fmt.Errorf("pcap: capture length %d != data length %d", ci.CaptureLength, len(data))
+	}
+	if ci.Length < ci.CaptureLength {
+		return fmt.Errorf("pcap: wire length %d < capture length %d", ci.Length, ci.CaptureLength)
+	}
+	secs := ci.Timestamp.Unix()
+	var frac int64
+	if w.hdr.Nanosecond {
+		frac = int64(ci.Timestamp.Nanosecond())
+	} else {
+		frac = int64(ci.Timestamp.Nanosecond()) / 1000
+	}
+	binary.LittleEndian.PutUint32(w.scratch[0:4], uint32(secs))
+	binary.LittleEndian.PutUint32(w.scratch[4:8], uint32(frac))
+	binary.LittleEndian.PutUint32(w.scratch[8:12], uint32(ci.CaptureLength))
+	binary.LittleEndian.PutUint32(w.scratch[12:16], uint32(ci.Length))
+	if _, err := w.w.Write(w.scratch[:]); err != nil {
+		return fmt.Errorf("pcap: writing packet header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: writing packet data: %w", err)
+	}
+	return nil
+}
+
+// Reader streams packets from a pcap file.
+type Reader struct {
+	r       io.Reader
+	hdr     Header
+	order   binary.ByteOrder
+	buf     []byte
+	scratch [packetHeaderLen]byte
+}
+
+// NewReader parses the global header and returns a Reader positioned at
+// the first packet record.
+func NewReader(r io.Reader) (*Reader, error) {
+	var buf [fileHeaderLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading file header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint32(buf[0:4])
+	var order binary.ByteOrder
+	var nanos bool
+	switch magic {
+	case MagicMicroseconds:
+		order = binary.LittleEndian
+	case MagicNanoseconds:
+		order, nanos = binary.LittleEndian, true
+	case magicMicrosecondsSwapped:
+		order = binary.BigEndian
+	case magicNanosecondsSwapped:
+		order, nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("%w: unknown magic %#08x", ErrCorrupt, magic)
+	}
+	major := order.Uint16(buf[4:6])
+	if major != 2 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, major)
+	}
+	hdr := Header{
+		SnapLen:    order.Uint32(buf[16:20]),
+		LinkType:   order.Uint32(buf[20:24]),
+		Nanosecond: nanos,
+	}
+	return &Reader{r: r, hdr: hdr, order: order}, nil
+}
+
+// Header returns the parsed global header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// ReadPacket returns the next packet. The returned data slice is reused by
+// subsequent calls; copy it to retain. io.EOF marks a clean end of file;
+// io.ErrUnexpectedEOF a file truncated mid-record.
+func (r *Reader) ReadPacket() (CaptureInfo, []byte, error) {
+	var ci CaptureInfo
+	if _, err := io.ReadFull(r.r, r.scratch[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return ci, nil, io.EOF
+		}
+		return ci, nil, fmt.Errorf("pcap: reading packet header: %w", err)
+	}
+	secs := r.order.Uint32(r.scratch[0:4])
+	frac := r.order.Uint32(r.scratch[4:8])
+	capLen := r.order.Uint32(r.scratch[8:12])
+	wireLen := r.order.Uint32(r.scratch[12:16])
+	if capLen > MaxSnapLen {
+		return ci, nil, fmt.Errorf("%w: capture length %d exceeds limit", ErrCorrupt, capLen)
+	}
+	if wireLen < capLen {
+		return ci, nil, fmt.Errorf("%w: wire length %d below capture length %d", ErrCorrupt, wireLen, capLen)
+	}
+	nanos := int64(frac)
+	if !r.hdr.Nanosecond {
+		nanos *= 1000
+	}
+	ci.Timestamp = time.Unix(int64(secs), nanos).UTC()
+	ci.CaptureLength = int(capLen)
+	ci.Length = int(wireLen)
+	if cap(r.buf) < int(capLen) {
+		r.buf = make([]byte, capLen)
+	}
+	data := r.buf[:capLen]
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return ci, nil, fmt.Errorf("pcap: reading packet data: %w", err)
+	}
+	return ci, data, nil
+}

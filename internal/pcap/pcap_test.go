@@ -1,0 +1,317 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+var testTime = time.Date(2001, time.July, 24, 9, 0, 0, 123456000, time.UTC)
+
+func writeCapture(t *testing.T, hdr Header, packets [][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, hdr)
+	for i, p := range packets {
+		ci := CaptureInfo{
+			Timestamp:     testTime.Add(time.Duration(i) * time.Second),
+			CaptureLength: len(p),
+			Length:        len(p),
+		}
+		if err := w.WritePacket(ci, p); err != nil {
+			t.Fatalf("WritePacket(%d): %v", i, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestRoundtripMicroseconds(t *testing.T) {
+	packets := [][]byte{{1, 2, 3}, {4, 5, 6, 7}, {}}
+	raw := writeCapture(t, Header{}, packets)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header().LinkType != LinkTypeEthernet || r.Header().SnapLen != 65535 || r.Header().Nanosecond {
+		t.Errorf("header = %+v", r.Header())
+	}
+	for i, want := range packets {
+		ci, data, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("packet %d data = %v, want %v", i, data, want)
+		}
+		wantTS := testTime.Add(time.Duration(i) * time.Second).Truncate(time.Microsecond)
+		if !ci.Timestamp.Equal(wantTS) {
+			t.Errorf("packet %d ts = %v, want %v", i, ci.Timestamp, wantTS)
+		}
+	}
+	if _, _, err := r.ReadPacket(); err != io.EOF {
+		t.Errorf("after last packet: err = %v, want io.EOF", err)
+	}
+}
+
+func TestRoundtripNanoseconds(t *testing.T) {
+	ts := time.Date(2001, time.July, 24, 9, 0, 0, 123456789, time.UTC)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{Nanosecond: true})
+	if err := w.WritePacket(CaptureInfo{Timestamp: ts, CaptureLength: 1, Length: 1}, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Header().Nanosecond {
+		t.Error("nanosecond flag lost")
+	}
+	ci, _, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Timestamp.Equal(ts) {
+		t.Errorf("ts = %v, want %v (full ns precision)", ci.Timestamp, ts)
+	}
+}
+
+func TestMicrosecondTruncation(t *testing.T) {
+	ts := time.Date(2001, time.July, 24, 9, 0, 0, 123456789, time.UTC)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{})
+	if err := w.WritePacket(CaptureInfo{Timestamp: ts, CaptureLength: 1, Length: 1}, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	ci, _, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ci.Timestamp, ts.Truncate(time.Microsecond); !got.Equal(want) {
+		t.Errorf("ts = %v, want %v (µs resolution)", got, want)
+	}
+}
+
+func TestBigEndianCapture(t *testing.T) {
+	// Hand-build a big-endian (swapped magic) capture with one packet.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], MagicMicroseconds) // BE write of the magic reads as swapped on LE
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], uint32(testTime.Unix()))
+	binary.BigEndian.PutUint32(rec[4:8], 500000) // 0.5 s in µs
+	binary.BigEndian.PutUint32(rec[8:12], 3)
+	binary.BigEndian.PutUint32(rec[12:16], 3)
+	buf.Write(rec)
+	buf.Write([]byte{0xAA, 0xBB, 0xCC})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header().LinkType != LinkTypeEthernet {
+		t.Errorf("link type = %d", r.Header().LinkType)
+	}
+	ci, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{0xAA, 0xBB, 0xCC}) {
+		t.Errorf("data = %v", data)
+	}
+	want := time.Unix(testTime.Unix(), 500000000).UTC()
+	if !ci.Timestamp.Equal(want) {
+		t.Errorf("ts = %v, want %v", ci.Timestamp, want)
+	}
+}
+
+func TestUnknownMagic(t *testing.T) {
+	raw := make([]byte, 24)
+	binary.LittleEndian.PutUint32(raw, 0xDEADBEEF)
+	_, err := NewReader(bytes.NewReader(raw))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	raw := make([]byte, 24)
+	binary.LittleEndian.PutUint32(raw[0:4], MagicMicroseconds)
+	binary.LittleEndian.PutUint16(raw[4:6], 3) // major version 3
+	_, err := NewReader(bytes.NewReader(raw))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestShortFileHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte{1, 2, 3}))
+	if err == nil {
+		t.Error("3-byte file accepted")
+	}
+}
+
+func TestTruncatedPacketHeader(t *testing.T) {
+	raw := writeCapture(t, Header{}, [][]byte{{1, 2, 3}})
+	r, err := NewReader(bytes.NewReader(raw[:24+8])) // half a record header
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = r.ReadPacket()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want a non-EOF error for mid-header truncation", err)
+	}
+}
+
+func TestTruncatedPacketBody(t *testing.T) {
+	raw := writeCapture(t, Header{}, [][]byte{{1, 2, 3, 4, 5}})
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = r.ReadPacket()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestCorruptCaptureLength(t *testing.T) {
+	raw := writeCapture(t, Header{}, [][]byte{{1}})
+	// Overwrite the record's capture length with something absurd.
+	binary.LittleEndian.PutUint32(raw[24+8:24+12], MaxSnapLen+1)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = r.ReadPacket()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWireLengthBelowCaptureLength(t *testing.T) {
+	raw := writeCapture(t, Header{}, [][]byte{{1, 2, 3}})
+	binary.LittleEndian.PutUint32(raw[24+12:24+16], 1) // wire length 1 < capture 3
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = r.ReadPacket()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	w := NewWriter(io.Discard, Header{})
+	if err := w.WritePacket(CaptureInfo{CaptureLength: 2, Length: 2}, []byte{1}); err == nil {
+		t.Error("capture length mismatch accepted")
+	}
+	if err := w.WritePacket(CaptureInfo{CaptureLength: 2, Length: 1}, []byte{1, 2}); err == nil {
+		t.Error("wire < capture accepted")
+	}
+}
+
+func TestWriterHeaderIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{})
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Errorf("double WriteHeader produced %d bytes, want 24", buf.Len())
+	}
+}
+
+func TestWriterLazyHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{})
+	if err := w.WritePacket(CaptureInfo{Timestamp: testTime, CaptureLength: 1, Length: 1}, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24+16+1 {
+		t.Errorf("lazy header: file is %d bytes, want 41", buf.Len())
+	}
+}
+
+func TestSnappedCapture(t *testing.T) {
+	// Wire length larger than capture length is legal (snapped capture).
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{SnapLen: 4})
+	if err := w.WritePacket(CaptureInfo{Timestamp: testTime, CaptureLength: 4, Length: 1500}, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	ci, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.CaptureLength != 4 || ci.Length != 1500 || len(data) != 4 {
+		t.Errorf("ci = %+v, len(data) = %d", ci, len(data))
+	}
+}
+
+func TestReaderBufferReuse(t *testing.T) {
+	raw := writeCapture(t, Header{}, [][]byte{{1, 1, 1}, {2, 2, 2}})
+	r, _ := NewReader(bytes.NewReader(raw))
+	_, first, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := make([]byte, len(first))
+	copy(saved, first)
+	if _, _, err := r.ReadPacket(); err != nil {
+		t.Fatal(err)
+	}
+	// The documented contract: the first slice may now hold new data.
+	if bytes.Equal(first, saved) {
+		t.Skip("buffer not reused on this path; contract is 'may reuse'")
+	}
+}
+
+func TestManyPacketsStreaming(t *testing.T) {
+	const n = 10000
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{})
+	payload := bytes.Repeat([]byte{0x5A}, 60)
+	for i := 0; i < n; i++ {
+		ci := CaptureInfo{
+			Timestamp:     testTime.Add(time.Duration(i) * time.Millisecond),
+			CaptureLength: len(payload),
+			Length:        len(payload),
+		}
+		if err := w.WritePacket(ci, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, _, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != n {
+		t.Errorf("read %d packets, want %d", count, n)
+	}
+}

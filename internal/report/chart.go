@@ -1,0 +1,219 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// sparkGlyphs are the eight block-element levels used by Sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a one-line miniature chart of xs. Values are scaled
+// to the series' own [min, max]; NaNs render as spaces. An empty series
+// yields an empty string.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) { // all NaN
+		return strings.Repeat(" ", len(xs))
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((x - lo) / span * float64(len(sparkGlyphs)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkGlyphs) {
+			idx = len(sparkGlyphs) - 1
+		}
+		sb.WriteRune(sparkGlyphs[idx])
+	}
+	return sb.String()
+}
+
+// Series pairs a label with a numeric series for charting.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// ChartConfig controls ASCII chart rendering.
+type ChartConfig struct {
+	// Width is the plot area width in characters. Default 72.
+	Width int
+	// Height is the plot area height in rows. Default 16.
+	Height int
+	// YMin/YMax fix the vertical range; when both are zero the range is
+	// taken from the data.
+	YMin, YMax float64
+	// LogY plots log10 of the values (zeros and negatives are skipped).
+	LogY bool
+	// Title is printed above the plot when non-empty.
+	Title string
+	// XLabel annotates the x axis when non-empty.
+	XLabel string
+}
+
+// seriesMarks assigns one plotting glyph per series, cycling.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Chart renders one or more series as an ASCII line chart. Series are
+// resampled onto the chart width; each gets a distinct mark, listed in
+// the legend below the plot.
+func Chart(w io.Writer, cfg ChartConfig, series ...Series) error {
+	if cfg.Width <= 0 {
+		cfg.Width = 72
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 16
+	}
+	// Determine the y range.
+	lo, hi := cfg.YMin, cfg.YMax
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Values {
+				v = transform(v, cfg.LogY)
+				if math.IsNaN(v) {
+					continue
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0, 1
+		}
+	} else if cfg.LogY {
+		lo, hi = transform(lo, true), transform(hi, true)
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		n := len(s.Values)
+		if n == 0 {
+			continue
+		}
+		for col := 0; col < cfg.Width; col++ {
+			// Resample: average the bucket of points mapping to col.
+			from := col * n / cfg.Width
+			to := (col + 1) * n / cfg.Width
+			if to <= from {
+				to = from + 1
+			}
+			if from >= n {
+				break
+			}
+			if to > n {
+				to = n
+			}
+			var sum float64
+			var cnt int
+			for i := from; i < to; i++ {
+				v := transform(s.Values[i], cfg.LogY)
+				if math.IsNaN(v) {
+					continue
+				}
+				sum += v
+				cnt++
+			}
+			if cnt == 0 {
+				continue
+			}
+			v := sum / float64(cnt)
+			row := int((hi - v) / (hi - lo) * float64(cfg.Height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= cfg.Height {
+				row = cfg.Height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	if cfg.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", cfg.Title); err != nil {
+			return err
+		}
+	}
+	axisLabel := func(v float64) string {
+		if cfg.LogY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", 9)
+		switch i {
+		case 0:
+			label = axisLabel(hi)
+		case cfg.Height - 1:
+			label = axisLabel(lo)
+		case (cfg.Height - 1) / 2:
+			label = axisLabel((hi + lo) / 2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", cfg.Width)); err != nil {
+		return err
+	}
+	if cfg.XLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 9), cfg.XLabel); err != nil {
+			return err
+		}
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		if _, err := fmt.Fprintf(w, "%s   %c %s\n", strings.Repeat(" ", 9), mark, s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func transform(v float64, logY bool) float64 {
+	if !logY {
+		return v
+	}
+	if v <= 0 {
+		return math.NaN()
+	}
+	return math.Log10(v)
+}

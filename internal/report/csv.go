@@ -1,0 +1,52 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSVSeries writes one or more equally-indexed series as CSV with
+// an index column named idxName. Series of different lengths are padded
+// with empty cells.
+func WriteCSVSeries(w io.Writer, idxName string, series ...Series) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, idxName)
+	maxLen := 0
+	for _, s := range series {
+		header = append(header, s.Label)
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: writing CSV header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < maxLen; i++ {
+		row[0] = strconv.Itoa(i)
+		for j, s := range series {
+			if i < len(s.Values) {
+				row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+			} else {
+				row[j+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// IntsToFloats converts an int series for charting/CSV.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

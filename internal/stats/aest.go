@@ -1,0 +1,330 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the "aest" heavy-tail estimator of Crovella and
+// Taqqu ("Estimating the Heavy Tail Index from Scaling Properties",
+// Methodology and Computing in Applied Probability, 1999) — reference [1]
+// of the paper. The estimator exploits the single-large-jump property of
+// heavy-tailed sums: if X has a power-law tail with index alpha, the
+// m-fold aggregate X^(m) (sums over non-overlapping blocks of size m)
+// satisfies P[X^(m) > x] ≈ m · P[X > x] deep in the tail, so complementary
+// distribution plots at successive aggregation levels are parallel lines
+// in log-log space, offset horizontally by log(m2/m1)/alpha and
+// vertically by log(m2/m1). aest estimates alpha from the measured
+// horizontal offsets and reports the *tail onset*: the smallest abscissa
+// beyond which the scaling relation (and a straight-line CCDF) holds.
+//
+// The paper uses the tail onset directly as the elephant separation
+// threshold theta(t).
+
+// AestConfig tunes the estimator. The zero value selects defaults
+// matching the published tool's behaviour on datasets of 10^3–10^5
+// points.
+type AestConfig struct {
+	// AggregationLevels lists block sizes m for the aggregates; the
+	// base level 1 is implicit. Defaults to {2, 4, 8}.
+	AggregationLevels []int
+	// MinTailPoints is the minimum number of distinct CCDF support
+	// points the detected tail must span. Defaults to 10.
+	MinTailPoints int
+	// SlopeTolerance bounds the allowed relative disagreement between
+	// tail slopes across aggregation levels. Aggregates of samples with
+	// tail index approaching 2 bend towards Gaussian behaviour at
+	// moderate probabilities, steepening their near-onset slope, so the
+	// tolerance is generous. Defaults to 0.45.
+	SlopeTolerance float64
+	// MinR2 is the minimum goodness of the log-log linear fit in the
+	// tail at every level. Defaults to 0.97.
+	MinR2 float64
+	// CandidateQuantiles are the sample quantiles used as candidate
+	// tail-onset abscissas, scanned in order. Defaults to the 25 values
+	// 0.50, 0.52, ..., 0.98.
+	CandidateQuantiles []float64
+	// MinSlopeAlpha rejects candidates whose base-level log-log slope
+	// implies a tail index at or below this value. A detected "tail"
+	// with index <= 1 would have infinite mean — impossible for
+	// quantities bounded by a finite link capacity — and in practice
+	// marks the deceptively straight upper body of a lognormal.
+	// Defaults to 1.0.
+	MinSlopeAlpha float64
+}
+
+func (c *AestConfig) defaults() {
+	if len(c.AggregationLevels) == 0 {
+		c.AggregationLevels = []int{2, 4, 8}
+	}
+	if c.MinTailPoints == 0 {
+		c.MinTailPoints = 10
+	}
+	if c.SlopeTolerance == 0 {
+		c.SlopeTolerance = 0.45
+	}
+	if c.MinR2 == 0 {
+		c.MinR2 = 0.97
+	}
+	if len(c.CandidateQuantiles) == 0 {
+		qs := make([]float64, 0, 25)
+		for q := 0.50; q <= 0.981; q += 0.02 {
+			qs = append(qs, q)
+		}
+		c.CandidateQuantiles = qs
+	}
+	if c.MinSlopeAlpha == 0 {
+		c.MinSlopeAlpha = 1.0
+	}
+}
+
+// AestResult reports the estimator's findings.
+type AestResult struct {
+	// TailFound reports whether any candidate onset satisfied the
+	// scaling criteria.
+	TailFound bool
+	// TailOnset is the abscissa after which power-law behaviour holds;
+	// the paper sets theta(t) to this value.
+	TailOnset float64
+	// Alpha is the tail index estimated from inter-level horizontal
+	// shifts (the aest estimate proper).
+	Alpha float64
+	// SlopeAlpha is the tail index implied by the base-level log-log
+	// slope, a sanity cross-check (slope ≈ -alpha).
+	SlopeAlpha float64
+	// TailFraction is the fraction of the sample beyond the onset.
+	TailFraction float64
+	// Levels records the per-aggregation-level tail slopes actually
+	// fitted, for diagnostics.
+	Levels []AestLevel
+}
+
+// AestLevel is a per-aggregation-level diagnostic.
+type AestLevel struct {
+	M     int     // aggregation block size
+	Slope float64 // fitted log-log tail slope
+	R2    float64
+	N     int // tail points used in the fit
+}
+
+// Aggregate returns the m-aggregated series: sums over consecutive
+// non-overlapping blocks of size m. The trailing partial block is
+// dropped. Aggregate panics on m < 1, a programmer error.
+func Aggregate(xs []float64, m int) []float64 {
+	if m < 1 {
+		panic(fmt.Sprintf("stats: Aggregate: block size %d < 1", m))
+	}
+	if m == 1 {
+		out := make([]float64, len(xs))
+		copy(out, xs)
+		return out
+	}
+	n := len(xs) / m
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < m; j++ {
+			s += xs[i*m+j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Aest runs the scaling estimator on the sample xs. It needs on the
+// order of a few hundred positive observations; smaller samples return
+// TailFound == false rather than an error, because "no detectable tail"
+// is an expected outcome the classifier must handle (it falls back to a
+// quantile threshold).
+func Aest(xs []float64, cfg AestConfig) AestResult {
+	cfg.defaults()
+	var res AestResult
+
+	base := NewCCDF(xs)
+	if base.Len() < cfg.MinTailPoints*2 {
+		return res
+	}
+	// Positive sample values, sorted inside NewCCDF; reconstruct the
+	// positive sample for quantile candidates.
+	positive := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 && !math.IsNaN(x) && !math.IsInf(x, 0) {
+			positive = append(positive, x)
+		}
+	}
+
+	// Aggregated CCDFs, computed once.
+	aggCCDF := make([]CCDF, len(cfg.AggregationLevels))
+	for i, m := range cfg.AggregationLevels {
+		if m < 2 {
+			continue
+		}
+		agg := Aggregate(positive, m)
+		aggCCDF[i] = NewCCDF(agg)
+	}
+
+	for _, q := range cfg.CandidateQuantiles {
+		onset := Quantile(positive, q)
+		levels, ok := fitLevels(base, aggCCDF, cfg, onset)
+		if !ok {
+			continue
+		}
+		alpha, ok := shiftAlpha(base, aggCCDF, cfg, onset)
+		if !ok {
+			continue
+		}
+		res.TailFound = true
+		res.TailOnset = onset
+		res.Alpha = alpha
+		res.SlopeAlpha = -levels[0].Slope
+		res.Levels = levels
+		tail := 0
+		for _, x := range positive {
+			if x > onset {
+				tail++
+			}
+		}
+		res.TailFraction = float64(tail) / float64(len(positive))
+		return res
+	}
+	return res
+}
+
+// fitLevels fits log-log tail lines at every aggregation level beyond
+// onset and checks straightness and cross-level slope agreement.
+func fitLevels(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) ([]AestLevel, bool) {
+	fit := func(c CCDF, m int, from float64) (AestLevel, bool) {
+		tail := c.TailFrom(from)
+		if tail.Len() < cfg.MinTailPoints {
+			return AestLevel{}, false
+		}
+		lx, lp := tail.LogLog()
+		f, err := FitLine(lx, lp)
+		if err != nil || f.R2 < cfg.MinR2 || f.Slope >= 0 {
+			return AestLevel{}, false
+		}
+		return AestLevel{M: m, Slope: f.Slope, R2: f.R2, N: tail.Len()}, true
+	}
+
+	levels := make([]AestLevel, 0, 1+len(aggs))
+	l0, ok := fit(base, 1, onset)
+	if !ok {
+		return nil, false
+	}
+	if -l0.Slope <= cfg.MinSlopeAlpha {
+		return nil, false
+	}
+	levels = append(levels, l0)
+	// The m-aggregate's distribution is shifted right by roughly m·E[X],
+	// so its scaling region does not start at the base onset abscissa.
+	// Crovella–Taqqu compare levels at *equal tail probability*: the
+	// aggregate is fitted from its own abscissa carrying the same CCDF
+	// mass as the base onset. In the scaling regime the two log-log
+	// tails are then parallel lines.
+	pOnset := base.At(onset)
+	eligible, passed := 0, 0
+	for i, c := range aggs {
+		if c.Len() == 0 {
+			continue
+		}
+		m := cfg.AggregationLevels[i]
+		from, ok := c.InverseAt(pOnset)
+		if !ok {
+			continue
+		}
+		if c.TailFrom(from).Len() < cfg.MinTailPoints {
+			continue // too few points to confirm or deny at this level
+		}
+		eligible++
+		l, ok := fit(c, m, from)
+		if !ok {
+			continue
+		}
+		if rel := math.Abs(l.Slope-l0.Slope) / math.Abs(l0.Slope); rel > cfg.SlopeTolerance {
+			continue
+		}
+		passed++
+		levels = append(levels, l)
+	}
+	// The base level establishes straightness beyond the onset; the
+	// aggregation levels confirm the scaling relation. High aggregation
+	// levels of samples with alpha near 2 legitimately bend (CLT
+	// competition), so a majority of the eligible levels must confirm
+	// rather than all of them.
+	if eligible == 0 || passed*2 < eligible+1 {
+		return nil, false
+	}
+	return levels, true
+}
+
+// shiftAlpha estimates alpha from horizontal offsets between successive
+// aggregation levels: at equal tail probability p, log-abscissas differ
+// by log(m)/alpha.
+func shiftAlpha(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) (float64, bool) {
+	pStart := base.At(onset)
+	if pStart <= 0 {
+		return 0, false
+	}
+	// The single-large-jump relation P[X^(m) > x] ≈ m·P[X > x] holds
+	// deep in the tail; at moderate probabilities the aggregate is
+	// instead shifted by m·E[X], which would bias alpha towards 1. So
+	// probe the deepest usable probabilities of each aggregate — from a
+	// few points above its resolution floor upwards — rather than just
+	// below the onset probability.
+	var estimates []float64
+	for i, c := range aggs {
+		if c.Len() == 0 {
+			continue
+		}
+		m := float64(cfg.AggregationLevels[i])
+		floor := 5.0 / float64(c.Len()+1) // stay above the last few points
+		for k := 0; k <= 4; k++ {
+			p := floor * math.Pow(2, float64(k))
+			if p >= pStart {
+				break
+			}
+			x1, ok1 := base.InverseAt(p)
+			x2, ok2 := c.InverseAt(p)
+			if !ok1 || !ok2 || x2 <= x1 || x1 <= 0 {
+				continue
+			}
+			dx := math.Log10(x2) - math.Log10(x1)
+			if dx <= 0 {
+				continue
+			}
+			estimates = append(estimates, math.Log10(m)/dx)
+		}
+	}
+	if len(estimates) < 3 {
+		return 0, false
+	}
+	// Median for robustness against the discreteness of small CCDFs.
+	return Quantile(estimates, 0.5), true
+}
+
+// Hill computes the Hill estimator of the tail index using the k largest
+// order statistics. It is the classical cross-check for aest; k is
+// typically 5–15% of the sample. It returns an error for k out of range
+// or non-positive order statistics.
+func Hill(xs []float64, k int) (float64, error) {
+	if k < 2 || k >= len(xs) {
+		return 0, fmt.Errorf("stats: Hill: k=%d out of range for n=%d", k, len(xs))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	xk := sorted[n-1-k] // the (k+1)-th largest order statistic
+	if xk <= 0 {
+		return 0, fmt.Errorf("stats: Hill: order statistic x_(k)=%v is not positive", xk)
+	}
+	var sum float64
+	for i := n - k; i < n; i++ {
+		sum += math.Log(sorted[i] / xk)
+	}
+	if sum == 0 {
+		return 0, fmt.Errorf("stats: Hill: degenerate top-k (all equal)")
+	}
+	return float64(k) / sum, nil
+}

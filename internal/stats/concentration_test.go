@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLorenzEqualFlows(t *testing.T) {
+	f, l, err := Lorenz([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f {
+		if math.Abs(f[i]-l[i]) > 1e-12 {
+			t.Errorf("equal flows: Lorenz point (%v, %v) off the diagonal", f[i], l[i])
+		}
+	}
+}
+
+func TestLorenzMonotoneAndConvex(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	f, l, err := Lorenz(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[len(f)-1] != 1 || math.Abs(l[len(l)-1]-1) > 1e-12 {
+		t.Errorf("curve must end at (1,1): (%v, %v)", f[len(f)-1], l[len(l)-1])
+	}
+	for i := range f {
+		if l[i] > f[i]+1e-12 {
+			t.Errorf("Lorenz curve above diagonal at %d: (%v, %v)", i, f[i], l[i])
+		}
+		if i > 0 && (f[i] <= f[i-1] || l[i] < l[i-1]) {
+			t.Errorf("curve not monotone at %d", i)
+		}
+	}
+}
+
+func TestLorenzErrors(t *testing.T) {
+	if _, _, err := Lorenz(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := Lorenz([]float64{1, -2}); err == nil {
+		t.Error("negative value accepted")
+	}
+	if _, _, err := Lorenz([]float64{0, 0}); err == nil {
+		t.Error("zero-volume sample accepted")
+	}
+}
+
+func TestGiniExtremes(t *testing.T) {
+	g, err := Gini([]float64{7, 7, 7, 7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0 || g > 0.01 {
+		t.Errorf("equal flows: Gini = %v, want ≈ 0", g)
+	}
+	// One flow dominating 1000.
+	xs := make([]float64, 1000)
+	xs[0] = 1e12
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-6
+	}
+	g, err = Gini(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.99 {
+		t.Errorf("single dominant flow: Gini = %v, want ≈ 1", g)
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	// For {1, 3}: Lorenz points (0.5, 0.25), (1, 1).
+	// Area = 0.5*(0+0.25)/2 + 0.5*(0.25+1)/2 = 0.0625 + 0.3125 = 0.375.
+	// Gini = 1 - 0.75 = 0.25.
+	g, err := Gini([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.25) > 1e-12 {
+		t.Errorf("Gini({1,3}) = %v, want 0.25", g)
+	}
+}
+
+func TestGiniScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	scaled := make([]float64, len(xs))
+	for i := range xs {
+		scaled[i] = xs[i] * 1e9
+	}
+	a, _ := Gini(xs)
+	b, _ := Gini(scaled)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("Gini not scale-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	xs := []float64{90, 5, 3, 1, 1} // top 20% (1 of 5 flows) carries 0.9
+	got, err := TopShare(xs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("TopShare = %v, want 0.9", got)
+	}
+	if got, _ := TopShare(xs, 1); got != 1 {
+		t.Errorf("TopShare(1) = %v", got)
+	}
+}
+
+func TestTopShareErrors(t *testing.T) {
+	if _, err := TopShare(nil, 0.1); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := TopShare([]float64{1}, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := TopShare([]float64{1}, 1.1); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := TopShare([]float64{math.NaN()}, 0.5); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestTopShareDoesNotMutate(t *testing.T) {
+	xs := []float64{1, 3, 2}
+	if _, err := TopShare(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 1 || xs[1] != 3 || xs[2] != 2 {
+		t.Error("TopShare mutated its input")
+	}
+}
+
+// TestConcentrationConsistency: TopShare and the Lorenz curve describe
+// the same distribution — TopShare(xs, p) == 1 - L(1-p) at curve points.
+func TestConcentrationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64() * 1.5)
+	}
+	f, l, err := Lorenz(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.1, 0.25, 0.5} {
+		ts, err := TopShare(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find the Lorenz point at F = 1-p.
+		target := 1 - p
+		var lv float64
+		for i := range f {
+			if f[i] >= target-1e-9 {
+				lv = l[i]
+				break
+			}
+		}
+		if math.Abs(ts-(1-lv)) > 0.02 {
+			t.Errorf("p=%v: TopShare %v vs 1-L(1-p) %v", p, ts, 1-lv)
+		}
+	}
+}

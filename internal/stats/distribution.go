@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CCDF is an empirical complementary cumulative distribution function:
+// for each support point X[i], P[x > X[i]] = P[i]. Points are strictly
+// increasing in X and strictly decreasing in P (ties collapsed).
+type CCDF struct {
+	X []float64
+	P []float64
+}
+
+// NewCCDF builds the empirical CCDF of xs. Non-positive and NaN values
+// are dropped (the estimators operate in log-log space). The input is not
+// modified.
+func NewCCDF(xs []float64) CCDF {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 && !math.IsNaN(x) && !math.IsInf(x, 0) {
+			clean = append(clean, x)
+		}
+	}
+	sort.Float64s(clean)
+	n := len(clean)
+	var c CCDF
+	for i := 0; i < n; {
+		j := i
+		for j < n && clean[j] == clean[i] {
+			j++
+		}
+		// P[x > clean[i]] = (n - j) / n, computed at the last tie.
+		p := float64(n-j) / float64(n)
+		if p > 0 { // the maximum has CCDF 0; it carries no log-log info
+			c.X = append(c.X, clean[i])
+			c.P = append(c.P, p)
+		}
+		i = j
+	}
+	return c
+}
+
+// Len reports the number of support points.
+func (c CCDF) Len() int { return len(c.X) }
+
+// At evaluates P[x > v] by step interpolation.
+func (c CCDF) At(v float64) float64 {
+	if len(c.X) == 0 {
+		return 0
+	}
+	// First index with X > v; CCDF at v equals P of the last X <= v.
+	i := sort.SearchFloat64s(c.X, v)
+	if i < len(c.X) && c.X[i] == v {
+		return c.P[i]
+	}
+	if i == 0 {
+		return 1
+	}
+	return c.P[i-1]
+}
+
+// InverseAt returns the smallest support point x with P[X > x] <= p,
+// i.e. the (1-p)-quantile read off the CCDF. ok is false for an empty
+// distribution or when no point is that rare.
+func (c CCDF) InverseAt(p float64) (float64, bool) {
+	for i := range c.X {
+		if c.P[i] <= p {
+			return c.X[i], true
+		}
+	}
+	return 0, false
+}
+
+// TailFrom returns the sub-CCDF restricted to support points >= x0.
+func (c CCDF) TailFrom(x0 float64) CCDF {
+	i := sort.SearchFloat64s(c.X, x0)
+	return CCDF{X: c.X[i:], P: c.P[i:]}
+}
+
+// LogLog returns the support in (log10 x, log10 p) coordinates.
+func (c CCDF) LogLog() (lx, lp []float64) {
+	lx = make([]float64, len(c.X))
+	lp = make([]float64, len(c.P))
+	for i := range c.X {
+		lx[i] = math.Log10(c.X[i])
+		lp[i] = math.Log10(c.P[i])
+	}
+	return lx, lp
+}
+
+// LinearFit is an ordinary-least-squares line y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64 // coefficient of determination
+	N                int
+}
+
+// FitLine computes the OLS fit of y on x. It returns an error when fewer
+// than two distinct x values are supplied.
+func FitLine(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: FitLine: mismatched lengths %d, %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("stats: FitLine: need >= 2 points, got %d", n)
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: FitLine: x values are constant")
+	}
+	f := LinearFit{N: n}
+	f.Slope = sxy / sxx
+	f.Intercept = my - f.Slope*mx
+	if syy == 0 {
+		f.R2 = 1
+	} else {
+		f.R2 = sxy * sxy / (sxx * syy)
+	}
+	return f, nil
+}
+
+// Histogram is a fixed-width-bin histogram over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	// Underflow and Overflow count out-of-range observations.
+	Underflow, Overflow int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || !(max > min) {
+		panic(fmt.Sprintf("stats: NewHistogram: invalid range [%v,%v) with %d bins", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Min:
+		h.Underflow++
+	case x >= h.Max:
+		h.Overflow++
+	default:
+		width := (h.Max - h.Min) / float64(len(h.Counts))
+		i := int((x - h.Min) / width)
+		if i >= len(h.Counts) { // guard float edge at Max
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the in-range observation count.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*width
+}
