@@ -11,10 +11,13 @@ package repro
 // code at full paper scale with charts.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -328,6 +331,67 @@ func BenchmarkWorkloadSynthesis(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSnapshotStep measures the columnar hot path end to end: emit
+// one interval as a reused sorted FlowSnapshot and classify it. This is
+// the successor of the map-snapshot path (built, sorted and torn down a
+// map per interval); compare against BenchmarkClassifyInterval for the
+// whole-run view.
+func BenchmarkSnapshotStep(b *testing.B) {
+	ls := buildLinks(b)
+	cfg, err := experiments.SchemeConfig{LatentHeat: true}.NewConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap *core.FlowSnapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap = ls.West.Snapshot(i%ls.West.Intervals, snap)
+		if _, err := pipe.Step(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(snap.Len()), "flows/interval")
+}
+
+// BenchmarkMultiLinkEngine measures the concurrent multi-link engine on
+// an 8-link backbone (the two evaluation links replicated under distinct
+// seeds), the scaling unit all future sharding work builds on.
+func BenchmarkMultiLinkEngine(b *testing.B) {
+	cfg := benchConfig()
+	links := make([]engine.Link, 0, 8)
+	for i := 0; i < 4; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		ls, err := experiments.BuildLinks(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := experiments.SchemeConfig{LatentHeat: true}
+		links = append(links,
+			sc.Link(fmt.Sprintf("west-%d", i), ls.West),
+			sc.Link(fmt.Sprintf("east-%d", i), ls.East),
+		)
+	}
+	eng := engine.MultiLinkEngine{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eng.Run(links)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lr := range out {
+			if lr.Err != nil {
+				b.Fatal(lr.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(links)), "links/op")
 }
 
 // BenchmarkClassifyInterval measures the marginal cost of classifying

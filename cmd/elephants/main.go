@@ -23,6 +23,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bgp"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/pcap"
 	"repro/internal/report"
@@ -95,10 +96,17 @@ func run(pcapPath, tablePath, scheme string, beta, alpha float64, latent bool, w
 	if scheme != "aest" && scheme != "load" {
 		return fmt.Errorf("unknown scheme %q (want aest or load)", scheme)
 	}
-	results, err := experiments.RunScheme(series, sc)
+	// A single capture is a one-link engine run; feeding several links
+	// (one pcap per monitored interface) classifies them concurrently.
+	eng := engine.MultiLinkEngine{}
+	lrs, err := eng.Run([]engine.Link{sc.Link(pcapPath, series)})
 	if err != nil {
 		return err
 	}
+	if lrs[0].Err != nil {
+		return lrs[0].Err
+	}
+	results := lrs[0].Results
 
 	fmt.Printf("scheme: %s\n\n", sc.Name())
 	tab := report.NewTable("interval", "start", "active", "elephants", "load Mb/s", "eleph frac", "theta Mb/s")
@@ -151,7 +159,7 @@ func printTop(series *agg.Series, results []core.Result, top int) {
 	counts := make(map[string]int)
 	vols := make(map[string]float64)
 	for _, r := range results {
-		for p := range r.Elephants {
+		for _, p := range r.Elephants.Flows() {
 			counts[p.String()]++
 			vols[p.String()] += r.TotalLoad // approximation for ordering only
 		}

@@ -6,17 +6,23 @@
 // volume threshold (detected per measurement interval via the "aest"
 // heavy-tail estimator or the "β-constant load" rule, then EWMA-smoothed)
 // with the "latent heat" persistence metric — lives in internal/core.
-// Everything it needs to run is implemented here as well: a layered
-// packet decoder/serializer (internal/packet), a pcap file reader/writer
-// (internal/pcap), a BGP table with longest-prefix match
-// (internal/bgp), the statistical machinery including the Crovella–Taqqu
-// scaling estimator (internal/stats), a synthetic backbone workload
-// generator standing in for the proprietary Sprint OC-12 traces
-// (internal/trace), the per-prefix measurement pipeline (internal/agg),
-// evaluation metrics (internal/analysis) and the per-figure reproduction
-// harness (internal/experiments).
+// Its interval hot path is columnar: internal/agg emits each interval as
+// a sorted core.FlowSnapshot (prefix column + bandwidth column, reused
+// across intervals) that detectors and classifiers consume directly, and
+// internal/engine runs one classification pipeline per monitored link
+// concurrently on a worker pool with deterministic, seed-reproducible
+// output. Everything the methodology needs to run is implemented here as
+// well: a layered packet decoder/serializer (internal/packet), a pcap
+// file reader/writer (internal/pcap), a BGP table with longest-prefix
+// match (internal/bgp), the statistical machinery including the
+// Crovella–Taqqu scaling estimator (internal/stats), a synthetic
+// backbone workload generator standing in for the proprietary Sprint
+// OC-12 traces (internal/trace), the per-prefix measurement pipeline
+// (internal/agg), evaluation metrics (internal/analysis) and the
+// per-figure reproduction harness (internal/experiments).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
+// See README.md for a tour, ARCHITECTURE.md for the layer stack and the
+// snapshot ownership contract, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate every figure and quantitative claim:
 //

@@ -16,7 +16,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"net/netip"
 	"sort"
 	"time"
 
@@ -29,7 +28,7 @@ import (
 type snapshotMsg struct {
 	interval int
 	at       time.Time
-	flows    map[netip.Prefix]float64
+	flows    *core.FlowSnapshot
 }
 
 func main() {
@@ -62,7 +61,9 @@ func main() {
 			feed <- snapshotMsg{
 				interval: t,
 				at:       series.IntervalTime(t),
-				flows:    series.IntervalSnapshot(t, nil), // fresh map: it crosses a goroutine
+				// Fresh snapshot per tick: it crosses a goroutine, so
+				// the usual single-owner reuse does not apply.
+				flows: series.Snapshot(t, nil),
 			}
 		}
 	}()
@@ -80,7 +81,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	prev := make(map[netip.Prefix]bool)
+	var prev core.ElephantSet
 	for msg := range feed {
 		res, err := pipe.Step(msg.flows)
 		if err != nil {
@@ -103,14 +104,14 @@ func main() {
 
 // diff returns prefixes entering and leaving the elephant set, sorted
 // for stable output.
-func diff(prev, cur map[netip.Prefix]bool) (promoted, demoted []string) {
-	for p := range cur {
-		if !prev[p] {
+func diff(prev, cur core.ElephantSet) (promoted, demoted []string) {
+	for _, p := range cur.Flows() {
+		if !prev.Contains(p) {
 			promoted = append(promoted, p.String())
 		}
 	}
-	for p := range prev {
-		if !cur[p] {
+	for _, p := range prev.Flows() {
+		if !cur.Contains(p) {
 			demoted = append(demoted, p.String())
 		}
 	}

@@ -117,13 +117,15 @@ func main() {
 			log.Fatal(err)
 		}
 		var out []map[string]bool
+		var snap *core.FlowSnapshot
 		for t := 0; t < s.Intervals; t++ {
-			res, err := pipe.Step(s.IntervalSnapshot(t, nil))
+			snap = s.Snapshot(t, snap)
+			res, err := pipe.Step(snap)
 			if err != nil {
 				log.Fatal(err)
 			}
-			set := make(map[string]bool, len(res.Elephants))
-			for p := range res.Elephants {
+			set := make(map[string]bool, res.Elephants.Len())
+			for _, p := range res.Elephants.Flows() {
 				set[p.String()] = true
 			}
 			out = append(out, set)

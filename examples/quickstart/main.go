@@ -64,9 +64,12 @@ func main() {
 	}
 
 	// 4. Classify interval by interval, as an online TE system would.
+	// The columnar snapshot is reused across intervals: the pipeline
+	// copies out everything that must outlive the interval.
 	fmt.Println("interval  time   flows  elephants  load(Mb/s)  eleph.frac  thresh(kb/s)")
+	var snapshot *core.FlowSnapshot
 	for t := 0; t < series.Intervals; t++ {
-		snapshot := series.IntervalSnapshot(t, nil)
+		snapshot = series.Snapshot(t, snapshot)
 		res, err := pipe.Step(snapshot)
 		if err != nil {
 			log.Fatal(err)

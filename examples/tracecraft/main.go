@@ -110,13 +110,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var snap *core.FlowSnapshot
 	for t := 0; t < series.Intervals; t++ {
-		res, err := pipe.Step(series.IntervalSnapshot(t, nil))
+		snap = series.Snapshot(t, snap)
+		res, err := pipe.Step(snap)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("interval %d: elephants:", t)
-		for p := range res.Elephants {
+		for _, p := range res.Elephants.Flows() {
 			fmt.Printf(" %s (%.1f kb/s)", p, series.Bandwidth(p, t)/1e3)
 		}
 		fmt.Println()

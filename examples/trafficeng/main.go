@@ -75,26 +75,26 @@ func main() {
 // flows that carry traffic in the interval.
 func simulate(series *agg.Series, pipe *core.Pipeline) (meanShare float64, reroutes int) {
 	onElephantPath := make(map[netip.Prefix]bool)
-	var snap map[netip.Prefix]float64
+	var snap *core.FlowSnapshot
 	for t := 0; t < series.Intervals; t++ {
-		snap = series.IntervalSnapshot(t, snap)
+		snap = series.Snapshot(t, snap)
 		res, err := pipe.Step(snap)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var elephantLoad, totalLoad float64
-		for p, bw := range snap {
-			totalLoad += bw
-			nowElephant := res.Elephants[p]
+		var elephantLoad float64
+		for i := 0; i < snap.Len(); i++ {
+			p := snap.Key(i)
+			nowElephant := res.Elephants.Contains(p)
 			if nowElephant {
-				elephantLoad += bw
+				elephantLoad += snap.Bandwidth(i)
 			}
 			if was, seen := onElephantPath[p]; seen && was != nowElephant {
 				reroutes++
 			}
 			onElephantPath[p] = nowElephant
 		}
-		if totalLoad > 0 {
+		if totalLoad := snap.TotalLoad(); totalLoad > 0 {
 			meanShare += elephantLoad / totalLoad
 		}
 	}

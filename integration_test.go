@@ -6,7 +6,6 @@ package repro
 
 import (
 	"bytes"
-	"net/netip"
 	"testing"
 	"time"
 
@@ -74,18 +73,11 @@ func TestFullPipelineFromPackets(t *testing.T) {
 		// Jaccard similarity of the two elephant sets: packetization
 		// rounds each flow's bytes, so borderline flows may differ, but
 		// the sets must agree almost everywhere.
-		inter := 0
-		for p := range a {
-			if b[p] {
-				inter++
-			}
-		}
-		union := len(a) + len(b) - inter
-		if union == 0 {
+		if a.Len() == 0 && b.Len() == 0 {
 			continue
 		}
-		if j := float64(inter) / float64(union); j < 0.9 {
-			t.Errorf("interval %d: elephant sets diverge (jaccard %.2f, %d vs %d flows)", i, j, len(a), len(b))
+		if j := a.Jaccard(b); j < 0.9 {
+			t.Errorf("interval %d: elephant sets diverge (jaccard %.2f, %d vs %d flows)", i, j, a.Len(), b.Len())
 		}
 	}
 }
@@ -148,16 +140,16 @@ func TestElephantsAreActuallyHeavy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snap map[netip.Prefix]float64
+	var snap *core.FlowSnapshot
 	for tt := 24; tt < len(res); tt += 24 {
-		snap = ls.West.IntervalSnapshot(tt, snap)
-		var sum float64
-		for _, bw := range snap {
-			sum += bw
-		}
-		mean := sum / float64(len(snap))
-		for p := range res[tt].Elephants {
-			if bw := snap[p]; bw < mean {
+		snap = ls.West.Snapshot(tt, snap)
+		mean := snap.TotalLoad() / float64(snap.Len())
+		for _, p := range res[tt].Elephants.Flows() {
+			i, ok := snap.Lookup(p)
+			if !ok {
+				continue // latent-heat carryover: idle this interval
+			}
+			if bw := snap.Bandwidth(i); bw < mean {
 				t.Errorf("interval %d: elephant %v has below-mean bandwidth %.0f < %.0f", tt, p, bw, mean)
 			}
 		}

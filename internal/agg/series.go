@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Series is a flow-by-interval bandwidth matrix: for each flow (a BGP
@@ -27,6 +30,14 @@ type Series struct {
 	keys  []netip.Prefix       // row index -> prefix
 	rows  [][]float64          // bandwidth in bit/s, len = Intervals
 	total []float64            // per-interval total bandwidth in bit/s
+	// sortedIdx caches row indices in core.ComparePrefix order so
+	// Snapshot can emit sorted columns without a per-interval sort; it
+	// is rebuilt lazily — under sortedMu, because a fully aggregated
+	// series may be snapshotted by several engine workers at once
+	// (e.g. one link classified under two schemes) — when flows were
+	// added since the last build.
+	sortedMu  sync.Mutex
+	sortedIdx []int
 }
 
 // NewSeries creates an empty series with the given geometry.
@@ -107,19 +118,42 @@ func (s *Series) Row(p netip.Prefix) ([]float64, bool) {
 // TotalBandwidth returns the aggregate link load in interval t (bit/s).
 func (s *Series) TotalBandwidth(t int) float64 { return s.total[t] }
 
-// IntervalSnapshot copies the non-zero flow bandwidths of interval t into
-// dst (cleared first) and returns it; pass nil to allocate. This is the
-// per-interval view the online classifier consumes.
-func (s *Series) IntervalSnapshot(t int, dst map[netip.Prefix]float64) map[netip.Prefix]float64 {
+// sortedRows returns row indices in core.ComparePrefix order. Flows are
+// only ever added, so a length mismatch is the exact staleness signal;
+// the sort cost is amortized across all intervals classified between
+// flow arrivals. The rebuild is mutex-guarded so concurrent Snapshot
+// calls on a no-longer-mutated series are safe.
+func (s *Series) sortedRows() []int {
+	s.sortedMu.Lock()
+	defer s.sortedMu.Unlock()
+	if len(s.sortedIdx) != len(s.keys) {
+		s.sortedIdx = s.sortedIdx[:0]
+		for i := range s.keys {
+			s.sortedIdx = append(s.sortedIdx, i)
+		}
+		sort.Slice(s.sortedIdx, func(a, b int) bool {
+			return core.ComparePrefix(s.keys[s.sortedIdx[a]], s.keys[s.sortedIdx[b]]) < 0
+		})
+	}
+	return s.sortedIdx
+}
+
+// Snapshot fills dst (allocating when nil) with interval t's non-zero
+// flow bandwidths in sorted prefix order — the columnar per-interval
+// view the online classifier consumes, emitted pre-sorted so the
+// pipeline never re-sorts. The returned snapshot is reusable: pass it
+// back in for the next interval to avoid allocation. Once aggregation
+// is done (no more AddBits/SetBandwidth), Snapshot is safe to call from
+// multiple goroutines with distinct dst snapshots — the engine relies
+// on this when one link's series is classified under several schemes.
+func (s *Series) Snapshot(t int, dst *core.FlowSnapshot) *core.FlowSnapshot {
 	if dst == nil {
-		dst = make(map[netip.Prefix]float64, len(s.keys)/4)
+		dst = core.NewFlowSnapshot(len(s.keys))
 	}
-	for k := range dst {
-		delete(dst, k)
-	}
-	for i, p := range s.keys {
+	dst.Reset()
+	for _, i := range s.sortedRows() {
 		if bw := s.rows[i][t]; bw > 0 {
-			dst[p] = bw
+			dst.Append(s.keys[i], bw)
 		}
 	}
 	return dst

@@ -1,11 +1,15 @@
 package agg
 
 import (
+	"fmt"
 	"math"
 	"net/netip"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/core"
 )
 
 var (
@@ -97,18 +101,73 @@ func TestUnknownFlow(t *testing.T) {
 	}
 }
 
-func TestIntervalSnapshotSkipsZeros(t *testing.T) {
+func TestSnapshotSkipsZeros(t *testing.T) {
 	s := NewSeries(start, time.Minute, 2)
 	s.SetBandwidth(pfxA, 0, 10)
 	s.SetBandwidth(pfxB, 1, 20)
-	snap := s.IntervalSnapshot(0, nil)
-	if len(snap) != 1 || snap[pfxA] != 10 {
-		t.Errorf("snapshot 0 = %v", snap)
+	snap := s.Snapshot(0, nil)
+	if snap.Len() != 1 || snap.Key(0) != pfxA || snap.Bandwidth(0) != 10 {
+		t.Errorf("snapshot 0 = %v %v", snap.Keys(), snap.Bandwidths())
 	}
-	// Reuse: the same map must be cleared and refilled.
-	snap = s.IntervalSnapshot(1, snap)
-	if len(snap) != 1 || snap[pfxB] != 20 {
-		t.Errorf("snapshot 1 (reused map) = %v", snap)
+	// Reuse: the same snapshot must be reset and refilled.
+	snap2 := s.Snapshot(1, snap)
+	if snap2 != snap {
+		t.Error("dst snapshot not reused")
+	}
+	if snap.Len() != 1 || snap.Key(0) != pfxB || snap.Bandwidth(0) != 20 {
+		t.Errorf("snapshot 1 (reused) = %v %v", snap.Keys(), snap.Bandwidths())
+	}
+}
+
+// TestSnapshotConcurrentReaders: once aggregation is done, many
+// goroutines may snapshot the same series at once (the engine does this
+// when one link is classified under several schemes); the lazy sorted
+// index must build race-free. Run with -race.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	s := NewSeries(start, time.Minute, 4)
+	for i := 0; i < 300; i++ {
+		p := netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
+		s.SetBandwidth(p, i%4, float64(1+i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var snap *core.FlowSnapshot
+			for t0 := 0; t0 < 4; t0++ {
+				snap = s.Snapshot(t0, snap)
+				if !snap.IsSorted() {
+					t.Error("unsorted snapshot from concurrent reader")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSnapshotSortedOrder: snapshots come out in ComparePrefix order no
+// matter the insertion order, pre-sorted for the pipeline, and the lazy
+// sorted index picks up flows added after a snapshot was taken.
+func TestSnapshotSortedOrder(t *testing.T) {
+	s := NewSeries(start, time.Minute, 1)
+	for _, p := range []netip.Prefix{pfxB, pfxA} { // reverse order
+		s.SetBandwidth(p, 0, 1)
+	}
+	snap := s.Snapshot(0, nil)
+	if !snap.IsSorted() || snap.Len() != 2 {
+		t.Fatalf("sorted=%v len=%d", snap.IsSorted(), snap.Len())
+	}
+	if core.ComparePrefix(snap.Key(0), snap.Key(1)) >= 0 {
+		t.Errorf("order: %v before %v", snap.Key(0), snap.Key(1))
+	}
+	// A flow added after the first snapshot must appear, in order.
+	early := netip.MustParsePrefix("1.0.0.0/8")
+	s.SetBandwidth(early, 0, 2)
+	snap = s.Snapshot(0, snap)
+	if snap.Len() != 3 || snap.Key(0) != early {
+		t.Errorf("late-added flow misplaced: %v", snap.Keys())
 	}
 }
 

@@ -29,7 +29,7 @@ func StateSequences(results []core.Result, from, to int) map[netip.Prefix][]bool
 	out := make(map[netip.Prefix][]bool)
 	n := to - from
 	for i := from; i < to; i++ {
-		for p := range results[i].Elephants {
+		for _, p := range results[i].Elephants.Flows() {
 			seq, ok := out[p]
 			if !ok {
 				seq = make([]bool, n)

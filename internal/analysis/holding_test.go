@@ -22,12 +22,13 @@ func resultsFromPattern(patterns map[int]string) []core.Result {
 	}
 	out := make([]core.Result, n)
 	for t := range out {
-		out[t] = core.Result{Interval: t, Elephants: map[netip.Prefix]bool{}, TotalLoad: 1}
+		var members []netip.Prefix
 		for id, p := range patterns {
 			if p[t] == 'E' {
-				out[t].Elephants[pfx(id)] = true
+				members = append(members, pfx(id))
 			}
 		}
+		out[t] = core.Result{Interval: t, Elephants: core.NewElephantSet(members...), TotalLoad: 1}
 	}
 	return out
 }

@@ -30,7 +30,7 @@ func PrefixLengths(results []core.Result, series *agg.Series) PrefixLengthStats 
 	var st PrefixLengthStats
 	elephants := make(map[netip.Prefix]bool)
 	for i := range results {
-		for p := range results[i].Elephants {
+		for _, p := range results[i].Elephants.Flows() {
 			elephants[p] = true
 		}
 	}

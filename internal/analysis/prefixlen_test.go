@@ -22,8 +22,8 @@ func TestPrefixLengths(t *testing.T) {
 	s.SetBandwidth(v6, 0, 5)
 
 	res := []core.Result{
-		{Interval: 0, Elephants: map[netip.Prefix]bool{p16: true, v6: true}},
-		{Interval: 1, Elephants: map[netip.Prefix]bool{p16: true, p24: true}},
+		{Interval: 0, Elephants: core.NewElephantSet(p16, v6)},
+		{Interval: 1, Elephants: core.NewElephantSet(p16, p24)},
 	}
 	st := PrefixLengths(res, s)
 
@@ -48,7 +48,7 @@ func TestPrefixLengths(t *testing.T) {
 func TestPrefixLengthsNoElephants(t *testing.T) {
 	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
 	s := agg.NewSeries(start, time.Minute, 1)
-	st := PrefixLengths([]core.Result{{Elephants: map[netip.Prefix]bool{}}}, s)
+	st := PrefixLengths([]core.Result{{}}, s)
 	if st.MinLen != 0 || st.MaxLen != 0 || st.TotalElephantFlows() != 0 {
 		t.Errorf("empty stats: %+v", st)
 	}

@@ -36,12 +36,12 @@ func Stability(results []core.Result) SetStability {
 	for i := 1; i < len(results); i++ {
 		prev, cur := results[i-1].Elephants, results[i].Elephants
 		inter := 0
-		for p := range cur {
-			if prev[p] {
+		for _, p := range cur.Flows() {
+			if prev.Contains(p) {
 				inter++
 			}
 		}
-		union := len(prev) + len(cur) - inter
+		union := prev.Len() + cur.Len() - inter
 		j := 1.0
 		if union > 0 {
 			j = float64(inter) / float64(union)

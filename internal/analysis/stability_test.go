@@ -48,8 +48,8 @@ func TestStabilityShortInput(t *testing.T) {
 
 func TestStabilityEmptySets(t *testing.T) {
 	res := []core.Result{
-		{Elephants: map[netip.Prefix]bool{}},
-		{Elephants: map[netip.Prefix]bool{}},
+		{Elephants: core.ElephantSet{}},
+		{Elephants: core.ElephantSet{}},
 	}
 	st := Stability(res)
 	if st.MeanJaccard != 1 {

@@ -10,8 +10,9 @@ package baseline
 
 import (
 	"fmt"
-	"net/netip"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // FixedThresholdDetector returns a constant, operator-configured
@@ -49,13 +50,9 @@ type TopKClassifier struct {
 	// K is the number of flows classified per interval.
 	K int
 
-	// scratch reuses the sorting buffer across intervals.
-	scratch []flowBW
-}
-
-type flowBW struct {
-	p  netip.Prefix
-	bw float64
+	// scratch reuses the index-sorting buffer across intervals; the
+	// returned Verdict aliases its front.
+	scratch []int
 }
 
 // NewTopKClassifier validates k and returns the classifier.
@@ -70,31 +67,26 @@ func NewTopKClassifier(k int) (*TopKClassifier, error) {
 func (c *TopKClassifier) Name() string { return fmt.Sprintf("top-%d", c.K) }
 
 // Classify implements core.Classifier. The threshold argument is
-// ignored.
-func (c *TopKClassifier) Classify(snapshot map[netip.Prefix]float64, _ float64) map[netip.Prefix]bool {
+// ignored. Ties break toward the lower prefix, which in a sorted
+// snapshot is simply the lower index.
+func (c *TopKClassifier) Classify(snap *core.FlowSnapshot, _ float64) core.Verdict {
 	c.scratch = c.scratch[:0]
-	for p, bw := range snapshot {
-		if bw > 0 {
-			c.scratch = append(c.scratch, flowBW{p, bw})
-		}
+	for i := 0; i < snap.Len(); i++ {
+		c.scratch = append(c.scratch, i)
 	}
+	bw := snap.Bandwidths()
 	sort.Slice(c.scratch, func(i, j int) bool {
-		if c.scratch[i].bw != c.scratch[j].bw {
-			return c.scratch[i].bw > c.scratch[j].bw
+		a, b := c.scratch[i], c.scratch[j]
+		if bw[a] != bw[b] {
+			return bw[a] > bw[b]
 		}
-		// Deterministic tie-break by prefix.
-		if cc := c.scratch[i].p.Addr().Compare(c.scratch[j].p.Addr()); cc != 0 {
-			return cc < 0
-		}
-		return c.scratch[i].p.Bits() < c.scratch[j].p.Bits()
+		return a < b
 	})
 	k := c.K
 	if k > len(c.scratch) {
 		k = len(c.scratch)
 	}
-	out := make(map[netip.Prefix]bool, k)
-	for _, f := range c.scratch[:k] {
-		out[f.p] = true
-	}
-	return out
+	top := c.scratch[:k]
+	sort.Ints(top)
+	return core.Verdict{Indices: top}
 }

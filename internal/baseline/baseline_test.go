@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net/netip"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func pfx(i int) netip.Prefix {
@@ -29,6 +31,15 @@ func TestFixedThresholdDetector(t *testing.T) {
 	}
 }
 
+// topKSet resolves a TopK verdict into snapshot prefixes.
+func topKSet(snap *core.FlowSnapshot, v core.Verdict) map[netip.Prefix]bool {
+	out := make(map[netip.Prefix]bool, len(v.Indices))
+	for _, i := range v.Indices {
+		out[snap.Key(i)] = true
+	}
+	return out
+}
+
 func TestTopKClassifier(t *testing.T) {
 	if _, err := NewTopKClassifier(0); err == nil {
 		t.Error("k=0 accepted")
@@ -37,10 +48,10 @@ func TestTopKClassifier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := map[netip.Prefix]float64{
+	s := core.SnapshotFromMap(map[netip.Prefix]float64{
 		pfx(0): 10, pfx(1): 100, pfx(2): 50, pfx(3): 1,
-	}
-	out := c.Classify(s, 99999) // threshold must be ignored
+	}, nil)
+	out := topKSet(s, c.Classify(s, 99999)) // threshold must be ignored
 	if len(out) != 2 || !out[pfx(1)] || !out[pfx(2)] {
 		t.Errorf("top-2 = %v", out)
 	}
@@ -48,7 +59,8 @@ func TestTopKClassifier(t *testing.T) {
 
 func TestTopKFewerFlowsThanK(t *testing.T) {
 	c, _ := NewTopKClassifier(10)
-	out := c.Classify(map[netip.Prefix]float64{pfx(0): 5}, 0)
+	s := core.SnapshotFromMap(map[netip.Prefix]float64{pfx(0): 5}, nil)
+	out := topKSet(s, c.Classify(s, 0))
 	if len(out) != 1 {
 		t.Errorf("out = %v", out)
 	}
@@ -56,11 +68,14 @@ func TestTopKFewerFlowsThanK(t *testing.T) {
 
 func TestTopKDeterministicTies(t *testing.T) {
 	c, _ := NewTopKClassifier(1)
-	s := map[netip.Prefix]float64{pfx(3): 5, pfx(1): 5, pfx(2): 5}
-	first := c.Classify(s, 0)
+	s := core.SnapshotFromMap(map[netip.Prefix]float64{pfx(3): 5, pfx(1): 5, pfx(2): 5}, nil)
+	first := topKSet(s, c.Classify(s, 0))
 	for i := 0; i < 20; i++ {
-		if got := c.Classify(s, 0); !got[keyOf(first)] {
-			t.Fatal("tie-break not deterministic")
+		got := topKSet(s, c.Classify(s, 0))
+		for p := range first {
+			if !got[p] {
+				t.Fatal("tie-break not deterministic")
+			}
 		}
 	}
 	if !first[pfx(1)] {
@@ -68,11 +83,22 @@ func TestTopKDeterministicTies(t *testing.T) {
 	}
 }
 
-func keyOf(m map[netip.Prefix]bool) netip.Prefix {
-	for k := range m {
-		return k
+// TestTopKIndicesAscending: the Verdict ordering contract.
+func TestTopKIndicesAscending(t *testing.T) {
+	c, _ := NewTopKClassifier(3)
+	s := core.SnapshotFromMap(map[netip.Prefix]float64{
+		pfx(0): 1, pfx(1): 50, pfx(2): 2, pfx(3): 40, pfx(4): 60,
+	}, nil)
+	v := c.Classify(s, 0)
+	for i := 1; i < len(v.Indices); i++ {
+		if v.Indices[i-1] >= v.Indices[i] {
+			t.Fatalf("indices not ascending: %v", v.Indices)
+		}
 	}
-	return netip.Prefix{}
+	out := topKSet(s, v)
+	if !out[pfx(1)] || !out[pfx(3)] || !out[pfx(4)] {
+		t.Errorf("top-3 = %v", out)
+	}
 }
 
 func TestMisraGriesExactSmall(t *testing.T) {

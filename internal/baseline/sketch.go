@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // MisraGries is the classic deterministic frequent-items summary: with k
@@ -186,11 +188,13 @@ func (s *SpaceSaving) Reset() {
 	}
 }
 
+type flowBW struct {
+	p  netip.Prefix
+	bw float64
+}
+
 func lessPrefix(a, b netip.Prefix) bool {
-	if c := a.Addr().Compare(b.Addr()); c != 0 {
-		return c < 0
-	}
-	return a.Bits() < b.Bits()
+	return core.ComparePrefix(a, b) < 0
 }
 
 func sortFlows(fs []flowBW) {

@@ -3,36 +3,31 @@ package core
 import (
 	"math"
 	"math/rand"
-	"net/netip"
 	"testing"
 )
 
 // benchSnapshot builds a realistic interval snapshot: lognormal body
-// with a Pareto tail, n flows.
-func benchSnapshot(n int, seed int64) map[netip.Prefix]float64 {
+// with a Pareto tail, n flows, sorted by construction.
+func benchSnapshot(n int, seed int64) *FlowSnapshot {
 	rng := rand.New(rand.NewSource(seed))
-	s := make(map[netip.Prefix]float64, n)
+	s := NewFlowSnapshot(n)
 	for i := 0; i < n; i++ {
 		bw := math.Exp(rng.NormFloat64() * 1.2)
 		if rng.Float64() < 0.04 {
 			bw = 20 * math.Pow(rng.Float64(), -1/1.9)
 		}
-		s[pfx(i)] = bw * 1e4
+		s.Append(pfx(i), bw*1e4)
 	}
 	return s
 }
 
 func BenchmarkConstantLoadDetect6k(b *testing.B) {
 	snap := benchSnapshot(6500, 1)
-	bws := make([]float64, 0, len(snap))
-	for _, bw := range snap {
-		bws = append(bws, bw)
-	}
 	d, _ := NewConstantLoadDetector(0.8)
-	scratch := make([]float64, len(bws))
+	scratch := make([]float64, snap.Len())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		copy(scratch, bws)
+		copy(scratch, snap.Bandwidths())
 		if _, err := d.DetectThreshold(scratch); err != nil {
 			b.Fatal(err)
 		}
@@ -41,14 +36,12 @@ func BenchmarkConstantLoadDetect6k(b *testing.B) {
 
 func BenchmarkAestDetect6k(b *testing.B) {
 	snap := benchSnapshot(6500, 2)
-	bws := make([]float64, 0, len(snap))
-	for _, bw := range snap {
-		bws = append(bws, bw)
-	}
 	d := NewAestDetector()
+	scratch := make([]float64, snap.Len())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := d.DetectThreshold(bws); err != nil {
+		copy(scratch, snap.Bandwidths())
+		if _, err := d.DetectThreshold(scratch); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,12 +86,13 @@ func BenchmarkPipelineStep6k(b *testing.B) {
 func BenchmarkTrackerObserve(b *testing.B) {
 	// A churning elephant set of ~600 flows out of 6500.
 	rng := rand.New(rand.NewSource(6))
-	sets := make([]map[netip.Prefix]bool, 16)
+	sets := make([]ElephantSet, 16)
 	for i := range sets {
-		sets[i] = make(map[netip.Prefix]bool, 600)
-		for j := 0; j < 600; j++ {
-			sets[i][pfx(rng.Intn(6500))] = true
+		members := make([]int, 600)
+		for j := range members {
+			members[j] = rng.Intn(6500)
 		}
+		sets[i] = elephantSetOf(members...)
 	}
 	tr := NewTracker()
 	b.ResetTimer()

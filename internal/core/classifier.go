@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 )
 
 // Class is a flow's classification state: the underlying two-state
@@ -23,14 +24,27 @@ func (c Class) String() string {
 	return "mouse"
 }
 
+// Verdict is a classifier's elephant set for one interval, expressed
+// against the classified snapshot: Indices are positions in the
+// snapshot's columns (ascending), Offline lists flows that carried no
+// traffic this interval but are still classified as elephants from
+// history (latent-heat carryover), sorted by ComparePrefix.
+//
+// A Verdict may alias classifier-internal buffers; it is only valid
+// until the next Classify call. Pipeline.Step copies what it keeps.
+type Verdict struct {
+	Indices []int
+	Offline []netip.Prefix
+}
+
 // Classifier decides, once per interval, which flows are elephants given
-// the interval's bandwidths and the smoothed threshold.
+// the interval's columnar snapshot and the smoothed threshold.
 type Classifier interface {
-	// Classify returns the elephant set for the interval. snapshot maps
-	// each active flow to its average bandwidth x_j(t); thresholdHat is
-	// θ̂(t). Implementations may maintain per-flow history across
-	// calls; calls must be made in interval order.
-	Classify(snapshot map[netip.Prefix]float64, thresholdHat float64) map[netip.Prefix]bool
+	// Classify returns the elephant verdict for the interval. snap holds
+	// each active flow's average bandwidth x_j(t) in sorted order;
+	// thresholdHat is θ̂(t). Implementations may maintain per-flow
+	// history across calls; calls must be made in interval order.
+	Classify(snap *FlowSnapshot, thresholdHat float64) Verdict
 	// Name identifies the scheme in reports.
 	Name() string
 }
@@ -43,14 +57,14 @@ type SingleFeatureClassifier struct{}
 func (SingleFeatureClassifier) Name() string { return "single-feature" }
 
 // Classify implements Classifier.
-func (SingleFeatureClassifier) Classify(snapshot map[netip.Prefix]float64, thresholdHat float64) map[netip.Prefix]bool {
-	out := make(map[netip.Prefix]bool)
-	for p, bw := range snapshot {
+func (SingleFeatureClassifier) Classify(snap *FlowSnapshot, thresholdHat float64) Verdict {
+	var v Verdict
+	for i, bw := range snap.Bandwidths() {
 		if bw > thresholdHat {
-			out[p] = true
+			v.Indices = append(v.Indices, i)
 		}
 	}
-	return out
+	return v
 }
 
 // LatentHeatClassifier implements the two-feature scheme. For every flow
@@ -77,6 +91,11 @@ type LatentHeatClassifier struct {
 	// intervals with non-positive latent heat, bounding memory on
 	// long runs. Zero selects 4*Window.
 	EvictAfter int
+
+	// scratch buffers reused across Classify calls; the returned
+	// Verdict aliases them.
+	idx     []int
+	offline []netip.Prefix
 }
 
 type flowHistory struct {
@@ -129,7 +148,7 @@ func (c *LatentHeatClassifier) LatentHeat(p netip.Prefix) (float64, bool) {
 }
 
 // Classify implements Classifier.
-func (c *LatentHeatClassifier) Classify(snapshot map[netip.Prefix]float64, thresholdHat float64) map[netip.Prefix]bool {
+func (c *LatentHeatClassifier) Classify(snap *FlowSnapshot, thresholdHat float64) Verdict {
 	evictAfter := c.EvictAfter
 	if evictAfter == 0 {
 		evictAfter = 4 * c.Window
@@ -142,41 +161,57 @@ func (c *LatentHeatClassifier) Classify(snapshot map[netip.Prefix]float64, thres
 	slot := c.t % c.Window
 	c.t++
 
-	// Update known flows (including ones idle this interval).
-	for p, fh := range c.flows {
-		bw := snapshot[p]
-		fh.bw[slot] = bw
-		if bw > 0 {
-			fh.idleRuns = 0
-			fh.lastSeen = c.t
-		} else {
-			fh.idleRuns++
+	// Update or admit the interval's active flows. Snapshot entries are
+	// strictly positive, so lastSeen doubles as the "seen this interval"
+	// marker for the idle pass below.
+	for i := 0; i < snap.Len(); i++ {
+		p, bw := snap.Key(i), snap.Bandwidth(i)
+		fh, ok := c.flows[p]
+		if !ok {
+			fh = &flowHistory{bw: make([]float64, c.Window)}
+			c.flows[p] = fh
 		}
-	}
-	// Admit newly seen flows.
-	for p, bw := range snapshot {
-		if _, ok := c.flows[p]; ok {
-			continue
-		}
-		fh := &flowHistory{bw: make([]float64, c.Window), lastSeen: c.t}
 		fh.bw[slot] = bw
-		c.flows[p] = fh
+		fh.idleRuns = 0
+		fh.lastSeen = c.t
 	}
 
 	thrSum := c.thresholdSum()
-	out := make(map[netip.Prefix]bool)
-	for p, fh := range c.flows {
+	c.idx = c.idx[:0]
+	c.offline = c.offline[:0]
+	// Active flows, in snapshot (hence sorted) order.
+	for i := 0; i < snap.Len(); i++ {
+		fh := c.flows[snap.Key(i)]
 		var bwSum float64
 		for _, b := range fh.bw {
 			bwSum += b
 		}
 		if bwSum-thrSum > 0 {
-			out[p] = true
+			c.idx = append(c.idx, i)
+		}
+	}
+	// Idle flows: zero this interval's slot, then either keep them as
+	// elephants on accumulated heat or age them toward eviction.
+	for p, fh := range c.flows {
+		if fh.lastSeen == c.t {
+			continue
+		}
+		fh.bw[slot] = 0
+		fh.idleRuns++
+		var bwSum float64
+		for _, b := range fh.bw {
+			bwSum += b
+		}
+		if bwSum-thrSum > 0 {
+			c.offline = append(c.offline, p)
 		} else if fh.idleRuns >= evictAfter {
 			delete(c.flows, p)
 		}
 	}
-	return out
+	sort.Slice(c.offline, func(i, j int) bool {
+		return ComparePrefix(c.offline[i], c.offline[j]) < 0
+	})
+	return Verdict{Indices: c.idx, Offline: c.offline}
 }
 
 // TrackedFlows reports how many flows currently hold history state.

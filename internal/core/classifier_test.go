@@ -10,14 +10,20 @@ func pfx(i int) netip.Prefix {
 	return netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
 }
 
-func snap(pairs ...float64) map[netip.Prefix]float64 {
-	m := make(map[netip.Prefix]float64)
+// snap builds a sorted snapshot assigning pairs[i] to pfx(i);
+// non-positive bandwidths are dropped, mirroring an idle flow.
+func snap(pairs ...float64) *FlowSnapshot {
+	s := NewFlowSnapshot(len(pairs))
 	for i, bw := range pairs {
-		if bw > 0 {
-			m[pfx(i)] = bw
-		}
+		s.Append(pfx(i), bw)
 	}
-	return m
+	return s
+}
+
+// classifySet runs one Classify call and resolves the verdict into a
+// concrete membership set.
+func classifySet(c Classifier, s *FlowSnapshot, theta float64) ElephantSet {
+	return mergeElephants(s, c.Classify(s, theta))
 }
 
 func TestClassString(t *testing.T) {
@@ -28,24 +34,41 @@ func TestClassString(t *testing.T) {
 
 func TestSingleFeatureStrictExceed(t *testing.T) {
 	c := SingleFeatureClassifier{}
-	out := c.Classify(snap(5, 10, 15), 10)
-	if out[pfx(0)] {
+	out := classifySet(c, snap(5, 10, 15), 10)
+	if out.Contains(pfx(0)) {
 		t.Error("flow below threshold classified")
 	}
-	if out[pfx(1)] {
+	if out.Contains(pfx(1)) {
 		t.Error("flow AT threshold classified; paper requires strict exceedance")
 	}
-	if !out[pfx(2)] {
+	if !out.Contains(pfx(2)) {
 		t.Error("flow above threshold not classified")
 	}
 }
 
 func TestSingleFeatureStateless(t *testing.T) {
 	c := SingleFeatureClassifier{}
-	a := c.Classify(snap(20), 10)
-	b := c.Classify(snap(5), 10)
-	if !a[pfx(0)] || b[pfx(0)] {
+	a := classifySet(c, snap(20), 10)
+	b := classifySet(c, snap(5), 10)
+	if !a.Contains(pfx(0)) || b.Contains(pfx(0)) {
 		t.Error("single-feature classification must depend only on the current interval")
+	}
+}
+
+func TestSingleFeatureIndicesAscending(t *testing.T) {
+	c := SingleFeatureClassifier{}
+	v := c.Classify(snap(50, 5, 50, 5, 50), 10)
+	if len(v.Offline) != 0 {
+		t.Errorf("stateless classifier produced offline flows: %v", v.Offline)
+	}
+	want := []int{0, 2, 4}
+	if len(v.Indices) != len(want) {
+		t.Fatalf("indices = %v, want %v", v.Indices, want)
+	}
+	for i, idx := range want {
+		if v.Indices[i] != idx {
+			t.Fatalf("indices = %v, want %v", v.Indices, want)
+		}
 	}
 }
 
@@ -70,34 +93,54 @@ func TestLatentHeatValidation(t *testing.T) {
 func TestLatentHeatDefinition(t *testing.T) {
 	c, _ := NewLatentHeatClassifier(3)
 	// Interval 0: x=10, theta=8  -> LH = +2 -> elephant
-	out := c.Classify(snap(10), 8)
-	if !out[pfx(0)] {
+	out := classifySet(c, snap(10), 8)
+	if !out.Contains(pfx(0)) {
 		t.Fatal("interval 0: LH=+2 but not classified")
 	}
 	if lh, ok := c.LatentHeat(pfx(0)); !ok || lh != 2 {
 		t.Fatalf("LH = %v, %v; want 2", lh, ok)
 	}
 	// Interval 1: x=5, theta=8 -> LH = 2 + (5-8) = -1 -> mouse
-	out = c.Classify(snap(5), 8)
-	if out[pfx(0)] {
+	out = classifySet(c, snap(5), 8)
+	if out.Contains(pfx(0)) {
 		t.Fatal("interval 1: LH=-1 but classified")
 	}
 	if lh, _ := c.LatentHeat(pfx(0)); lh != -1 {
 		t.Fatalf("LH = %v, want -1", lh)
 	}
 	// Interval 2: x=12, theta=8 -> LH = 2 - 3 + 4 = +3 -> elephant
-	out = c.Classify(snap(12), 8)
-	if !out[pfx(0)] {
+	out = classifySet(c, snap(12), 8)
+	if !out.Contains(pfx(0)) {
 		t.Fatal("interval 2: LH=+3 but not classified")
 	}
 	// Interval 3: window slides off interval 0 (x=10,theta=8).
 	// x=0 (idle), theta=8 -> LH = -3 + 4 - 8 = -7 -> mouse
-	out = c.Classify(snap(), 8)
-	if out[pfx(0)] {
+	out = classifySet(c, snap(), 8)
+	if out.Contains(pfx(0)) {
 		t.Fatal("interval 3: LH=-7 but classified")
 	}
 	if lh, _ := c.LatentHeat(pfx(0)); lh != -7 {
 		t.Fatalf("LH = %v, want -7 (window slid)", lh)
+	}
+}
+
+// TestLatentHeatOfflineElephant: a flow idle in the current interval but
+// with accumulated positive latent heat must surface through the
+// verdict's Offline column — the case an index-only return type cannot
+// express.
+func TestLatentHeatOfflineElephant(t *testing.T) {
+	c, _ := NewLatentHeatClassifier(8)
+	c.Classify(snap(10000), 100)
+	s := snap() // flow 0 idle
+	v := c.Classify(s, 100)
+	if len(v.Indices) != 0 {
+		t.Errorf("idle interval produced snapshot indices %v", v.Indices)
+	}
+	if len(v.Offline) != 1 || v.Offline[0] != pfx(0) {
+		t.Fatalf("offline = %v, want [%v]", v.Offline, pfx(0))
+	}
+	if out := mergeElephants(s, v); !out.Contains(pfx(0)) {
+		t.Error("offline elephant lost in merge")
 	}
 }
 
@@ -115,12 +158,12 @@ func TestLatentHeatFiltersOneSlotBurst(t *testing.T) {
 		sf.Classify(snap(50), theta)
 	}
 	// One interval bursting to 3x the threshold.
-	lhOut := lh.Classify(snap(300), theta)
-	sfOut := sf.Classify(snap(300), theta)
-	if !sfOut[pfx(0)] {
+	lhOut := classifySet(lh, snap(300), theta)
+	sfOut := classifySet(sf, snap(300), theta)
+	if !sfOut.Contains(pfx(0)) {
 		t.Error("single-feature must classify the burst interval")
 	}
-	if lhOut[pfx(0)] {
+	if lhOut.Contains(pfx(0)) {
 		t.Error("latent heat must filter a one-slot burst after a deficit history")
 	}
 }
@@ -134,8 +177,8 @@ func TestLatentHeatToleratesOneSlotDip(t *testing.T) {
 	for i := 0; i < 11; i++ {
 		lh.Classify(snap(200), theta)
 	}
-	out := lh.Classify(snap(10), theta) // deep dip
-	if !out[pfx(0)] {
+	out := classifySet(lh, snap(10), theta) // deep dip
+	if !out.Contains(pfx(0)) {
 		t.Error("latent heat must carry an established elephant through a one-slot dip")
 	}
 }
@@ -145,20 +188,19 @@ func TestLatentHeatToleratesOneSlotDip(t *testing.T) {
 func TestLatentHeatWindowOne(t *testing.T) {
 	lh, _ := NewLatentHeatClassifier(1)
 	sf := SingleFeatureClassifier{}
-	for i, s := range []map[netip.Prefix]float64{snap(150), snap(50), snap(101)} {
-		a := lh.Classify(s, 100)
-		b := sf.Classify(s, 100)
-		if len(a) != len(b) {
-			t.Errorf("interval %d: W=1 latent heat disagrees with single-feature: %v vs %v", i, a, b)
+	for i, bw := range []float64{150, 50, 101} {
+		a := classifySet(lh, snap(bw), 100)
+		b := classifySet(sf, snap(bw), 100)
+		if !a.Equal(b) {
+			t.Errorf("interval %d: W=1 latent heat disagrees with single-feature: %v vs %v", i, a.Flows(), b.Flows())
 		}
 	}
 }
 
 // TestLatentHeatNewFlowMidStream: a flow first seen at interval k has no
-// tracked history; only the thresholds since it appeared... actually the
-// window's threshold sum includes slots before its arrival, so a new
-// flow must overcome the full window deficit — the admission control
-// that kills one-interval elephants.
+// tracked history; the window's threshold sum includes slots before its
+// arrival, so a new flow must overcome the full window deficit — the
+// admission control that kills one-interval elephants.
 func TestLatentHeatNewFlowMidStream(t *testing.T) {
 	lh, _ := NewLatentHeatClassifier(4)
 	for i := 0; i < 4; i++ {
@@ -166,13 +208,13 @@ func TestLatentHeatNewFlowMidStream(t *testing.T) {
 	}
 	// Flow 0 appears with bandwidth just above one threshold's worth:
 	// LH = 150 - 4*100 < 0 -> mouse.
-	out := lh.Classify(map[netip.Prefix]float64{pfx(0): 150, pfx(1): 200}, 100)
-	if out[pfx(0)] {
+	out := classifySet(lh, snap(150, 200), 100)
+	if out.Contains(pfx(0)) {
 		t.Error("newly arrived flow with sub-window volume classified")
 	}
-	// A massive arrival beats the whole window: 500 > 4*100.
-	out = lh.Classify(map[netip.Prefix]float64{pfx(0): 1000, pfx(1): 200}, 100)
-	if !out[pfx(0)] {
+	// A massive arrival beats the whole window: 1000 > 4*100.
+	out = classifySet(lh, snap(1000, 200), 100)
+	if !out.Contains(pfx(0)) {
 		t.Error("overwhelming new flow not classified")
 	}
 }
@@ -203,8 +245,8 @@ func TestLatentHeatEvictionSparesPositiveLH(t *testing.T) {
 	// must survive eviction while it is still (latently) an elephant.
 	lh.Classify(snap(10000), 100)
 	for i := 0; i < 3; i++ {
-		out := lh.Classify(snap(), 100)
-		if !out[pfx(0)] {
+		out := classifySet(lh, snap(), 100)
+		if !out.Contains(pfx(0)) {
 			t.Fatalf("interval %d: flow with positive LH lost", i+1)
 		}
 	}
@@ -227,21 +269,23 @@ func TestLatentHeatManyFlowsIndependent(t *testing.T) {
 	theta := 100.0
 	// Flow 0 steady heavy, flow 1 steady light, flow 2 alternating.
 	for i := 0; i < 12; i++ {
-		s := map[netip.Prefix]float64{pfx(0): 300, pfx(1): 20}
+		s := NewFlowSnapshot(3)
+		s.Append(pfx(0), 300)
+		s.Append(pfx(1), 20)
 		if i%2 == 0 {
-			s[pfx(2)] = 250
+			s.Append(pfx(2), 250)
 		}
-		out := lh.Classify(s, theta)
+		out := classifySet(lh, s, theta)
 		if i > 6 {
-			if !out[pfx(0)] {
+			if !out.Contains(pfx(0)) {
 				t.Fatalf("interval %d: steady heavy flow not elephant", i)
 			}
-			if out[pfx(1)] {
+			if out.Contains(pfx(1)) {
 				t.Fatalf("interval %d: steady light flow is elephant", i)
 			}
 			// Alternating 250/0 averages 125 > theta: stays elephant
 			// once history fills.
-			if !out[pfx(2)] {
+			if !out.Contains(pfx(2)) {
 				t.Fatalf("interval %d: alternating flow with mean above theta lost", i)
 			}
 		}

@@ -2,11 +2,15 @@ package core
 
 import (
 	"fmt"
-	"net/netip"
-	"sort"
 
 	"repro/internal/stats"
 )
+
+// DebugInvariants enables O(n) consistency checks on every Step:
+// re-verifying the snapshot's sort order and the classifier verdict's
+// index ordering. Off by default — production relies on the snapshot's
+// O(1) sorted flag maintained by Append.
+var DebugInvariants = false
 
 // Config assembles a classification pipeline.
 type Config struct {
@@ -25,7 +29,8 @@ type Config struct {
 	MinFlows int
 }
 
-// Result describes one classified interval.
+// Result describes one classified interval. It owns all of its storage:
+// results remain valid after the snapshot that produced them is reused.
 type Result struct {
 	// Interval is the 0-based interval index.
 	Interval int
@@ -35,7 +40,7 @@ type Result struct {
 	// classify this interval.
 	Threshold float64
 	// Elephants is the elephant set for the interval.
-	Elephants map[netip.Prefix]bool
+	Elephants ElephantSet
 	// ElephantLoad is the total bandwidth of elephant flows (bit/s).
 	ElephantLoad float64
 	// TotalLoad is the total link load in the interval (bit/s).
@@ -45,7 +50,7 @@ type Result struct {
 }
 
 // ElephantCount returns the size of the interval's elephant set.
-func (r *Result) ElephantCount() int { return len(r.Elephants) }
+func (r *Result) ElephantCount() int { return r.Elephants.Len() }
 
 // LoadFraction returns the fraction of total traffic apportioned to
 // elephants (0 when the link is idle).
@@ -64,9 +69,10 @@ type Pipeline struct {
 	cfg  Config
 	ewma *stats.EWMA
 	t    int
-	// scratch and keys reuse their backing arrays across intervals.
+	// scratch reuses its backing array across intervals: it carries a
+	// copy of the bandwidth column for the detector, which may reorder
+	// its input in place.
 	scratch []float64
-	keys    []netip.Prefix
 }
 
 // NewPipeline validates cfg and returns a ready pipeline.
@@ -86,39 +92,34 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	return &Pipeline{cfg: cfg, ewma: stats.NewEWMA(cfg.Alpha)}, nil
 }
 
-// Step processes one interval's snapshot (flow -> bandwidth in bit/s;
-// only positive entries are meaningful) and returns the classification
-// result. Calls must be made in interval order.
-func (p *Pipeline) Step(snapshot map[netip.Prefix]float64) (Result, error) {
+// Step processes one interval's snapshot and returns the classification
+// result. The snapshot must be sorted (producers that append in
+// ComparePrefix order — agg.Series.Snapshot — are sorted for free; map
+// fills must call Sort). Calls must be made in interval order. The
+// snapshot is not retained: the caller may reset and refill it for the
+// next interval.
+func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 	res := Result{Interval: p.t}
-	// Collect active flows in sorted key order. Map iteration order is
-	// random, and the aest detector's block aggregation is sensitive to
-	// sample order, so a deterministic order is required for
-	// reproducible runs; sorting by prefix keeps the order independent
-	// of the bandwidths themselves (block sums still behave like sums
-	// of i.i.d. draws).
-	p.keys = p.keys[:0]
-	for pfx, bw := range snapshot {
-		if bw > 0 {
-			p.keys = append(p.keys, pfx)
-			res.TotalLoad += bw
-		}
+	if snap == nil {
+		return res, fmt.Errorf("core: interval %d: nil snapshot", p.t)
 	}
-	sort.Slice(p.keys, func(i, j int) bool {
-		if c := p.keys[i].Addr().Compare(p.keys[j].Addr()); c != 0 {
-			return c < 0
-		}
-		return p.keys[i].Bits() < p.keys[j].Bits()
-	})
-	p.scratch = p.scratch[:0]
-	for _, pfx := range p.keys {
-		p.scratch = append(p.scratch, snapshot[pfx])
+	// The aest detector's block aggregation is sensitive to sample
+	// order, so a deterministic flow order is required for reproducible
+	// runs. The snapshot carries it by construction; earlier revisions
+	// re-sorted a map's keys here, O(n log n) every interval.
+	if !snap.IsSorted() {
+		return res, fmt.Errorf("core: interval %d: snapshot not sorted (call Sort after out-of-order appends)", p.t)
 	}
-	res.ActiveFlows = len(p.scratch)
+	if DebugInvariants && !snap.verifySorted() {
+		return res, fmt.Errorf("core: interval %d: snapshot columns mutated out of order", p.t)
+	}
+	res.TotalLoad = snap.TotalLoad()
+	res.ActiveFlows = snap.Len()
 
 	// Phase 1 for this interval: detect θ(t) if the interval carries
 	// enough flows; otherwise reuse the running estimate.
 	if res.ActiveFlows >= p.cfg.MinFlows {
+		p.scratch = append(p.scratch[:0], snap.Bandwidths()...)
 		raw, err := p.cfg.Detector.DetectThreshold(p.scratch)
 		if err != nil {
 			return res, fmt.Errorf("core: interval %d: %w", p.t, err)
@@ -139,15 +140,45 @@ func (p *Pipeline) Step(snapshot map[netip.Prefix]float64) (Result, error) {
 		res.Threshold = p.ewma.Value()
 	}
 
-	res.Elephants = p.cfg.Classifier.Classify(snapshot, res.Threshold)
-	for pfx := range res.Elephants {
-		res.ElephantLoad += snapshot[pfx]
+	v := p.cfg.Classifier.Classify(snap, res.Threshold)
+	if DebugInvariants {
+		if err := checkVerdict(snap, v); err != nil {
+			return res, fmt.Errorf("core: interval %d: %s: %w", p.t, p.cfg.Classifier.Name(), err)
+		}
 	}
+	for _, i := range v.Indices {
+		res.ElephantLoad += snap.Bandwidth(i)
+	}
+	res.Elephants = mergeElephants(snap, v)
 
 	// Phase 2: fold θ(t) into the EWMA governing interval t+1.
 	p.ewma.Update(res.RawThreshold)
 	p.t++
 	return res, nil
+}
+
+// checkVerdict validates the Verdict ordering contract classifiers must
+// uphold: ascending in-range indices and sorted off-snapshot flows.
+func checkVerdict(snap *FlowSnapshot, v Verdict) error {
+	for k, i := range v.Indices {
+		if i < 0 || i >= snap.Len() {
+			return fmt.Errorf("verdict index %d out of range [0,%d)", i, snap.Len())
+		}
+		if k > 0 && v.Indices[k-1] >= i {
+			return fmt.Errorf("verdict indices not ascending at position %d", k)
+		}
+	}
+	for k, p := range v.Offline {
+		if k > 0 && ComparePrefix(v.Offline[k-1], p) >= 0 {
+			return fmt.Errorf("verdict offline flows not sorted at position %d", k)
+		}
+		// Offline means absent from the snapshot; an overlap would
+		// duplicate the flow in the merged elephant set.
+		if _, ok := snap.Lookup(p); ok {
+			return fmt.Errorf("verdict offline flow %v is present in the snapshot", p)
+		}
+	}
+	return nil
 }
 
 // Threshold returns the current smoothed threshold θ̂ that will be used

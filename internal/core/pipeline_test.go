@@ -45,8 +45,8 @@ func TestPipelineBootstrapUsesRawThreshold(t *testing.T) {
 	if res.RawThreshold != 100 || res.Threshold != 100 {
 		t.Errorf("bootstrap thresholds: raw=%v used=%v", res.RawThreshold, res.Threshold)
 	}
-	if !res.Elephants[pfx(0)] || res.Elephants[pfx(1)] {
-		t.Errorf("elephants = %v", res.Elephants)
+	if !res.Elephants.Contains(pfx(0)) || res.Elephants.Contains(pfx(1)) {
+		t.Errorf("elephants = %v", res.Elephants.Flows())
 	}
 }
 
@@ -150,7 +150,7 @@ func TestPipelineResultAccounting(t *testing.T) {
 
 func TestPipelineIgnoresNonPositiveBandwidths(t *testing.T) {
 	p, _ := NewPipeline(Config{Detector: fixedDetector{10}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
-	s := map[netip.Prefix]float64{pfx(0): 100, pfx(1): 0, pfx(2): -5}
+	s := SnapshotFromMap(map[netip.Prefix]float64{pfx(0): 100, pfx(1): 0, pfx(2): -5}, nil)
 	res, err := p.Step(s)
 	if err != nil {
 		t.Fatal(err)
@@ -159,6 +159,52 @@ func TestPipelineIgnoresNonPositiveBandwidths(t *testing.T) {
 		t.Errorf("res = %+v", res)
 	}
 }
+
+func TestPipelineRejectsUnsortedSnapshot(t *testing.T) {
+	p, _ := NewPipeline(Config{Detector: fixedDetector{10}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	s := NewFlowSnapshot(2)
+	s.Append(pfx(3), 10)
+	s.Append(pfx(1), 10) // out of order, no Sort call
+	if _, err := p.Step(s); err == nil {
+		t.Error("unsorted snapshot accepted")
+	}
+	if _, err := p.Step(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+// TestPipelineDebugInvariants: with DebugInvariants enabled the O(n)
+// re-verification catches columns mutated behind the sorted flag.
+func TestPipelineDebugInvariants(t *testing.T) {
+	DebugInvariants = true
+	defer func() { DebugInvariants = false }()
+
+	p, _ := NewPipeline(Config{Detector: fixedDetector{10}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	if _, err := p.Step(snap(100, 200)); err != nil {
+		t.Fatalf("valid snapshot rejected under debug checks: %v", err)
+	}
+	s := snap(100, 200)
+	keys := s.Keys()
+	keys[0], keys[1] = keys[1], keys[0] // mutate behind the flag
+	if _, err := p.Step(s); err == nil {
+		t.Error("mutated snapshot passed the debug invariant check")
+	}
+
+	// An overlapping verdict (offline flow also present in the
+	// snapshot) must be rejected too.
+	overlap := classifierFunc(func(sn *FlowSnapshot, _ float64) Verdict {
+		return Verdict{Offline: []netip.Prefix{sn.Key(0)}}
+	})
+	p2, _ := NewPipeline(Config{Detector: fixedDetector{10}, Alpha: 0.5, Classifier: overlap, MinFlows: 1})
+	if _, err := p2.Step(snap(100)); err == nil {
+		t.Error("verdict with snapshot/offline overlap passed the debug check")
+	}
+}
+
+type classifierFunc func(*FlowSnapshot, float64) Verdict
+
+func (f classifierFunc) Classify(s *FlowSnapshot, th float64) Verdict { return f(s, th) }
+func (f classifierFunc) Name() string                                 { return "func" }
 
 func TestLoadFractionIdleLink(t *testing.T) {
 	r := Result{}
@@ -244,6 +290,28 @@ func TestPipelineConfigEcho(t *testing.T) {
 	}
 }
 
+// TestPipelineResultOutlivesSnapshot: Result owns its storage, so
+// resetting and refilling the snapshot for the next interval must not
+// corrupt earlier results — the reuse contract the engine relies on.
+func TestPipelineResultOutlivesSnapshot(t *testing.T) {
+	p, _ := NewPipeline(Config{Detector: fixedDetector{100}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	s := NewFlowSnapshot(2)
+	s.Append(pfx(0), 150)
+	s.Append(pfx(1), 50)
+	r0, err := p.Step(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	s.Append(pfx(5), 500)
+	if _, err := p.Step(s); err != nil {
+		t.Fatal(err)
+	}
+	if !r0.Elephants.Contains(pfx(0)) || r0.Elephants.Contains(pfx(5)) {
+		t.Errorf("result corrupted by snapshot reuse: %v", r0.Elephants.Flows())
+	}
+}
+
 // TestPipelineEndToEndWithLatentHeat is a small integration of pipeline +
 // latent heat + constant-load detection over synthetic two-class traffic:
 // persistent heavies must dominate the elephant set, transient bursters
@@ -255,18 +323,19 @@ func TestPipelineEndToEndWithLatentHeat(t *testing.T) {
 	p, _ := NewPipeline(Config{Detector: det, Alpha: 0.5, Classifier: lh, MinFlows: 1})
 
 	const heavies, mice = 10, 200
-	var lastElephants map[netip.Prefix]bool
+	var lastElephants ElephantSet
+	s := NewFlowSnapshot(heavies + mice)
 	for t0 := 0; t0 < 40; t0++ {
-		s := make(map[netip.Prefix]float64)
+		s.Reset()
 		for i := 0; i < heavies; i++ {
-			s[pfx(i)] = 1000 * math.Exp(rng.NormFloat64()*0.2)
+			s.Append(pfx(i), 1000*math.Exp(rng.NormFloat64()*0.2))
 		}
 		for i := heavies; i < heavies+mice; i++ {
 			bw := 5 * math.Exp(rng.NormFloat64()*0.5)
 			if rng.Float64() < 0.01 {
 				bw = 2000 // rare one-interval burst
 			}
-			s[pfx(i)] = bw
+			s.Append(pfx(i), bw)
 		}
 		res, err := p.Step(s)
 		if err != nil {
@@ -275,11 +344,11 @@ func TestPipelineEndToEndWithLatentHeat(t *testing.T) {
 		lastElephants = res.Elephants
 	}
 	for i := 0; i < heavies; i++ {
-		if !lastElephants[pfx(i)] {
+		if !lastElephants.Contains(pfx(i)) {
 			t.Errorf("persistent heavy flow %d not in final elephant set", i)
 		}
 	}
-	for p0 := range lastElephants {
+	for _, p0 := range lastElephants.Flows() {
 		found := false
 		for i := 0; i < heavies; i++ {
 			if p0 == pfx(i) {

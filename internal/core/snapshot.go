@@ -1,0 +1,282 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// ComparePrefix orders prefixes by address, then by length. It is the
+// canonical flow order of the whole system: FlowSnapshot columns,
+// ElephantSet members and Verdict.Offline are all sorted by it.
+func ComparePrefix(a, b netip.Prefix) int {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	switch {
+	case a.Bits() < b.Bits():
+		return -1
+	case a.Bits() > b.Bits():
+		return 1
+	}
+	return 0
+}
+
+// FlowSnapshot is the columnar view of one measurement interval: a
+// prefix column sorted by ComparePrefix and a parallel column of average
+// bandwidths x_j(t) in bit/s, all strictly positive. It replaces the
+// map[netip.Prefix]float64 snapshot of earlier revisions in every
+// interval hot path.
+//
+// Ownership contract: a snapshot is owned by its producer and may be
+// reset and refilled for the next interval (agg.Series.Snapshot and the
+// engine workers do exactly that). Consumers must not retain the
+// snapshot or its column slices across intervals; anything that outlives
+// the interval (e.g. Result.Elephants) is copied out by Pipeline.Step.
+type FlowSnapshot struct {
+	keys   []netip.Prefix
+	bw     []float64
+	total  float64
+	sorted bool
+}
+
+// NewFlowSnapshot returns an empty snapshot with room for capacity
+// flows.
+func NewFlowSnapshot(capacity int) *FlowSnapshot {
+	return &FlowSnapshot{
+		keys:   make([]netip.Prefix, 0, capacity),
+		bw:     make([]float64, 0, capacity),
+		sorted: true,
+	}
+}
+
+// Reset empties the snapshot, keeping the backing arrays for reuse.
+func (s *FlowSnapshot) Reset() {
+	s.keys = s.keys[:0]
+	s.bw = s.bw[:0]
+	s.total = 0
+	s.sorted = true
+}
+
+// Append adds one flow. Non-positive bandwidths are dropped (an idle
+// flow is simply absent from the interval). Appending in ComparePrefix
+// order keeps the snapshot sorted for free; out-of-order appends are
+// tolerated but require a Sort call before the snapshot is classified.
+func (s *FlowSnapshot) Append(p netip.Prefix, bw float64) {
+	if bw <= 0 {
+		return
+	}
+	if n := len(s.keys); n > 0 && ComparePrefix(s.keys[n-1], p) >= 0 {
+		s.sorted = false
+	}
+	s.keys = append(s.keys, p)
+	s.bw = append(s.bw, bw)
+	s.total += bw
+}
+
+// Len reports the number of active flows in the snapshot.
+func (s *FlowSnapshot) Len() int { return len(s.keys) }
+
+// Key returns the i-th flow prefix.
+func (s *FlowSnapshot) Key(i int) netip.Prefix { return s.keys[i] }
+
+// Bandwidth returns the i-th flow's bandwidth in bit/s.
+func (s *FlowSnapshot) Bandwidth(i int) float64 { return s.bw[i] }
+
+// Keys exposes the prefix column. Shared storage; do not modify.
+func (s *FlowSnapshot) Keys() []netip.Prefix { return s.keys }
+
+// Bandwidths exposes the bandwidth column. Shared storage; do not
+// modify. (Pipeline.Step copies it before handing it to a Detector,
+// which is allowed to reorder its input.)
+func (s *FlowSnapshot) Bandwidths() []float64 { return s.bw }
+
+// TotalLoad returns the aggregate link load of the interval in bit/s.
+func (s *FlowSnapshot) TotalLoad() float64 { return s.total }
+
+// IsSorted reports whether every Append so far was in ComparePrefix
+// order (or Sort has been called since the last violation). It is O(1):
+// the flag is maintained incrementally.
+func (s *FlowSnapshot) IsSorted() bool { return s.sorted }
+
+// Sort restores the canonical order after out-of-order appends, e.g.
+// when the snapshot was filled from a map. Duplicate prefixes (possible
+// when merging partial interval sources) are coalesced by summing their
+// bandwidths, preserving both TotalLoad and the strict ordering
+// invariant the pipeline relies on.
+func (s *FlowSnapshot) Sort() {
+	if s.sorted {
+		return
+	}
+	sort.Sort((*snapshotSorter)(s))
+	w := 0
+	for i := 1; i < len(s.keys); i++ {
+		if s.keys[i] == s.keys[w] {
+			s.bw[w] += s.bw[i]
+		} else {
+			w++
+			s.keys[w] = s.keys[i]
+			s.bw[w] = s.bw[i]
+		}
+	}
+	if len(s.keys) > 0 {
+		s.keys = s.keys[:w+1]
+		s.bw = s.bw[:w+1]
+	}
+	s.sorted = true
+}
+
+// verifySorted is the O(n) invariant check behind DebugInvariants,
+// catching callers that mutated the columns behind the flag's back.
+func (s *FlowSnapshot) verifySorted() bool {
+	for i := 1; i < len(s.keys); i++ {
+		if ComparePrefix(s.keys[i-1], s.keys[i]) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type snapshotSorter FlowSnapshot
+
+func (s *snapshotSorter) Len() int { return len(s.keys) }
+func (s *snapshotSorter) Less(i, j int) bool {
+	return ComparePrefix(s.keys[i], s.keys[j]) < 0
+}
+func (s *snapshotSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.bw[i], s.bw[j] = s.bw[j], s.bw[i]
+}
+
+// Lookup binary-searches the prefix column and returns the flow's index.
+// The snapshot must be sorted.
+func (s *FlowSnapshot) Lookup(p netip.Prefix) (int, bool) {
+	i := sort.Search(len(s.keys), func(i int) bool {
+		return ComparePrefix(s.keys[i], p) >= 0
+	})
+	if i < len(s.keys) && s.keys[i] == p {
+		return i, true
+	}
+	return i, false
+}
+
+// SnapshotFromMap fills dst (allocating when nil) from a flow->bandwidth
+// map and sorts it — the bridge for callers that still assemble
+// intervals as maps (tests, ad-hoc tooling). Hot paths should build
+// snapshots directly in sorted order instead.
+func SnapshotFromMap(m map[netip.Prefix]float64, dst *FlowSnapshot) *FlowSnapshot {
+	if dst == nil {
+		dst = NewFlowSnapshot(len(m))
+	}
+	dst.Reset()
+	for p, bw := range m {
+		dst.Append(p, bw)
+	}
+	dst.Sort()
+	return dst
+}
+
+// ElephantSet is an interval's elephant membership: an immutable set of
+// flow prefixes sorted by ComparePrefix. Unlike the snapshot it owns its
+// storage, so results remain valid after the producing snapshot is
+// reused for the next interval.
+type ElephantSet struct {
+	flows []netip.Prefix
+}
+
+// NewElephantSet builds a set from arbitrary prefixes (sorted and
+// deduplicated). Mostly useful in tests; Pipeline builds sets from
+// classifier verdicts directly.
+func NewElephantSet(flows ...netip.Prefix) ElephantSet {
+	if len(flows) == 0 {
+		return ElephantSet{}
+	}
+	fs := make([]netip.Prefix, len(flows))
+	copy(fs, flows)
+	sort.Slice(fs, func(i, j int) bool { return ComparePrefix(fs[i], fs[j]) < 0 })
+	out := fs[:1]
+	for _, p := range fs[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return ElephantSet{flows: out}
+}
+
+// Len reports the set size.
+func (e ElephantSet) Len() int { return len(e.flows) }
+
+// Contains reports membership by binary search.
+func (e ElephantSet) Contains(p netip.Prefix) bool {
+	i := sort.Search(len(e.flows), func(i int) bool {
+		return ComparePrefix(e.flows[i], p) >= 0
+	})
+	return i < len(e.flows) && e.flows[i] == p
+}
+
+// Flows returns the members in ComparePrefix order. Shared storage; do
+// not modify.
+func (e ElephantSet) Flows() []netip.Prefix { return e.flows }
+
+// Equal reports whether two sets have identical membership.
+func (e ElephantSet) Equal(o ElephantSet) bool {
+	if len(e.flows) != len(o.flows) {
+		return false
+	}
+	for i := range e.flows {
+		if e.flows[i] != o.flows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Jaccard returns the Jaccard similarity of two sets (1 for two empty
+// sets), the membership-stability measure used throughout the
+// evaluation.
+func (e ElephantSet) Jaccard(o ElephantSet) float64 {
+	inter := 0
+	i, j := 0, 0
+	for i < len(e.flows) && j < len(o.flows) {
+		switch c := ComparePrefix(e.flows[i], o.flows[j]); {
+		case c == 0:
+			inter++
+			i++
+			j++
+		case c < 0:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(e.flows) + len(o.flows) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// mergeElephants combines a verdict's snapshot indices (ascending) and
+// off-snapshot flows (sorted) into an owning ElephantSet.
+func mergeElephants(snap *FlowSnapshot, v Verdict) ElephantSet {
+	n := len(v.Indices) + len(v.Offline)
+	if n == 0 {
+		return ElephantSet{}
+	}
+	flows := make([]netip.Prefix, 0, n)
+	i, j := 0, 0
+	for i < len(v.Indices) && j < len(v.Offline) {
+		p := snap.Key(v.Indices[i])
+		if ComparePrefix(p, v.Offline[j]) < 0 {
+			flows = append(flows, p)
+			i++
+		} else {
+			flows = append(flows, v.Offline[j])
+			j++
+		}
+	}
+	for ; i < len(v.Indices); i++ {
+		flows = append(flows, snap.Key(v.Indices[i]))
+	}
+	flows = append(flows, v.Offline[j:]...)
+	return ElephantSet{flows: flows}
+}

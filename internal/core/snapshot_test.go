@@ -1,0 +1,183 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestSnapshotAppendSortedOrder(t *testing.T) {
+	s := NewFlowSnapshot(4)
+	s.Append(pfx(0), 10)
+	s.Append(pfx(1), 20)
+	s.Append(pfx(5), 30)
+	if !s.IsSorted() {
+		t.Fatal("in-order appends must keep the snapshot sorted")
+	}
+	if s.Len() != 3 || s.TotalLoad() != 60 {
+		t.Fatalf("len=%d total=%v", s.Len(), s.TotalLoad())
+	}
+	if s.Key(1) != pfx(1) || s.Bandwidth(1) != 20 {
+		t.Errorf("column mismatch at 1: %v %v", s.Key(1), s.Bandwidth(1))
+	}
+}
+
+func TestSnapshotDropsNonPositive(t *testing.T) {
+	s := NewFlowSnapshot(0)
+	s.Append(pfx(0), 0)
+	s.Append(pfx(1), -5)
+	s.Append(pfx(2), 7)
+	if s.Len() != 1 || s.TotalLoad() != 7 {
+		t.Errorf("non-positive bandwidths must be dropped: len=%d total=%v", s.Len(), s.TotalLoad())
+	}
+}
+
+func TestSnapshotOutOfOrderNeedsSort(t *testing.T) {
+	s := NewFlowSnapshot(0)
+	s.Append(pfx(3), 30)
+	s.Append(pfx(1), 10)
+	if s.IsSorted() {
+		t.Fatal("out-of-order append not detected")
+	}
+	s.Sort()
+	if !s.IsSorted() || s.Key(0) != pfx(1) || s.Bandwidth(0) != 10 {
+		t.Errorf("Sort broken: keys=%v bw=%v", s.Keys(), s.Bandwidths())
+	}
+}
+
+func TestSnapshotPrefixLengthOrder(t *testing.T) {
+	a16 := netip.MustParsePrefix("10.0.0.0/16")
+	a24 := netip.MustParsePrefix("10.0.0.0/24")
+	s := NewFlowSnapshot(0)
+	s.Append(a16, 1)
+	s.Append(a24, 2) // same address, longer prefix: still ascending
+	if !s.IsSorted() {
+		t.Error("same-address longer prefix must sort after shorter")
+	}
+	if i, ok := s.Lookup(a24); !ok || i != 1 {
+		t.Errorf("Lookup(/24) = %d, %v", i, ok)
+	}
+}
+
+func TestSnapshotResetReuse(t *testing.T) {
+	s := NewFlowSnapshot(2)
+	s.Append(pfx(2), 5)
+	s.Append(pfx(1), 5) // unsorted
+	s.Reset()
+	if s.Len() != 0 || s.TotalLoad() != 0 || !s.IsSorted() {
+		t.Fatal("Reset incomplete")
+	}
+	s.Append(pfx(0), 3)
+	if s.Len() != 1 || s.TotalLoad() != 3 {
+		t.Error("reuse after Reset broken")
+	}
+}
+
+func TestSnapshotLookup(t *testing.T) {
+	s := snap(10, 20, 30)
+	if i, ok := s.Lookup(pfx(1)); !ok || i != 1 {
+		t.Errorf("Lookup(pfx(1)) = %d, %v", i, ok)
+	}
+	if _, ok := s.Lookup(pfx(9)); ok {
+		t.Error("Lookup found an absent flow")
+	}
+}
+
+// TestSnapshotSortCoalescesDuplicates: merging partial sources may
+// Append the same prefix twice; Sort must leave a strictly ordered
+// snapshot with the bandwidths summed, not a duplicate key the
+// pipeline's sorted gate would wave through.
+func TestSnapshotSortCoalescesDuplicates(t *testing.T) {
+	s := NewFlowSnapshot(0)
+	s.Append(pfx(1), 10)
+	s.Append(pfx(0), 5)
+	s.Append(pfx(1), 30)
+	s.Sort()
+	if s.Len() != 2 || !s.verifySorted() {
+		t.Fatalf("len=%d keys=%v", s.Len(), s.Keys())
+	}
+	if i, ok := s.Lookup(pfx(1)); !ok || s.Bandwidth(i) != 40 {
+		t.Errorf("duplicate not coalesced: %v %v", s.Keys(), s.Bandwidths())
+	}
+	if s.TotalLoad() != 45 {
+		t.Errorf("total = %v, want 45", s.TotalLoad())
+	}
+}
+
+func TestSnapshotFromMap(t *testing.T) {
+	m := map[netip.Prefix]float64{pfx(3): 30, pfx(0): 10, pfx(1): 0}
+	s := SnapshotFromMap(m, nil)
+	if !s.IsSorted() || s.Len() != 2 {
+		t.Fatalf("sorted=%v len=%d", s.IsSorted(), s.Len())
+	}
+	if s.Key(0) != pfx(0) || s.Key(1) != pfx(3) {
+		t.Errorf("keys = %v", s.Keys())
+	}
+	// Reuse the same snapshot.
+	s2 := SnapshotFromMap(map[netip.Prefix]float64{pfx(7): 1}, s)
+	if s2 != s || s.Len() != 1 || s.Key(0) != pfx(7) {
+		t.Error("dst reuse broken")
+	}
+}
+
+func TestElephantSetBasics(t *testing.T) {
+	e := NewElephantSet(pfx(5), pfx(1), pfx(5), pfx(3))
+	if e.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (deduplicated)", e.Len())
+	}
+	for _, p := range []netip.Prefix{pfx(1), pfx(3), pfx(5)} {
+		if !e.Contains(p) {
+			t.Errorf("missing %v", p)
+		}
+	}
+	if e.Contains(pfx(2)) {
+		t.Error("phantom member")
+	}
+	flows := e.Flows()
+	for i := 1; i < len(flows); i++ {
+		if ComparePrefix(flows[i-1], flows[i]) >= 0 {
+			t.Error("Flows not sorted")
+		}
+	}
+}
+
+func TestElephantSetEqualAndJaccard(t *testing.T) {
+	a := NewElephantSet(pfx(0), pfx(1), pfx(2))
+	b := NewElephantSet(pfx(2), pfx(1), pfx(0))
+	if !a.Equal(b) {
+		t.Error("order-independent equality broken")
+	}
+	c := NewElephantSet(pfx(1), pfx(2), pfx(3))
+	if a.Equal(c) {
+		t.Error("distinct sets compare equal")
+	}
+	if j := a.Jaccard(c); j != 0.5 {
+		t.Errorf("jaccard = %v, want 0.5 (2 common / 4 union)", j)
+	}
+	if j := (ElephantSet{}).Jaccard(ElephantSet{}); j != 1 {
+		t.Errorf("empty-vs-empty jaccard = %v, want 1", j)
+	}
+}
+
+func TestMergeElephants(t *testing.T) {
+	s := snap(10, 20, 30) // pfx(0..2)
+	out := mergeElephants(s, Verdict{
+		Indices: []int{0, 2},
+		Offline: []netip.Prefix{pfx(1), pfx(7)},
+	})
+	want := NewElephantSet(pfx(0), pfx(1), pfx(2), pfx(7))
+	if !out.Equal(want) {
+		t.Errorf("merge = %v, want %v", out.Flows(), want.Flows())
+	}
+}
+
+func TestComparePrefix(t *testing.T) {
+	a := netip.MustParsePrefix("10.0.0.0/16")
+	b := netip.MustParsePrefix("10.0.0.0/24")
+	c := netip.MustParsePrefix("11.0.0.0/8")
+	if ComparePrefix(a, b) >= 0 || ComparePrefix(b, a) <= 0 {
+		t.Error("length tie-break broken")
+	}
+	if ComparePrefix(a, c) >= 0 || ComparePrefix(a, a) != 0 {
+		t.Error("address ordering broken")
+	}
+}

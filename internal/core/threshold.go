@@ -5,10 +5,12 @@
 // single-feature (bandwidth vs. threshold) and the two-feature "latent
 // heat" scheme that adds persistence in time.
 //
-// The API is streaming-first: a Pipeline consumes one interval's
-// flow-bandwidth snapshot at a time, exactly as an online traffic
+// The API is streaming-first and columnar: a Pipeline consumes one
+// interval's FlowSnapshot at a time — sorted prefix and bandwidth
+// columns, reusable across intervals — exactly as an online traffic
 // engineering system would, and emits the interval's elephant set plus
-// diagnostics. Batch helpers in package experiments wrap it for trace
+// diagnostics. Package engine fans pipelines out across many monitored
+// links; batch helpers in package experiments wrap it for trace
 // post-processing.
 package core
 

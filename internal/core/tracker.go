@@ -34,10 +34,10 @@ func NewTracker() *Tracker {
 // Observe folds one interval's elephant set in. Flows absent from the
 // set (including never-seen flows) are mice for the interval. Calls must
 // be made in interval order.
-func (tr *Tracker) Observe(elephants map[netip.Prefix]bool) {
+func (tr *Tracker) Observe(elephants ElephantSet) {
 	// Demote tracked elephants that left the set.
 	for p, ft := range tr.flows {
-		if ft.elephant && !elephants[p] {
+		if ft.elephant && !elephants.Contains(p) {
 			ft.elephant = false
 			ft.runs = append(ft.runs, ft.curRun)
 			ft.curRun = 0
@@ -46,7 +46,7 @@ func (tr *Tracker) Observe(elephants map[netip.Prefix]bool) {
 		}
 	}
 	// Promote or extend members.
-	for p := range elephants {
+	for _, p := range elephants.Flows() {
 		ft, ok := tr.flows[p]
 		if !ok {
 			ft = &flowTrack{}

@@ -5,12 +5,21 @@ import (
 	"testing"
 )
 
+// elephantSetOf builds a set from flow ids.
+func elephantSetOf(ids ...int) ElephantSet {
+	flows := make([]netip.Prefix, len(ids))
+	for i, id := range ids {
+		flows[i] = pfx(id)
+	}
+	return NewElephantSet(flows...)
+}
+
 func observePattern(tr *Tracker, id int, pattern string) {
 	// Build per-interval sets for a single flow pattern.
 	for _, c := range pattern {
-		set := map[netip.Prefix]bool{}
+		var set ElephantSet
 		if c == 'E' {
-			set[pfx(id)] = true
+			set = elephantSetOf(id)
 		}
 		tr.Observe(set)
 	}
@@ -43,8 +52,8 @@ func TestTrackerBasics(t *testing.T) {
 
 func TestTrackerNeverElephant(t *testing.T) {
 	tr := NewTracker()
-	tr.Observe(map[netip.Prefix]bool{})
-	tr.Observe(map[netip.Prefix]bool{})
+	tr.Observe(ElephantSet{})
+	tr.Observe(ElephantSet{})
 	if tr.State(pfx(1)) != Mouse || tr.CurrentRun(pfx(1)) != 0 {
 		t.Error("unknown flow must be a mouse with no run")
 	}
@@ -55,10 +64,10 @@ func TestTrackerNeverElephant(t *testing.T) {
 
 func TestTrackerMultipleFlows(t *testing.T) {
 	tr := NewTracker()
-	sets := []map[netip.Prefix]bool{
-		{pfx(0): true, pfx(1): true},
-		{pfx(0): true},
-		{pfx(0): true, pfx(2): true},
+	sets := []ElephantSet{
+		elephantSetOf(0, 1),
+		elephantSetOf(0),
+		elephantSetOf(0, 2),
 	}
 	for _, s := range sets {
 		tr.Observe(s)
@@ -95,13 +104,13 @@ func TestTrackerAgreesWithAnalysis(t *testing.T) {
 	tr := NewTracker()
 	n := len(patterns[0])
 	for i := 0; i < n; i++ {
-		set := map[netip.Prefix]bool{}
+		var members []int
 		for id, p := range patterns {
 			if p[i] == 'E' {
-				set[pfx(id)] = true
+				members = append(members, id)
 			}
 		}
-		tr.Observe(set)
+		tr.Observe(elephantSetOf(members...))
 	}
 	// Hand-computed: flow0 runs {4,2}: mean 3; flow1 {1,1,1}: 1;
 	// flow2 {3,3}: 3. Across-flow mean = (3+1+3)/3.

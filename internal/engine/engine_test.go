@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+var start = time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+
+// synthSeries builds a deterministic heavy-tailed series: a few
+// persistent heavies over a lognormal mouse population, all driven by
+// seed.
+func synthSeries(seed int64, flows, intervals int) *agg.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := agg.NewSeries(start, 5*time.Minute, intervals)
+	for f := 0; f < flows; f++ {
+		p := netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", f/256, f%256))
+		heavy := f < flows/20
+		for t := 0; t < intervals; t++ {
+			bw := 1e3 * math.Exp(rng.NormFloat64())
+			if heavy {
+				bw = 1e5 * math.Exp(rng.NormFloat64()*0.3)
+			}
+			if rng.Float64() < 0.1 {
+				continue // idle interval
+			}
+			s.SetBandwidth(p, t, bw)
+		}
+	}
+	return s
+}
+
+// schemeConfig returns a fresh paper-scheme pipeline config (constant
+// load + latent heat), independent state per call.
+func schemeConfig() (core.Config, error) {
+	det, err := core.NewConstantLoadDetector(0.8)
+	if err != nil {
+		return core.Config{}, err
+	}
+	lh, err := core.NewLatentHeatClassifier(6)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{Detector: det, Alpha: 0.5, Classifier: lh, MinFlows: 4}, nil
+}
+
+func testLinks(n int) []Link {
+	links := make([]Link, n)
+	for i := range links {
+		links[i] = Link{
+			ID:     fmt.Sprintf("link-%02d", i),
+			Series: synthSeries(int64(100+i), 200, 24),
+			Config: schemeConfig,
+		}
+	}
+	return links
+}
+
+// TestEngineMatchesSequential is the determinism contract: an N-link
+// concurrent engine run must produce results identical to N sequential
+// Pipeline runs with the same seeds, for any worker count. Run with
+// -race to also prove the workers share no mutable state.
+func TestEngineMatchesSequential(t *testing.T) {
+	const n = 9
+	// Reference: sequential pipelines, one per link, directly on core.
+	want := make(map[string][]core.Result, n)
+	for _, l := range testLinks(n) {
+		cfg, err := l.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := core.NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap *core.FlowSnapshot
+		results := make([]core.Result, 0, l.Series.Intervals)
+		for tt := 0; tt < l.Series.Intervals; tt++ {
+			snap = l.Series.Snapshot(tt, snap)
+			res, err := pipe.Step(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res)
+		}
+		want[l.ID] = results
+	}
+
+	for _, workers := range []int{1, 2, 4, 16} {
+		eng := MultiLinkEngine{Workers: workers}
+		got, err := eng.Run(testLinks(n))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, lr := range got {
+			if lr.Err != nil {
+				t.Fatalf("workers=%d link %s: %v", workers, lr.ID, lr.Err)
+			}
+			if i > 0 && got[i-1].ID >= lr.ID {
+				t.Errorf("workers=%d: output not sorted by link ID at %d", workers, i)
+			}
+			if !reflect.DeepEqual(lr.Results, want[lr.ID]) {
+				t.Errorf("workers=%d link %s: concurrent results differ from sequential run", workers, lr.ID)
+			}
+		}
+	}
+}
+
+// TestEngineSharedSeries: two links may wrap the same series under
+// different schemes (exactly what RunFigure1 does); concurrent workers
+// must snapshot it race-free and still match sequential runs. Run with
+// -race.
+func TestEngineSharedSeries(t *testing.T) {
+	shared := synthSeries(42, 300, 24)
+	mkLinks := func() []Link {
+		sf := func() (core.Config, error) {
+			det, err := core.NewConstantLoadDetector(0.8)
+			if err != nil {
+				return core.Config{}, err
+			}
+			return core.Config{Detector: det, Alpha: 0.5, Classifier: core.SingleFeatureClassifier{}, MinFlows: 4}, nil
+		}
+		return []Link{
+			{ID: "shared/latent", Series: shared, Config: schemeConfig},
+			{ID: "shared/single", Series: shared, Config: sf},
+		}
+	}
+	want := map[string][]core.Result{}
+	for _, l := range mkLinks() {
+		lr := RunLink(l)
+		if lr.Err != nil {
+			t.Fatal(lr.Err)
+		}
+		want[l.ID] = lr.Results
+	}
+	eng := MultiLinkEngine{Workers: 2}
+	got, err := eng.Run(mkLinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range got {
+		if lr.Err != nil {
+			t.Fatal(lr.Err)
+		}
+		if !reflect.DeepEqual(lr.Results, want[lr.ID]) {
+			t.Errorf("link %s: shared-series concurrent run differs from sequential", lr.ID)
+		}
+	}
+}
+
+// TestEngineRunLinkAgreesWithRun: the exported sequential entry point is
+// the same computation the pool performs.
+func TestEngineRunLinkAgreesWithRun(t *testing.T) {
+	links := testLinks(3)
+	eng := MultiLinkEngine{Workers: 3}
+	got, err := eng.Run(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range links {
+		seq := RunLink(l)
+		if seq.Err != nil {
+			t.Fatal(seq.Err)
+		}
+		if !reflect.DeepEqual(seq.Results, got[i].Results) {
+			t.Errorf("link %s: RunLink differs from engine run", l.ID)
+		}
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	eng := MultiLinkEngine{}
+	if out, err := eng.Run(nil); err != nil || out != nil {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+	links := testLinks(2)
+	links[1].ID = links[0].ID
+	if _, err := eng.Run(links); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	links[1].ID = ""
+	if _, err := eng.Run(links); err == nil {
+		t.Error("empty ID accepted")
+	}
+}
+
+// TestEnginePerLinkErrorsIsolated: one broken link must not abort the
+// other links' runs.
+func TestEnginePerLinkErrorsIsolated(t *testing.T) {
+	boom := errors.New("boom")
+	links := testLinks(3)
+	links[1].Config = func() (core.Config, error) { return core.Config{}, boom }
+	links[2].Series = nil
+	eng := MultiLinkEngine{Workers: 2}
+	out, err := eng.Run(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Err != nil || out[0].Results == nil {
+		t.Errorf("healthy link failed: %v", out[0].Err)
+	}
+	if !errors.Is(out[1].Err, boom) {
+		t.Errorf("link-1 err = %v, want wrapped boom", out[1].Err)
+	}
+	if out[2].Err == nil {
+		t.Error("nil-series link reported no error")
+	}
+}
+
+// TestEngineSparseLinkError: a link whose bootstrap interval is too
+// sparse surfaces the pipeline error without stopping the engine.
+func TestEngineSparseLinkError(t *testing.T) {
+	sparse := agg.NewSeries(start, 5*time.Minute, 2)
+	sparse.SetBandwidth(netip.MustParsePrefix("10.0.0.0/24"), 0, 1)
+	links := testLinks(1)
+	links = append(links, Link{ID: "sparse", Series: sparse, Config: schemeConfig})
+	eng := MultiLinkEngine{}
+	out, err := eng.Run(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]LinkResult{}
+	for _, lr := range out {
+		byID[lr.ID] = lr
+	}
+	if byID["sparse"].Err == nil {
+		t.Error("sparse link reported no error")
+	}
+	if byID["link-00"].Err != nil {
+		t.Errorf("healthy link failed: %v", byID["link-00"].Err)
+	}
+}

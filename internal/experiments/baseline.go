@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"net/netip"
 
 	"repro/internal/analysis"
 	"repro/internal/baseline"
@@ -96,9 +95,9 @@ func BaselineComparison(ls *LinkSet) ([]BaselineRow, error) {
 				return nil, err
 			}
 			results = make([]core.Result, 0, ls.West.Intervals)
-			var snap map[netip.Prefix]float64
+			var snap *core.FlowSnapshot
 			for t := 0; t < ls.West.Intervals; t++ {
-				snap = ls.West.IntervalSnapshot(t, snap)
+				snap = ls.West.Snapshot(t, snap)
 				res, err := pipe.Step(snap)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, err)

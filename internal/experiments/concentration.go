@@ -53,11 +53,9 @@ func Concentration(ls *LinkSet) ([]ConcentrationRow, error) {
 }
 
 func concentrationAt(name string, s *agg.Series, t int) (ConcentrationRow, error) {
-	snap := s.IntervalSnapshot(t, nil)
-	bws := make([]float64, 0, len(snap))
-	for _, bw := range snap {
-		bws = append(bws, bw)
-	}
+	snap := s.Snapshot(t, nil)
+	// Copy the column: the stats helpers may reorder their input.
+	bws := append([]float64(nil), snap.Bandwidths()...)
 	if len(bws) == 0 {
 		return ConcentrationRow{}, fmt.Errorf("experiments: interval %d of %s link is idle", t, name)
 	}

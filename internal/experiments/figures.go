@@ -6,6 +6,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/report"
 )
 
@@ -32,7 +33,9 @@ func (r FigureRun) Label() string {
 
 // RunFigure1 executes the four runs of Figure 1 — {0.8-constant-load,
 // aest} × {west, east} — with the latent-heat metric switched as
-// requested (the paper's Figure 1 has it on).
+// requested (the paper's Figure 1 has it on). The four runs are
+// independent (scheme, link) pipelines, so they execute concurrently on
+// the multi-link engine; results are identical to sequential execution.
 func RunFigure1(ls *LinkSet, latentHeat bool) ([]FigureRun, error) {
 	schemes := []SchemeConfig{
 		{UseAest: false, LatentHeat: latentHeat},
@@ -45,15 +48,36 @@ func RunFigure1(ls *LinkSet, latentHeat bool) ([]FigureRun, error) {
 		{"west", ls.West},
 		{"east", ls.East},
 	}
-	runs := make([]FigureRun, 0, 4)
+	type runKey struct {
+		scheme SchemeConfig
+		link   string
+	}
+	var work []engine.Link
+	byID := make(map[string]runKey, 4)
 	for _, link := range links {
 		for _, sc := range schemes {
-			res, err := RunScheme(link.series, sc)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 1 run %s/%s: %w", sc.Name(), link.name, err)
-			}
-			runs = append(runs, FigureRun{Scheme: sc, Link: link.name, Results: res})
+			id := link.name + "/" + sc.Name()
+			byID[id] = runKey{scheme: sc, link: link.name}
+			work = append(work, sc.Link(id, link.series))
 		}
+	}
+	eng := engine.MultiLinkEngine{}
+	lrs, err := eng.Run(work)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 1: %w", err)
+	}
+	done := make(map[string][]core.Result, len(lrs))
+	for _, lr := range lrs {
+		if lr.Err != nil {
+			return nil, fmt.Errorf("experiments: figure 1 run %s: %w", lr.ID, lr.Err)
+		}
+		done[lr.ID] = lr.Results
+	}
+	// Reassemble in the historical order: link-major, scheme-minor.
+	runs := make([]FigureRun, 0, len(work))
+	for _, w := range work {
+		k := byID[w.ID]
+		runs = append(runs, FigureRun{Scheme: k.scheme, Link: k.link, Results: done[w.ID]})
 	}
 	return runs, nil
 }

@@ -7,12 +7,12 @@ package experiments
 
 import (
 	"fmt"
-	"net/netip"
 	"time"
 
 	"repro/internal/agg"
 	"repro/internal/bgp"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/trace"
 )
 
@@ -171,43 +171,46 @@ func (c SchemeConfig) Name() string {
 	return base
 }
 
-// RunScheme classifies every interval of series under the scheme and
-// returns the per-interval results.
-func RunScheme(series *agg.Series, sc SchemeConfig) ([]core.Result, error) {
-	sc.defaults()
+// NewConfig builds a fresh pipeline configuration (detector +
+// classifier instances) for the scheme. Each call returns independent
+// state, so the result can be used as an engine.Link config factory.
+func (c SchemeConfig) NewConfig() (core.Config, error) {
+	c.defaults()
 	var det core.Detector
-	if sc.UseAest {
+	if c.UseAest {
 		det = core.NewAestDetector()
 	} else {
-		d, err := core.NewConstantLoadDetector(sc.Beta)
+		d, err := core.NewConstantLoadDetector(c.Beta)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 		det = d
 	}
 	var cls core.Classifier
-	if sc.LatentHeat {
-		lh, err := core.NewLatentHeatClassifier(sc.Window)
+	if c.LatentHeat {
+		lh, err := core.NewLatentHeatClassifier(c.Window)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 		cls = lh
 	} else {
 		cls = core.SingleFeatureClassifier{}
 	}
-	pipe, err := core.NewPipeline(core.Config{Detector: det, Alpha: sc.Alpha, Classifier: cls})
-	if err != nil {
-		return nil, err
+	return core.Config{Detector: det, Alpha: c.Alpha, Classifier: cls}, nil
+}
+
+// Link wraps a series under the scheme as an engine work unit.
+func (c SchemeConfig) Link(id string, series *agg.Series) engine.Link {
+	return engine.Link{ID: id, Series: series, Config: c.NewConfig}
+}
+
+// RunScheme classifies every interval of series under the scheme and
+// returns the per-interval results.
+func RunScheme(series *agg.Series, sc SchemeConfig) ([]core.Result, error) {
+	sc.defaults()
+	lr := engine.RunLink(sc.Link(sc.Name(), series))
+	if lr.Err != nil {
+		return nil, fmt.Errorf("experiments: scheme %s: %w", sc.Name(), lr.Err)
 	}
-	results := make([]core.Result, 0, series.Intervals)
-	var snap map[netip.Prefix]float64
-	for t := 0; t < series.Intervals; t++ {
-		snap = series.IntervalSnapshot(t, snap)
-		res, err := pipe.Step(snap)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scheme %s: %w", sc.Name(), err)
-		}
-		results = append(results, res)
-	}
-	return results, nil
+	return lr.Results, nil
 }

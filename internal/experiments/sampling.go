@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"net/netip"
 
 	"repro/internal/agg"
 	"repro/internal/analysis"
+	"repro/internal/core"
 )
 
 // SamplingRow reports how classification degrades when bandwidths are
@@ -62,18 +62,18 @@ func SamplingImpact(ls *LinkSet, rates []int, sc SchemeConfig) ([]SamplingRow, e
 		}
 
 		var jacc, frac float64
+		var snap *core.FlowSnapshot
 		for i := range res {
-			jacc += jaccard(res[i].Elephants, ref[i].Elephants) / float64(len(res))
+			jacc += res[i].Elephants.Jaccard(ref[i].Elephants) / float64(len(res))
 			// Load fraction against true bandwidths.
-			var eleph, total float64
-			snap := truth.IntervalSnapshot(i, nil)
-			for p, bw := range snap {
-				total += bw
-				if res[i].Elephants[p] {
-					eleph += bw
+			var eleph float64
+			snap = truth.Snapshot(i, snap)
+			for k := 0; k < snap.Len(); k++ {
+				if res[i].Elephants.Contains(snap.Key(k)) {
+					eleph += snap.Bandwidth(k)
 				}
 			}
-			if total > 0 {
+			if total := snap.TotalLoad(); total > 0 {
 				frac += eleph / total / float64(len(res))
 			}
 		}
@@ -145,18 +145,4 @@ func binomialApprox(rng *rand.Rand, n, p float64) int {
 		}
 		k++
 	}
-}
-
-func jaccard(a, b map[netip.Prefix]bool) float64 {
-	inter := 0
-	for p := range a {
-		if b[p] {
-			inter++
-		}
-	}
-	union := len(a) + len(b) - inter
-	if union == 0 {
-		return 1
-	}
-	return float64(inter) / float64(union)
 }

@@ -171,13 +171,9 @@ func TestHeavyTailPresent(t *testing.T) {
 	tab := testTable(t, 5000)
 	l := testLink(t, LinkConfig{Table: tab, Flows: 3000, MeanLoadBps: 100e6, Seed: 6})
 	s := l.GenerateSeries(traceStart, 5*time.Minute, 4)
-	snap := s.IntervalSnapshot(2, nil)
-	var bws []float64
-	var total float64
-	for _, bw := range snap {
-		bws = append(bws, bw)
-		total += bw
-	}
+	snap := s.Snapshot(2, nil)
+	bws := append([]float64(nil), snap.Bandwidths()...)
+	total := snap.TotalLoad()
 	q90 := stats.Quantile(bws, 0.9)
 	var topLoad float64
 	for _, bw := range bws {
