@@ -4,17 +4,31 @@
 // measurement intervals, and classified with the chosen threshold
 // detection scheme, with or without the latent-heat persistence metric.
 //
+// Two ingestion modes share the classification stack. The default batch
+// mode prescans the capture to size a full flow×interval matrix, then
+// classifies it on the multi-link engine. -stream classifies in a
+// single pass instead: packets feed a bounded-memory interval
+// accumulator that closes intervals as capture time advances and pushes
+// each one straight into the pipeline — memory is governed by
+// -stream-window intervals, not by capture length, and the resulting
+// classifications are identical to batch mode on the same capture
+// (interval 0 is anchored at the first frame in both modes; trailing
+// intervals carrying only unrouted traffic appear, empty, in batch
+// output only).
+//
 // Usage:
 //
 //	elephants -pcap trace.pcap -table table.txt [-scheme aest|load]
 //	          [-beta 0.8] [-alpha 0.5] [-latent] [-window 12]
-//	          [-interval 5m] [-top 10]
+//	          [-interval 5m] [-top 10] [-stream] [-stream-window 12]
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -40,27 +54,54 @@ func main() {
 		window    = flag.Int("window", 12, "latent-heat window in intervals")
 		interval  = flag.Duration("interval", 5*time.Minute, "measurement interval")
 		top       = flag.Int("top", 10, "print the top-N elephant flows by volume")
+		stream    = flag.Bool("stream", false, "single-pass streaming mode: bounded memory, no capture prescan")
+		swindow   = flag.Int("stream-window", agg.DefaultStreamWindow, "streaming mode: open-interval window (memory bound)")
 	)
 	flag.Parse()
 	if *pcapPath == "" || *tablePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*pcapPath, *tablePath, *scheme, *beta, *alpha, *latent, *window, *interval, *top); err != nil {
+	if *scheme != "aest" && *scheme != "load" {
+		fmt.Fprintf(os.Stderr, "elephants: unknown scheme %q (want aest or load)\n", *scheme)
+		os.Exit(2)
+	}
+	sc := experiments.SchemeConfig{
+		UseAest:    *scheme == "aest",
+		Beta:       *beta,
+		Alpha:      *alpha,
+		LatentHeat: *latent,
+		Window:     *window,
+	}
+	var err error
+	if *stream {
+		err = runStream(*pcapPath, *tablePath, sc, *interval, *swindow, *top)
+	} else {
+		err = runBatch(*pcapPath, *tablePath, sc, *interval, *top)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "elephants:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pcapPath, tablePath, scheme string, beta, alpha float64, latent bool, window int, interval time.Duration, top int) error {
-	tf, err := os.Open(tablePath)
+func readTable(path string) (*bgp.Table, error) {
+	tf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	table, err := bgp.ReadText(bufio.NewReader(tf))
+	if err != nil {
+		return nil, fmt.Errorf("reading BGP table: %w", err)
+	}
+	return table, nil
+}
+
+func runBatch(pcapPath, tablePath string, sc experiments.SchemeConfig, interval time.Duration, top int) error {
+	table, err := readTable(tablePath)
 	if err != nil {
 		return err
-	}
-	table, err := bgp.ReadText(bufio.NewReader(tf))
-	tf.Close()
-	if err != nil {
-		return fmt.Errorf("reading BGP table: %w", err)
 	}
 
 	// First pass over the capture header to size the series window.
@@ -86,16 +127,6 @@ func run(pcapPath, tablePath, scheme string, beta, alpha float64, latent bool, w
 	fmt.Printf("capture: %d frames, %d routed, %d unrouted, %d flows, %d x %v intervals\n",
 		frames, stats.Routed, stats.Unrouted, series.NumFlows(), intervals, interval)
 
-	sc := experiments.SchemeConfig{
-		UseAest:    scheme == "aest",
-		Beta:       beta,
-		Alpha:      alpha,
-		LatentHeat: latent,
-		Window:     window,
-	}
-	if scheme != "aest" && scheme != "load" {
-		return fmt.Errorf("unknown scheme %q (want aest or load)", scheme)
-	}
 	// A single capture is a one-link engine run; feeding several links
 	// (one pcap per monitored interface) classifies them concurrently.
 	eng := engine.MultiLinkEngine{}
@@ -106,12 +137,83 @@ func run(pcapPath, tablePath, scheme string, beta, alpha float64, latent bool, w
 	if lrs[0].Err != nil {
 		return lrs[0].Err
 	}
-	results := lrs[0].Results
+	printReport(sc, lrs[0].Results, series.IntervalTime, top)
+	return nil
+}
 
+// runStream classifies the capture in one pass: no prescan, no full
+// matrix — records flow through a windowed accumulator into the
+// pipeline as capture time closes each interval.
+func runStream(pcapPath, tablePath string, sc experiments.SchemeConfig, interval time.Duration, window, top int) error {
+	table, err := readTable(tablePath)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(pcapPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	src, err := agg.NewPacketRecordSource(bufio.NewReaderSize(pf, 1<<20), table)
+	if err != nil {
+		return err
+	}
+	cfg, err := sc.NewConfig()
+	if err != nil {
+		return err
+	}
+	pipe, err := core.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	// Pull the first routed record before sizing the accumulator: its
+	// interval 0 is anchored at the first frame's timestamp (known once
+	// any frame has been read), matching the batch prescan's anchor even
+	// when the capture opens with unrouted traffic.
+	first, err := src.Next()
+	if errors.Is(err, io.EOF) {
+		return fmt.Errorf("no routed packets in capture")
+	}
+	if err != nil {
+		return fmt.Errorf("streaming capture: %w", err)
+	}
+	acc, err := agg.NewStreamAccumulator(agg.StreamConfig{
+		Start:    src.FirstTimestamp(),
+		Interval: interval,
+		Window:   window,
+	})
+	if err != nil {
+		return err
+	}
+	var results []core.Result
+	acc.Emit = func(t int, snap *core.FlowSnapshot) error {
+		res, err := pipe.StepSnapshot(t, snap)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		return nil
+	}
+	if err := acc.Add(first); err != nil {
+		return fmt.Errorf("streaming capture: %w", err)
+	}
+	if err := agg.Stream(src, acc); err != nil {
+		return fmt.Errorf("streaming capture: %w", err)
+	}
+	st := acc.Stats()
+	fmt.Printf("capture: %d frames, %d routed, %d unrouted, %d x %v intervals (streamed, window %d, %d late records)\n",
+		src.ParserStats().Frames, src.Stats.Routed, src.Stats.Unrouted, st.Closed, interval, window, st.Late)
+	printReport(sc, results, acc.IntervalTime, top)
+	return nil
+}
+
+// printReport prints the per-interval table and summary shared by both
+// ingestion modes.
+func printReport(sc experiments.SchemeConfig, results []core.Result, intervalTime func(int) time.Time, top int) {
 	fmt.Printf("scheme: %s\n\n", sc.Name())
 	tab := report.NewTable("interval", "start", "active", "elephants", "load Mb/s", "eleph frac", "theta Mb/s")
 	for i, r := range results {
-		tab.AddRow(i, series.IntervalTime(i).Format("15:04"), r.ActiveFlows, r.ElephantCount(),
+		tab.AddRow(i, intervalTime(i).Format("15:04"), r.ActiveFlows, r.ElephantCount(),
 			fmt.Sprintf("%.1f", r.TotalLoad/1e6),
 			fmt.Sprintf("%.3f", r.LoadFraction()),
 			fmt.Sprintf("%.3f", r.Threshold/1e6))
@@ -124,9 +226,8 @@ func run(pcapPath, tablePath, scheme string, beta, alpha float64, latent bool, w
 		analysis.MeanInt(counts), analysis.MeanFloat(fracs))
 
 	if top > 0 {
-		printTop(series, results, top)
+		printTop(results, top)
 	}
-	return nil
 }
 
 // captureSpan reads just the per-packet headers to find the time window.
@@ -155,13 +256,11 @@ func captureSpan(f *os.File) (time.Duration, time.Time, error) {
 }
 
 // printTop lists the flows most often classified as elephants.
-func printTop(series *agg.Series, results []core.Result, top int) {
+func printTop(results []core.Result, top int) {
 	counts := make(map[string]int)
-	vols := make(map[string]float64)
 	for _, r := range results {
 		for _, p := range r.Elephants.Flows() {
 			counts[p.String()]++
-			vols[p.String()] += r.TotalLoad // approximation for ordering only
 		}
 	}
 	type row struct {

@@ -11,7 +11,22 @@
 // across intervals) that detectors and classifiers consume directly, and
 // internal/engine runs one classification pipeline per monitored link
 // concurrently on a worker pool with deterministic, seed-reproducible
-// output. Everything the methodology needs to run is implemented here as
+// output.
+//
+// Ingestion is streaming-first: every substrate (pcap captures, NetFlow
+// v5 streams, the synthetic generator's incremental mode) is normalised
+// to the unified agg.RecordSource iterator of prefix-attributable
+// records, and agg.StreamAccumulator windows any such stream into
+// classified intervals with memory bounded by its ring of open
+// intervals — not by trace length — pushing each closed interval into
+// core.Pipeline.StepSnapshot as capture time advances
+// (engine.MultiLinkEngine.RunStreaming scales this to many live links).
+// Because the batch agg.Series and the accumulator share one
+// apportioning arithmetic, streaming classification is byte-identical
+// to batch classification on the same records; streaming_test.go pins
+// that contract on all three substrates.
+//
+// Everything the methodology needs to run is implemented here as
 // well: a layered packet decoder/serializer (internal/packet), a pcap
 // file reader/writer (internal/pcap), a BGP table with longest-prefix
 // match (internal/bgp), the statistical machinery including the

@@ -1,12 +1,19 @@
 // Live monitor: online elephant classification of a streaming feed.
 //
-// The pipeline in this repository is streaming-first: it consumes one
-// measurement interval at a time and never looks ahead, so it can sit
-// directly behind a live packet feed. This example simulates that
-// deployment: a goroutine "measures" a link and delivers one interval
-// snapshot per tick over a channel; the monitor classifies each snapshot
-// as it arrives and prints a rolling status line, flagging promotions
-// and demotions (the reroute events a TE controller would act on).
+// This example runs the repository's streaming ingestion stack end to
+// end, the deployment shape the paper implies: a link's traffic arrives
+// as a stream of prefix-attributable records (here from the synthetic
+// generator's incremental mode; a real deployment would plug in
+// agg.PacketRecordSource or netflow.RecordSource), a bounded-memory
+// accumulator closes each measurement interval as time advances, and
+// every closed interval is pushed straight into the classification
+// pipeline. Nothing ever materialises the full trace: memory is
+// bounded by the accumulator's window (here the latent-heat lookback,
+// 12 five-minute slots), no matter how long the link is monitored.
+//
+// The monitor prints a rolling status line per interval, flagging
+// promotions and demotions (the reroute events a TE controller would
+// act on).
 //
 // Run with:
 //
@@ -19,17 +26,11 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/trace"
 )
-
-// snapshotMsg is one measurement interval delivered by the feed.
-type snapshotMsg struct {
-	interval int
-	at       time.Time
-	flows    *core.FlowSnapshot
-}
 
 func main() {
 	table, err := bgp.Generate(bgp.GenConfig{Routes: 4000, Seed: 11})
@@ -50,23 +51,9 @@ func main() {
 
 	const intervals = 36 // 3 hours of 5-minute slots
 	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
-	series := link.GenerateSeries(start, 5*time.Minute, intervals)
-
-	// The feed: one snapshot per tick. A real deployment would put the
-	// packet capture + aggregation pipeline here.
-	feed := make(chan snapshotMsg)
-	go func() {
-		defer close(feed)
-		for t := 0; t < series.Intervals; t++ {
-			feed <- snapshotMsg{
-				interval: t,
-				at:       series.IntervalTime(t),
-				// Fresh snapshot per tick: it crosses a goroutine, so
-				// the usual single-owner reuse does not apply.
-				flows: series.Snapshot(t, nil),
-			}
-		}
-	}()
+	// The feed: records one interval at a time, generated on demand —
+	// the link's full bandwidth matrix never exists.
+	feed := link.Stream(start, 5*time.Minute, intervals)
 
 	lh, err := core.NewLatentHeatClassifier(12)
 	if err != nil {
@@ -81,15 +68,27 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The accumulator windows the record stream into intervals and
+	// pushes each closed interval into the pipeline. Window = the
+	// classifier's lookback, so ingestion holds no more history than
+	// classification needs.
+	acc, err := agg.NewStreamAccumulator(agg.StreamConfig{
+		Start:    start,
+		Interval: 5 * time.Minute,
+		Window:   12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	var prev core.ElephantSet
-	for msg := range feed {
-		res, err := pipe.Step(msg.flows)
+	acc.Emit = func(t int, snap *core.FlowSnapshot) error {
+		res, err := pipe.StepSnapshot(t, snap)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		promoted, demoted := diff(prev, res.Elephants)
 		fmt.Printf("[%s] flows=%4d elephants=%3d load=%5.1f Mb/s eleph=%.2f",
-			msg.at.Format("15:04"), res.ActiveFlows, res.ElephantCount(),
+			acc.IntervalTime(t).Format("15:04"), res.ActiveFlows, res.ElephantCount(),
 			res.TotalLoad/1e6, res.LoadFraction())
 		if len(promoted) > 0 {
 			fmt.Printf("  +%d promoted (e.g. %s)", len(promoted), promoted[0])
@@ -99,6 +98,11 @@ func main() {
 		}
 		fmt.Println()
 		prev = res.Elephants
+		return nil
+	}
+
+	if err := agg.Stream(feed, acc); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,142 @@
+package agg
+
+import (
+	"errors"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// Record is one prefix-attributable observation — the unit every ingest
+// substrate is normalised to. A decoded packet is a point record (Span
+// zero, Bits = wire length × 8); a NetFlow record is a span record
+// whose octets are spread uniformly over [Time, Time+Span]; the
+// synthetic generator emits one point record per active flow per
+// interval. Records are the common currency of the batch path
+// (Series.AddRecord / Collect) and the streaming path
+// (StreamAccumulator.Add): both run the identical apportioning
+// arithmetic, which is what makes streaming classification
+// byte-identical to batch classification on the same record sequence.
+type Record struct {
+	// Prefix is the BGP flow the bits belong to, already resolved by
+	// longest-prefix match.
+	Prefix netip.Prefix
+	// Time is the start of the observation.
+	Time time.Time
+	// Span is the observation's duration: zero for point observations
+	// (a packet), positive for flow records.
+	Span time.Duration
+	// Bits is the observed volume in bits.
+	Bits float64
+}
+
+// End returns the end of the observation (equal to Time for point
+// records).
+func (r Record) End() time.Time { return r.Time.Add(r.Span) }
+
+// RecordSource is the unified iterator every ingest substrate adapts
+// to: pcap captures (PacketRecordSource), NetFlow streams
+// (netflow.RecordSource) and the synthetic generator
+// (trace.RecordStream). Next returns io.EOF at a clean end of stream.
+// Sources should yield records roughly ordered by End: the streaming
+// accumulator drops bits that reach further back than its window.
+type RecordSource interface {
+	Next() (Record, error)
+}
+
+// spreadRecord apportions rec.Bits over measurement intervals, calling
+// add(t, bits) for every in-window interval, and reports whether any
+// bits landed. It is the single implementation of the apportioning
+// arithmetic shared by the batch Series and the StreamAccumulator, so
+// the two paths accumulate bit-identical values:
+//
+//   - a point record lands wholly in the interval containing Time;
+//   - a span record is spread uniformly: each covered interval gets
+//     Bits × (overlap / Span), with the fraction's denominator the
+//     *full* span, so portions clipped off by the window are dropped
+//     rather than renormalised (matching the NetFlow collector's
+//     historical behaviour).
+//
+// origin is the left edge of interval 0; clipStart is the earliest
+// admissible instant (the series start, or the streaming window's
+// closed edge); intervalOf maps a timestamp to its interval index or -1
+// when out of window.
+func spreadRecord(rec Record, origin time.Time, interval time.Duration, clipStart time.Time, intervalOf func(time.Time) int, add func(t int, bits float64)) bool {
+	if rec.Span <= 0 {
+		t := intervalOf(rec.Time)
+		if t < 0 {
+			return false
+		}
+		add(t, rec.Bits)
+		return true
+	}
+	last := rec.End()
+	span := rec.Span
+	landed := false
+	for cur := rec.Time; cur.Before(last); {
+		t := intervalOf(cur)
+		if t < 0 {
+			// Before the window: skip ahead; after: done.
+			if cur.Before(clipStart) {
+				cur = clipStart
+				continue
+			}
+			break
+		}
+		segEnd := last
+		if intervalEnd := origin.Add(time.Duration(t+1) * interval); intervalEnd.Before(segEnd) {
+			segEnd = intervalEnd
+		}
+		frac := float64(segEnd.Sub(cur)) / float64(span)
+		add(t, rec.Bits*frac)
+		landed = true
+		cur = segEnd
+	}
+	return landed
+}
+
+// AddRecord apportions one record into the series, spreading span
+// records uniformly over the intervals they cover (clipped to the
+// series window). It reports whether any bits landed. This is the
+// batch-side twin of StreamAccumulator.Add: both run spreadRecord, so a
+// series filled by AddRecord and a stream fed the same records carry
+// bit-identical interval values.
+func (s *Series) AddRecord(rec Record) bool {
+	return spreadRecord(rec, s.Start, s.Interval, s.Start, s.IntervalOf, func(t int, bits float64) {
+		s.AddBits(rec.Prefix, t, bits)
+	})
+}
+
+// CollectStats counts record attribution outcomes of a Collect run.
+type CollectStats struct {
+	// Records is the number of records drained from the source.
+	Records uint64
+	// Routed counts records that landed at least partly in the window.
+	Routed uint64
+	// OutOfRange counts records entirely outside the series window.
+	OutOfRange uint64
+}
+
+// Collect drains src into s — the batch reference the streaming path is
+// defined (and tested) against. The whole source is materialised into
+// the flow-by-interval matrix before anything is classified; use
+// Stream + StreamAccumulator when memory must stay bounded by the
+// window instead of the trace length.
+func Collect(src RecordSource, s *Series) (CollectStats, error) {
+	var st CollectStats
+	for {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Records++
+		if s.AddRecord(rec) {
+			st.Routed++
+		} else {
+			st.OutOfRange++
+		}
+	}
+}

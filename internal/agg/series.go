@@ -26,10 +26,11 @@ type Series struct {
 	// Intervals is the number of time slots.
 	Intervals int
 
-	flows map[netip.Prefix]int // prefix -> row index
-	keys  []netip.Prefix       // row index -> prefix
-	rows  [][]float64          // bandwidth in bit/s, len = Intervals
-	total []float64            // per-interval total bandwidth in bit/s
+	flows  map[netip.Prefix]int // prefix -> row index
+	keys   []netip.Prefix       // row index -> prefix
+	rows   [][]float64          // bandwidth in bit/s, len = Intervals
+	total  []float64            // per-interval total bandwidth in bit/s
+	active []int                // per-interval count of rows with bw > 0
 	// sortedIdx caches row indices in core.ComparePrefix order so
 	// Snapshot can emit sorted columns without a per-interval sort; it
 	// is rebuilt lazily — under sortedMu, because a fully aggregated
@@ -54,6 +55,7 @@ func NewSeries(start time.Time, interval time.Duration, intervals int) *Series {
 		Intervals: intervals,
 		flows:     make(map[netip.Prefix]int),
 		total:     make([]float64, intervals),
+		active:    make([]int, intervals),
 	}
 }
 
@@ -83,8 +85,22 @@ func (s *Series) AddBits(p netip.Prefix, t int, bits float64) {
 		panic(fmt.Sprintf("agg: AddBits: interval %d out of [0,%d)", t, s.Intervals))
 	}
 	bw := bits / s.Interval.Seconds()
-	s.row(p)[t] += bw
+	r := s.row(p)
+	before := r[t]
+	r[t] += bw
 	s.total[t] += bw
+	s.noteTransition(t, before, r[t])
+}
+
+// noteTransition maintains the per-interval active-flow counters across
+// a cell update, so ActiveFlows is O(1) instead of an O(flows) scan.
+func (s *Series) noteTransition(t int, before, after float64) {
+	switch {
+	case before <= 0 && after > 0:
+		s.active[t]++
+	case before > 0 && after <= 0:
+		s.active[t]--
+	}
 }
 
 // SetBandwidth sets flow p's bandwidth in interval t directly (bit/s),
@@ -94,8 +110,10 @@ func (s *Series) SetBandwidth(p netip.Prefix, t int, bw float64) {
 		panic(fmt.Sprintf("agg: SetBandwidth: interval %d out of [0,%d)", t, s.Intervals))
 	}
 	r := s.row(p)
-	s.total[t] += bw - r[t]
+	before := r[t]
+	s.total[t] += bw - before
 	r[t] = bw
+	s.noteTransition(t, before, bw)
 }
 
 // Bandwidth returns x_p(t) in bit/s; zero for unknown flows.
@@ -178,31 +196,36 @@ func (s *Series) IntervalOf(ts time.Time) int {
 	return t
 }
 
-// ActiveFlows reports the number of flows with non-zero bandwidth in
-// interval t.
+// ActiveFlows reports the number of flows with positive bandwidth in
+// interval t. It is O(1): the counters are maintained incrementally by
+// AddBits/SetBandwidth (including overwrite-to-zero transitions), not
+// by scanning every flow row.
 func (s *Series) ActiveFlows(t int) int {
-	n := 0
-	for _, r := range s.rows {
-		if r[t] > 0 {
-			n++
-		}
+	if t < 0 || t >= s.Intervals {
+		panic(fmt.Sprintf("agg: ActiveFlows: interval %d out of [0,%d)", t, s.Intervals))
 	}
-	return n
+	return s.active[t]
 }
 
 // Rebin aggregates the series to a coarser interval that must be an
 // integer multiple of the current one; bandwidths are time-averaged.
 // Used for the paper's interval-sensitivity check (1, 5, 10 minutes).
-func (s *Series) Rebin(interval time.Duration) (*Series, error) {
+//
+// When Intervals is not a multiple of the coarsening factor k, the
+// trailing Intervals mod k source intervals do not fill a whole coarse
+// slot and are dropped from the result; the second return value reports
+// how many were truncated (0 when the lengths divide evenly, and for
+// the identity rebin).
+func (s *Series) Rebin(interval time.Duration) (*Series, int, error) {
 	if interval == s.Interval {
-		return s, nil
+		return s, 0, nil
 	}
 	if interval <= 0 || interval%s.Interval != 0 {
-		return nil, fmt.Errorf("agg: Rebin: %v is not a positive multiple of %v", interval, s.Interval)
+		return nil, 0, fmt.Errorf("agg: Rebin: %v is not a positive multiple of %v", interval, s.Interval)
 	}
 	k := int(interval / s.Interval)
 	if s.Intervals/k == 0 {
-		return nil, fmt.Errorf("agg: Rebin: series too short (%d slots) for factor %d", s.Intervals, k)
+		return nil, 0, fmt.Errorf("agg: Rebin: series too short (%d slots) for factor %d", s.Intervals, k)
 	}
 	out := NewSeries(s.Start, interval, s.Intervals/k)
 	for i, p := range s.keys {
@@ -217,7 +240,7 @@ func (s *Series) Rebin(interval time.Duration) (*Series, error) {
 			}
 		}
 	}
-	return out, nil
+	return out, s.Intervals % k, nil
 }
 
 // SortedFlows returns flow keys sorted by total transmitted volume,

@@ -120,26 +120,46 @@ func TestSnapshotSkipsZeros(t *testing.T) {
 }
 
 // TestSnapshotConcurrentReaders: once aggregation is done, many
-// goroutines may snapshot the same series at once (the engine does this
-// when one link is classified under several schemes); the lazy sorted
-// index must build race-free. Run with -race.
+// goroutines may snapshot the same finished series at once with
+// distinct dst buffers — the contract engine workers rely on when one
+// link's series is classified under several schemes. The lazy sorted
+// index must build race-free AND every concurrent reader must see
+// exactly the columns a sequential reader sees. Run with -race.
 func TestSnapshotConcurrentReaders(t *testing.T) {
 	s := NewSeries(start, time.Minute, 4)
 	for i := 0; i < 300; i++ {
 		p := netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
 		s.SetBandwidth(p, i%4, float64(1+i))
 	}
+	// Sequential reference, taken before any concurrent access.
+	want := make([]*core.FlowSnapshot, 4)
+	for t0 := 0; t0 < 4; t0++ {
+		want[t0] = s.Snapshot(t0, nil)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each goroutine owns a distinct dst buffer, reused across
+			// its own intervals only.
 			var snap *core.FlowSnapshot
 			for t0 := 0; t0 < 4; t0++ {
 				snap = s.Snapshot(t0, snap)
 				if !snap.IsSorted() {
 					t.Error("unsorted snapshot from concurrent reader")
 					return
+				}
+				ref := want[t0]
+				if snap.Len() != ref.Len() {
+					t.Errorf("interval %d: concurrent len %d != sequential %d", t0, snap.Len(), ref.Len())
+					return
+				}
+				for i := 0; i < snap.Len(); i++ {
+					if snap.Key(i) != ref.Key(i) || snap.Bandwidth(i) != ref.Bandwidth(i) {
+						t.Errorf("interval %d: column %d diverges from sequential reference", t0, i)
+						return
+					}
 				}
 			}
 		}()
@@ -207,6 +227,47 @@ func TestActiveFlows(t *testing.T) {
 	}
 }
 
+// TestActiveFlowsOverwriteToZero: the incremental counters must track
+// zero↔positive transitions, in particular SetBandwidth overwriting a
+// positive cell back to zero — the edge an append-only counter would
+// miss.
+func TestActiveFlowsOverwriteToZero(t *testing.T) {
+	s := NewSeries(start, time.Minute, 1)
+	s.SetBandwidth(pfxA, 0, 10)
+	s.SetBandwidth(pfxB, 0, 20)
+	if got := s.ActiveFlows(0); got != 2 {
+		t.Fatalf("ActiveFlows = %d, want 2", got)
+	}
+	s.SetBandwidth(pfxA, 0, 0) // overwrite to zero: flow goes idle
+	if got := s.ActiveFlows(0); got != 1 {
+		t.Errorf("after overwrite to zero: ActiveFlows = %d, want 1", got)
+	}
+	s.SetBandwidth(pfxA, 0, 0) // idempotent: still idle
+	if got := s.ActiveFlows(0); got != 1 {
+		t.Errorf("after second zero overwrite: ActiveFlows = %d, want 1", got)
+	}
+	s.SetBandwidth(pfxA, 0, 5) // revives
+	if got := s.ActiveFlows(0); got != 2 {
+		t.Errorf("after revive: ActiveFlows = %d, want 2", got)
+	}
+	// AddBits transitions too: a fresh flow becomes active once.
+	s.AddBits(pfxC, 0, 60)
+	s.AddBits(pfxC, 0, 60)
+	if got := s.ActiveFlows(0); got != 3 {
+		t.Errorf("after AddBits: ActiveFlows = %d, want 3", got)
+	}
+	// The counter must agree with a direct row scan.
+	scan := 0
+	for _, p := range s.Flows() {
+		if s.Bandwidth(p, 0) > 0 {
+			scan++
+		}
+	}
+	if got := s.ActiveFlows(0); got != scan {
+		t.Errorf("counter %d != row scan %d", got, scan)
+	}
+}
+
 func TestRebin(t *testing.T) {
 	s := NewSeries(start, time.Minute, 6)
 	// Flow A: 60 bit/s for all six minutes -> 60 bit/s at any bin width.
@@ -216,9 +277,12 @@ func TestRebin(t *testing.T) {
 	// Flow B: 120 bit/s in minute 0 only -> 40 bit/s over [0,3).
 	s.SetBandwidth(pfxB, 0, 120)
 
-	r, err := s.Rebin(3 * time.Minute)
+	r, dropped, err := s.Rebin(3 * time.Minute)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Errorf("dropped = %d, want 0 for an evenly dividing rebin", dropped)
 	}
 	if r.Intervals != 2 || r.Interval != 3*time.Minute {
 		t.Fatalf("geometry: %d x %v", r.Intervals, r.Interval)
@@ -240,25 +304,56 @@ func TestRebin(t *testing.T) {
 
 func TestRebinIdentity(t *testing.T) {
 	s := NewSeries(start, time.Minute, 4)
-	r, err := s.Rebin(time.Minute)
+	r, dropped, err := s.Rebin(time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r != s {
 		t.Error("identity rebin must return the same series")
 	}
+	if dropped != 0 {
+		t.Errorf("identity rebin dropped = %d, want 0", dropped)
+	}
+}
+
+// TestRebinReportsTruncation: when Intervals % k != 0 the trailing
+// intervals cannot fill a whole coarse slot; they are dropped and the
+// count is surfaced instead of silently vanishing (regression for the
+// historical silent truncation).
+func TestRebinReportsTruncation(t *testing.T) {
+	s := NewSeries(start, time.Minute, 7) // 7 = 2*3 + 1 trailing
+	for tt := 0; tt < 7; tt++ {
+		s.SetBandwidth(pfxA, tt, 30)
+	}
+	s.SetBandwidth(pfxB, 6, 999) // lives only in the truncated tail
+	r, dropped, err := s.Rebin(3 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if r.Intervals != 2 {
+		t.Errorf("Intervals = %d, want 2", r.Intervals)
+	}
+	if _, ok := r.Row(pfxB); ok {
+		t.Error("flow living only in truncated tail intervals must not appear")
+	}
+	if got := r.Bandwidth(pfxA, 1); !floatEq(got, 30) {
+		t.Errorf("A[1] = %v, want 30", got)
+	}
 }
 
 func TestRebinErrors(t *testing.T) {
 	s := NewSeries(start, 2*time.Minute, 4)
-	if _, err := s.Rebin(3 * time.Minute); err == nil {
+	if _, _, err := s.Rebin(3 * time.Minute); err == nil {
 		t.Error("non-multiple interval accepted")
 	}
-	if _, err := s.Rebin(-2 * time.Minute); err == nil {
+	if _, _, err := s.Rebin(-2 * time.Minute); err == nil {
 		t.Error("negative interval accepted")
 	}
 	short := NewSeries(start, time.Minute, 2)
-	if _, err := short.Rebin(3 * time.Minute); err == nil {
+	if _, _, err := short.Rebin(3 * time.Minute); err == nil {
 		t.Error("rebin beyond series length accepted")
 	}
 }
@@ -303,10 +398,20 @@ func TestTotalsMatchRowSums(t *testing.T) {
 		}
 		for tt := 0; tt < 4; tt++ {
 			var sum float64
+			active := 0
 			for _, p := range prefixes {
-				sum += s.Bandwidth(p, tt)
+				bw := s.Bandwidth(p, tt)
+				sum += bw
+				if bw > 0 {
+					active++
+				}
 			}
 			if !floatEq2(sum, s.TotalBandwidth(tt), 1e-6) {
+				return false
+			}
+			// The incremental active counter must match a row scan
+			// under arbitrary Set/Add sequences.
+			if s.ActiveFlows(tt) != active {
 				return false
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/bgp"
 	"repro/internal/packet"
 	"repro/internal/pcap"
 )
@@ -18,6 +19,7 @@ import (
 type PcapPacketSource struct {
 	r      pcap.PacketReader
 	parser *packet.Parser
+	first  time.Time // timestamp of the first frame read, decodable or not
 }
 
 // NewPcapPacketSource opens a capture for streaming, sniffing the
@@ -36,6 +38,12 @@ func NewPcapPacketSource(r io.Reader) (*PcapPacketSource, error) {
 // ParserStats exposes decode counters.
 func (s *PcapPacketSource) ParserStats() packet.ParserStats { return s.parser.Stats }
 
+// FirstTimestamp returns the capture time of the first frame read —
+// decodable or not — or the zero time before any frame. It lets a
+// streaming consumer anchor interval 0 at the true capture start, the
+// same instant the batch path's prescan finds.
+func (s *PcapPacketSource) FirstTimestamp() time.Time { return s.first }
+
 // Next returns the next decodable packet's capture time and summary.
 // The summary's WireLength is the original on-the-wire length even for
 // snapped captures. io.EOF marks a clean end of file.
@@ -48,11 +56,72 @@ func (s *PcapPacketSource) Next() (time.Time, packet.Summary, error) {
 		if err != nil {
 			return time.Time{}, packet.Summary{}, fmt.Errorf("agg: reading capture: %w", err)
 		}
+		if s.first.IsZero() {
+			s.first = ci.Timestamp
+		}
 		sum, err := s.parser.Parse(data)
 		if err != nil {
 			continue // non-IP or malformed frame
 		}
 		sum.WireLength = ci.Length
 		return ci.Timestamp, sum, nil
+	}
+}
+
+// PacketRecordSourceStats counts packet attribution outcomes.
+type PacketRecordSourceStats struct {
+	Packets  uint64 // decodable packets presented
+	Routed   uint64 // attributed to a prefix and yielded
+	Unrouted uint64 // no covering route (skipped, as in the paper)
+}
+
+// PacketRecordSource adapts the pcap→packet path to the unified
+// RecordSource API: each decodable packet is longest-prefix matched
+// against the BGP table and yielded as a point Record carrying its wire
+// length in bits. Packets destined to unrouted space are counted and
+// skipped. Capture timestamps are monotone in practice, so any
+// StreamAccumulator window suffices.
+type PacketRecordSource struct {
+	src   *PcapPacketSource
+	table *bgp.Table
+
+	// Stats counts attribution outcomes.
+	Stats PacketRecordSourceStats
+}
+
+// NewPacketRecordSource opens a capture for streaming record
+// attribution against table.
+func NewPacketRecordSource(r io.Reader, table *bgp.Table) (*PacketRecordSource, error) {
+	src, err := NewPcapPacketSource(r)
+	if err != nil {
+		return nil, err
+	}
+	return &PacketRecordSource{src: src, table: table}, nil
+}
+
+// ParserStats exposes the underlying decode counters.
+func (s *PacketRecordSource) ParserStats() packet.ParserStats { return s.src.ParserStats() }
+
+// FirstTimestamp returns the capture time of the first frame read,
+// routed or not (zero before any frame) — the anchor a streaming run
+// uses to match the batch path's interval boundaries exactly.
+func (s *PacketRecordSource) FirstTimestamp() time.Time { return s.src.FirstTimestamp() }
+
+// Next returns the next routed packet as a point record. io.EOF marks a
+// clean end of file.
+func (s *PacketRecordSource) Next() (Record, error) {
+	for {
+		ts, sum, err := s.src.Next()
+		if err != nil {
+			return Record{}, err
+		}
+		s.Stats.Packets++
+		route, ok := s.table.Lookup(sum.DstIP)
+		if !ok {
+			s.Stats.Unrouted++
+			continue
+		}
+		s.Stats.Routed++
+		return Record{Prefix: route.Prefix, Time: ts, Bits: float64(sum.WireLength) * 8}, nil
 	}
 }

@@ -1,0 +1,371 @@
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultStreamWindow is the default number of simultaneously open
+// intervals — the latent-heat lookback of the paper (12 five-minute
+// slots = 1 hour), so the accumulator's memory horizon matches the
+// classifier's.
+const DefaultStreamWindow = 12
+
+// DefaultStreamMaxGap is the default bound on how far one record may
+// advance the window past the newest interval carrying bits: generous
+// enough for a link idle for days (4096 five-minute slots ≈ two
+// weeks), small enough that a corrupted far-future timestamp cannot
+// force millions of empty-interval closes and poison the stream.
+const DefaultStreamMaxGap = 4096
+
+// StreamConfig sizes a StreamAccumulator.
+type StreamConfig struct {
+	// Start is the left edge of interval 0. The zero value aligns
+	// interval 0 to the first record's Time.
+	Start time.Time
+	// Interval is the measurement interval Δ. Required.
+	Interval time.Duration
+	// Window is W, the number of simultaneously open intervals (the
+	// reordering/span tolerance of the source). Memory is bounded by W
+	// columns of active flows regardless of trace length. Defaults to
+	// DefaultStreamWindow.
+	Window int
+	// MaxGap bounds how many intervals beyond the newest bit-carrying
+	// interval a single record may advance the window. Records jumping
+	// further are dropped and counted in Stats.FarFuture — a corrupted
+	// export timestamp must not close an unbounded run of empty
+	// intervals (the batch path's equivalent is one OutOfRange count).
+	// Defaults to DefaultStreamMaxGap.
+	MaxGap int
+}
+
+// StreamStats counts streaming attribution outcomes.
+type StreamStats struct {
+	// Records is the number of records presented to Add.
+	Records uint64
+	// InWindow counts records that landed at least partly in an open
+	// interval.
+	InWindow uint64
+	// Late counts records whose bits fell entirely into already-closed
+	// intervals (or before an explicit Start) and were dropped.
+	Late uint64
+	// LateBits is the total volume dropped into closed intervals,
+	// including the clipped-off leading portion of partially late span
+	// records.
+	LateBits float64
+	// FarFuture counts records dropped because they would advance the
+	// window more than MaxGap intervals past the newest bit-carrying
+	// interval (corrupted timestamps, not traffic).
+	FarFuture uint64
+	// Closed is the number of intervals closed (and emitted) so far.
+	Closed int
+	// EvictedFlows counts flow rows released by closing intervals — the
+	// eviction that keeps memory independent of trace length.
+	EvictedFlows uint64
+}
+
+// streamSlot is one open interval of the ring: a flow→bandwidth column
+// plus its running total, both maintained with arithmetic identical to
+// Series.AddBits so the emitted snapshots match Series.Snapshot bit for
+// bit. The map is cleared (capacity retained) when the slot's interval
+// closes, which both evicts cold flows and keeps steady-state
+// allocation at zero.
+type streamSlot struct {
+	flows map[netip.Prefix]float64
+	total float64
+}
+
+// StreamAccumulator is the bounded-memory streaming twin of Series: it
+// accumulates records into a ring of Window open intervals, closes
+// intervals as record timestamps advance, and emits each closed
+// interval as a sorted core.FlowSnapshot — exactly the column
+// Series.Snapshot would produce from the same records. Memory is
+// bounded by Window columns of active flows, not by trace length: flow
+// rows are evicted wholesale when their interval closes.
+//
+// The emitted snapshot is owned by the accumulator and reused across
+// intervals; Emit consumers must not retain it (the same ownership
+// contract as Series.Snapshot). An accumulator is single-goroutine:
+// drive it from one producer, typically via Stream.
+type StreamAccumulator struct {
+	// Emit receives each closed interval in order (gap-free, including
+	// empty intervals) with its global interval index. A nil Emit
+	// discards closed intervals but still counts them. An Emit error
+	// aborts the Add/Flush that triggered it.
+	Emit func(t int, snap *core.FlowSnapshot) error
+
+	cfg   StreamConfig
+	start time.Time // resolved left edge of interval 0
+	began bool      // start is resolved (first record seen or explicit Start)
+
+	base       int // oldest open interval (global index)
+	maxTouched int // highest interval that received bits; -1 before any
+	slots      []streamSlot
+
+	snap  *core.FlowSnapshot // reused emission buffer
+	keys  prefixSlice        // reused sort scratch for emission
+	stats StreamStats
+}
+
+// NewStreamAccumulator validates cfg and returns an empty accumulator.
+func NewStreamAccumulator(cfg StreamConfig) (*StreamAccumulator, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("agg: NewStreamAccumulator: non-positive interval %v", cfg.Interval)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultStreamWindow
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("agg: NewStreamAccumulator: window %d < 1", cfg.Window)
+	}
+	if cfg.MaxGap == 0 {
+		cfg.MaxGap = DefaultStreamMaxGap
+	}
+	if cfg.MaxGap < 1 {
+		return nil, fmt.Errorf("agg: NewStreamAccumulator: max gap %d < 1", cfg.MaxGap)
+	}
+	a := &StreamAccumulator{
+		cfg:        cfg,
+		start:      cfg.Start,
+		began:      !cfg.Start.IsZero(),
+		maxTouched: -1,
+		slots:      make([]streamSlot, cfg.Window),
+		snap:       core.NewFlowSnapshot(0),
+	}
+	return a, nil
+}
+
+// Start returns the resolved left edge of interval 0 — the configured
+// Start, or the first record's Time when aligning automatically (zero
+// until the first record arrives).
+func (a *StreamAccumulator) Start() time.Time { return a.start }
+
+// Interval returns the measurement interval Δ.
+func (a *StreamAccumulator) Interval() time.Duration { return a.cfg.Interval }
+
+// Window returns W, the number of simultaneously open intervals.
+func (a *StreamAccumulator) Window() int { return a.cfg.Window }
+
+// Stats returns the attribution counters so far.
+func (a *StreamAccumulator) Stats() StreamStats { return a.stats }
+
+// ClosedThrough returns the number of intervals closed so far (closed
+// intervals are exactly [0, ClosedThrough)).
+func (a *StreamAccumulator) ClosedThrough() int { return a.base }
+
+// IntervalTime returns the left edge of interval t (meaningful once
+// Start is resolved).
+func (a *StreamAccumulator) IntervalTime(t int) time.Time {
+	return a.start.Add(time.Duration(t) * a.cfg.Interval)
+}
+
+// intervalIndex maps a timestamp to its global interval index, or -1
+// before the stream origin.
+func (a *StreamAccumulator) intervalIndex(ts time.Time) int {
+	d := ts.Sub(a.start)
+	if d < 0 {
+		return -1
+	}
+	return int(d / a.cfg.Interval)
+}
+
+// openIntervalOf maps a timestamp to its interval index when that
+// interval is open, -1 otherwise — the window predicate spreadRecord
+// clips against.
+func (a *StreamAccumulator) openIntervalOf(ts time.Time) int {
+	g := a.intervalIndex(ts)
+	if g < a.base || g >= a.base+a.cfg.Window {
+		return -1
+	}
+	return g
+}
+
+// slot returns the ring slot of open interval g.
+func (a *StreamAccumulator) slot(g int) *streamSlot { return &a.slots[g%a.cfg.Window] }
+
+// addBits mirrors Series.AddBits: the same bits→bandwidth conversion
+// and the same per-cell accumulation order, which is what keeps the
+// streaming and batch paths bit-identical.
+func (a *StreamAccumulator) addBits(p netip.Prefix, g int, bits float64) {
+	sl := a.slot(g)
+	if sl.flows == nil {
+		sl.flows = make(map[netip.Prefix]float64)
+	}
+	bw := bits / a.cfg.Interval.Seconds()
+	sl.flows[p] += bw
+	sl.total += bw
+	if g > a.maxTouched {
+		a.maxTouched = g
+	}
+}
+
+// TotalBandwidth returns the aggregate load accumulated so far in open
+// interval t (bit/s) — the streaming counterpart of
+// Series.TotalBandwidth, defined only while t is open.
+func (a *StreamAccumulator) TotalBandwidth(t int) float64 {
+	if t < a.base || t >= a.base+a.cfg.Window {
+		panic(fmt.Sprintf("agg: TotalBandwidth: interval %d outside open window [%d,%d)", t, a.base, a.base+a.cfg.Window))
+	}
+	return a.slot(t).total
+}
+
+// ActiveFlows returns the number of flows with positive bandwidth
+// accumulated so far in open interval t — the streaming counterpart of
+// Series.ActiveFlows, defined only while t is open.
+func (a *StreamAccumulator) ActiveFlows(t int) int {
+	if t < a.base || t >= a.base+a.cfg.Window {
+		panic(fmt.Sprintf("agg: ActiveFlows: interval %d outside open window [%d,%d)", t, a.base, a.base+a.cfg.Window))
+	}
+	n := 0
+	for _, bw := range a.slot(t).flows {
+		if bw > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Add accumulates one record, first closing intervals as far as the
+// record's bits require so that the last interval the record touches is
+// open. Bits reaching back before the closed edge are dropped and
+// counted in Stats.Late/LateBits; everything else lands with arithmetic
+// identical to Series.AddRecord.
+func (a *StreamAccumulator) Add(rec Record) error {
+	a.stats.Records++
+	if !a.began {
+		a.began = true
+		a.start = rec.Time
+	}
+	// The last instant that actually carries bits: span records spread
+	// over [Time, End), so a span ending exactly on an interval boundary
+	// stops in the interval before it — advancing to End's own interval
+	// there would close one interval too many and strand in-order bits
+	// behind the closed edge.
+	last := rec.End()
+	if rec.Span > 0 {
+		last = last.Add(-time.Nanosecond)
+	}
+	end := a.intervalIndex(last)
+	if end < 0 {
+		// The whole record precedes the stream origin.
+		a.stats.Late++
+		a.stats.LateBits += rec.Bits
+		return nil
+	}
+	// A timestamp this far past all traffic seen is corruption, not an
+	// idle link; advancing would close an unbounded run of empty
+	// intervals and poison the stream for every genuine record after
+	// it. Before any bits land (maxTouched -1) the bound is taken from
+	// the closed edge instead, so a corrupt FIRST record under an
+	// explicit Start is guarded too.
+	floor := a.maxTouched
+	if floor < a.base-1 {
+		floor = a.base - 1
+	}
+	if end > floor+a.cfg.MaxGap {
+		a.stats.FarFuture++
+		return nil
+	}
+	if end >= a.base+a.cfg.Window {
+		if err := a.advanceTo(end - a.cfg.Window + 1); err != nil {
+			return err
+		}
+	}
+	clip := a.IntervalTime(a.base)
+	landed := spreadRecord(rec, a.start, a.cfg.Interval, clip, a.openIntervalOf, func(t int, bits float64) {
+		a.addBits(rec.Prefix, t, bits)
+	})
+	if landed {
+		a.stats.InWindow++
+		if rec.Span > 0 && rec.Time.Before(clip) {
+			// Leading portion clipped off by the closed edge.
+			a.stats.LateBits += rec.Bits * float64(clip.Sub(rec.Time)) / float64(rec.Span)
+		}
+	} else {
+		a.stats.Late++
+		a.stats.LateBits += rec.Bits
+	}
+	return nil
+}
+
+// advanceTo closes intervals [base, newBase) in order.
+func (a *StreamAccumulator) advanceTo(newBase int) error {
+	for a.base < newBase {
+		if err := a.closeOldest(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeOldest emits the oldest open interval as a sorted snapshot and
+// recycles its slot. Emission order and values match Series.Snapshot:
+// positive-bandwidth flows in core.ComparePrefix order, appended into a
+// reused snapshot. The keys must be sorted BEFORE appending (rather
+// than appending in map order and calling snap.Sort): Append folds each
+// bandwidth into the snapshot's running total, and that float sum is
+// only bit-identical to the batch path's if the addition order is the
+// same sorted order Series.Snapshot uses.
+func (a *StreamAccumulator) closeOldest() error {
+	g := a.base
+	sl := a.slot(g)
+	a.keys = a.keys[:0]
+	for p := range sl.flows {
+		a.keys = append(a.keys, p)
+	}
+	sort.Sort(&a.keys)
+	a.snap.Reset()
+	for _, p := range a.keys {
+		a.snap.Append(p, sl.flows[p])
+	}
+	a.stats.Closed++
+	a.stats.EvictedFlows += uint64(len(sl.flows))
+	// Recycle the slot for interval g+Window: clear keeps the map's
+	// capacity, so steady-state accumulation does not allocate.
+	clear(sl.flows)
+	sl.total = 0
+	a.base++
+	if a.Emit != nil {
+		return a.Emit(g, a.snap)
+	}
+	return nil
+}
+
+// Flush closes every remaining interval through the last one that
+// received bits. Call at end of stream; the accumulator is then
+// positioned to keep going if more (later) records arrive.
+func (a *StreamAccumulator) Flush() error {
+	return a.advanceTo(a.maxTouched + 1)
+}
+
+// Stream drains src through acc and flushes — the push-style driver
+// connecting any RecordSource to a per-interval consumer via acc.Emit.
+func Stream(src RecordSource, acc *StreamAccumulator) error {
+	for {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return acc.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		if err := acc.Add(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// prefixSlice sorts prefixes in core.ComparePrefix order via a pointer
+// receiver, so the emission path sorts without per-interval closure
+// allocations.
+type prefixSlice []netip.Prefix
+
+func (s *prefixSlice) Len() int           { return len(*s) }
+func (s *prefixSlice) Less(i, j int) bool { return core.ComparePrefix((*s)[i], (*s)[j]) < 0 }
+func (s *prefixSlice) Swap(i, j int)      { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }

@@ -1,0 +1,414 @@
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// synthRecords builds a deterministic record mix over the given number
+// of intervals: per-interval point records (packets) plus span records
+// crossing interval boundaries (flow records), seeded and reproducible.
+func synthRecords(seed int64, intervals, flows int, interval time.Duration) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	var recs []Record
+	for t := 0; t < intervals; t++ {
+		at := start.Add(time.Duration(t) * interval)
+		for f := 0; f < flows; f++ {
+			p := netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", f/256, f%256))
+			if rng.Float64() < 0.2 {
+				continue // idle this interval
+			}
+			off := time.Duration(rng.Int63n(int64(interval)))
+			rec := Record{Prefix: p, Time: at.Add(off), Bits: 1e4 * (1 + rng.Float64())}
+			if t < intervals-1 && rng.Float64() < 0.3 {
+				// A span record reaching into the next interval (never
+				// beyond the last one, so batch and stream see the same
+				// horizon).
+				rec.Span = time.Duration(rng.Int63n(int64(interval)))
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+// collectStream drains recs through an accumulator, returning one owned
+// snapshot copy per emitted interval.
+func collectStream(t *testing.T, cfg StreamConfig, recs []Record) (*StreamAccumulator, []*core.FlowSnapshot) {
+	t.Helper()
+	acc, err := NewStreamAccumulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*core.FlowSnapshot
+	acc.Emit = func(tt int, snap *core.FlowSnapshot) error {
+		if tt != len(got) {
+			t.Fatalf("emitted interval %d, want %d (in order, gap-free)", tt, len(got))
+		}
+		// The emitted snapshot is producer-owned; copy it out.
+		own := core.NewFlowSnapshot(snap.Len())
+		for i := 0; i < snap.Len(); i++ {
+			own.Append(snap.Key(i), snap.Bandwidth(i))
+		}
+		got = append(got, own)
+		return nil
+	}
+	for _, rec := range recs {
+		if err := acc.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := acc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return acc, got
+}
+
+// TestStreamMatchesSeries is the accumulator's core contract: fed the
+// same record sequence, the streaming path must emit snapshots
+// bit-identical (keys, bandwidths, totals) to the batch Series path.
+func TestStreamMatchesSeries(t *testing.T) {
+	const intervals = 20
+	iv := time.Minute
+	recs := synthRecords(7, intervals, 40, iv)
+
+	batch := NewSeries(start, iv, intervals)
+	for _, rec := range recs {
+		if !batch.AddRecord(rec) {
+			t.Fatalf("batch dropped record %+v", rec)
+		}
+	}
+
+	acc, got := collectStream(t, StreamConfig{Start: start, Interval: iv, Window: 4}, recs)
+	if st := acc.Stats(); st.Late != 0 || st.LateBits != 0 {
+		t.Fatalf("unexpected late drops: %+v", st)
+	}
+	if len(got) != intervals {
+		t.Fatalf("emitted %d intervals, want %d", len(got), intervals)
+	}
+	for tt, snap := range got {
+		ref := batch.Snapshot(tt, nil)
+		if snap.Len() != ref.Len() {
+			t.Fatalf("interval %d: %d flows, batch has %d", tt, snap.Len(), ref.Len())
+		}
+		for i := 0; i < snap.Len(); i++ {
+			if snap.Key(i) != ref.Key(i) {
+				t.Fatalf("interval %d flow %d: key %v != %v", tt, i, snap.Key(i), ref.Key(i))
+			}
+			if snap.Bandwidth(i) != ref.Bandwidth(i) {
+				t.Fatalf("interval %d flow %d: bw %v != %v (must be bit-identical)", tt, i, snap.Bandwidth(i), ref.Bandwidth(i))
+			}
+		}
+		if snap.TotalLoad() != ref.TotalLoad() {
+			t.Fatalf("interval %d: total %v != %v", tt, snap.TotalLoad(), ref.TotalLoad())
+		}
+	}
+}
+
+// TestStreamLateRecords: bits reaching behind the closed edge are
+// dropped and counted, never silently folded into a wrong interval.
+func TestStreamLateRecords(t *testing.T) {
+	iv := time.Minute
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := 0
+	acc.Emit = func(tt int, snap *core.FlowSnapshot) error { closed++; return nil }
+
+	// Interval 5 opens [4,5]; intervals 0..3 close.
+	if err := acc.Add(Record{Prefix: pfxA, Time: start.Add(5 * iv), Bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ClosedThrough() != 4 || closed != 4 {
+		t.Fatalf("closed through %d (%d emits), want 4", acc.ClosedThrough(), closed)
+	}
+	// A point record for interval 0 is now entirely late.
+	if err := acc.Add(Record{Prefix: pfxB, Time: start, Bits: 16}); err != nil {
+		t.Fatal(err)
+	}
+	st := acc.Stats()
+	if st.Late != 1 || st.LateBits != 16 {
+		t.Errorf("late = %d (%v bits), want 1 (16 bits)", st.Late, st.LateBits)
+	}
+	// A span reaching from closed interval 3 into open interval 4: the
+	// open half lands, the closed half is counted as dropped bits.
+	if err := acc.Add(Record{Prefix: pfxB, Time: start.Add(3*iv + 30*time.Second), Span: iv, Bits: 100}); err != nil {
+		t.Fatal(err)
+	}
+	st = acc.Stats()
+	if st.Late != 1 {
+		t.Errorf("partially-late record counted as fully late: %+v", st)
+	}
+	if want := 16 + 50.0; st.LateBits != want {
+		t.Errorf("LateBits = %v, want %v", st.LateBits, want)
+	}
+	if got := acc.TotalBandwidth(4); !floatEq(got, 50.0/iv.Seconds()) {
+		t.Errorf("open-interval bandwidth = %v, want the surviving half", got)
+	}
+}
+
+// TestStreamBoundaryAlignedSpan: a span ending exactly on an interval
+// boundary carries bits only up to that edge; the window must not
+// advance into the boundary interval and strand the span's own bits
+// behind the closed edge (regression: Window=1 dropped an aligned
+// one-interval span entirely).
+func TestStreamBoundaryAlignedSpan(t *testing.T) {
+	iv := time.Minute
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := 0
+	acc.Emit = func(tt int, snap *core.FlowSnapshot) error { closed++; return nil }
+	// Exactly covers interval 0: [start, start+1m).
+	if err := acc.Add(Record{Prefix: pfxA, Time: start, Span: iv, Bits: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if closed != 0 {
+		t.Fatalf("aligned span closed %d intervals prematurely", closed)
+	}
+	if st := acc.Stats(); st.Late != 0 || st.LateBits != 0 {
+		t.Fatalf("aligned span dropped as late: %+v", st)
+	}
+	if got := acc.TotalBandwidth(0); !floatEq(got, 600/iv.Seconds()) {
+		t.Errorf("interval 0 bandwidth = %v, want %v", got, 600/iv.Seconds())
+	}
+	if err := acc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if closed != 1 {
+		t.Errorf("flushed %d intervals, want 1", closed)
+	}
+}
+
+// TestStreamFarFutureGuard: a record with a corrupted far-future
+// timestamp is dropped and counted instead of closing an unbounded run
+// of empty intervals and poisoning the stream for genuine traffic.
+func TestStreamFarFutureGuard(t *testing.T) {
+	iv := time.Minute
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 2, MaxGap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := 0
+	acc.Emit = func(tt int, snap *core.FlowSnapshot) error { closed++; return nil }
+	if err := acc.Add(Record{Prefix: pfxA, Time: start, Bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage: ~5 years ahead of all traffic seen.
+	if err := acc.Add(Record{Prefix: pfxB, Time: start.Add(500000 * iv), Bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if st := acc.Stats(); st.FarFuture != 1 {
+		t.Fatalf("FarFuture = %d, want 1 (%+v)", st.FarFuture, st)
+	}
+	if closed != 0 {
+		t.Fatalf("far-future record closed %d intervals", closed)
+	}
+	// Genuine in-order traffic keeps flowing.
+	if err := acc.Add(Record{Prefix: pfxB, Time: start.Add(3 * iv), Bits: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if st := acc.Stats(); st.Late != 0 {
+		t.Fatalf("stream poisoned: genuine record late (%+v)", st)
+	}
+	if err := acc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if closed != 4 {
+		t.Errorf("flushed %d intervals, want 4", closed)
+	}
+
+	// The guard must hold for the FIRST record too: under an explicit
+	// Start, maxTouched is still -1 when a corrupt timestamp arrives
+	// (regression: the guard was skipped and one record closed ~10^5
+	// empty intervals).
+	acc2, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 2, MaxGap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed2 := 0
+	acc2.Emit = func(tt int, snap *core.FlowSnapshot) error { closed2++; return nil }
+	if err := acc2.Add(Record{Prefix: pfxA, Time: start.Add(500000 * iv), Bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if st := acc2.Stats(); st.FarFuture != 1 || closed2 != 0 {
+		t.Fatalf("first-record corruption not guarded: FarFuture=%d closed=%d", st.FarFuture, closed2)
+	}
+	// Genuine traffic still lands normally afterwards.
+	if err := acc2.Add(Record{Prefix: pfxA, Time: start, Bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if st := acc2.Stats(); st.Late != 0 || st.InWindow != 1 {
+		t.Fatalf("stream poisoned after guarded first record: %+v", st)
+	}
+}
+
+// TestStreamAlignsToFirstRecord: the zero-value Start aligns interval 0
+// to the first record.
+func TestStreamAlignsToFirstRecord(t *testing.T) {
+	iv := 5 * time.Minute
+	first := start.Add(17 * time.Second)
+	acc, err := NewStreamAccumulator(StreamConfig{Interval: iv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acc.Start().IsZero() {
+		t.Error("start resolved before any record")
+	}
+	if err := acc.Add(Record{Prefix: pfxA, Time: first, Bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !acc.Start().Equal(first) {
+		t.Errorf("start = %v, want first record time %v", acc.Start(), first)
+	}
+	if got := acc.IntervalTime(1); !got.Equal(first.Add(iv)) {
+		t.Errorf("IntervalTime(1) = %v", got)
+	}
+}
+
+// TestStreamEmptyIntervals: traffic gaps must still emit the empty
+// intervals in order — the pipeline's EWMA needs every slot.
+func TestStreamEmptyIntervals(t *testing.T) {
+	iv := time.Minute
+	recs := []Record{
+		{Prefix: pfxA, Time: start, Bits: 8},
+		{Prefix: pfxA, Time: start.Add(6 * iv), Bits: 8}, // 5 empty slots between
+	}
+	_, got := collectStream(t, StreamConfig{Start: start, Interval: iv, Window: 3}, recs)
+	if len(got) != 7 {
+		t.Fatalf("emitted %d intervals, want 7", len(got))
+	}
+	for tt := 1; tt < 6; tt++ {
+		if got[tt].Len() != 0 {
+			t.Errorf("interval %d not empty", tt)
+		}
+	}
+	if got[0].Len() != 1 || got[6].Len() != 1 {
+		t.Error("edge intervals lost their flow")
+	}
+}
+
+// TestStreamOpenStats: the open-interval accessors mirror Series stats
+// for the same records.
+func TestStreamOpenStats(t *testing.T) {
+	iv := time.Minute
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := NewSeries(start, iv, 4)
+	recs := []Record{
+		{Prefix: pfxA, Time: start, Bits: 600},
+		{Prefix: pfxB, Time: start, Bits: 1200},
+		{Prefix: pfxA, Time: start.Add(iv), Bits: 60},
+	}
+	for _, rec := range recs {
+		if err := acc.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+		series.AddRecord(rec)
+	}
+	for tt := 0; tt < 2; tt++ {
+		if got, want := acc.ActiveFlows(tt), series.ActiveFlows(tt); got != want {
+			t.Errorf("ActiveFlows(%d) = %d, want %d", tt, got, want)
+		}
+		if got, want := acc.TotalBandwidth(tt), series.TotalBandwidth(tt); got != want {
+			t.Errorf("TotalBandwidth(%d) = %v, want %v", tt, got, want)
+		}
+	}
+	for _, tt := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ActiveFlows(%d): expected panic outside open window", tt)
+				}
+			}()
+			acc.ActiveFlows(tt)
+		}()
+	}
+}
+
+// TestStreamEvictionBoundsMemory: closing intervals releases their flow
+// rows; the ring never holds more than Window columns.
+func TestStreamEvictionBoundsMemory(t *testing.T) {
+	iv := time.Minute
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 100; tt++ {
+		p := netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", tt/256, tt%256))
+		if err := acc.Add(Record{Prefix: p, Time: start.Add(time.Duration(tt) * iv), Bits: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	open := 0
+	for _, sl := range acc.slots {
+		open += len(sl.flows)
+	}
+	if open > 2 {
+		t.Errorf("%d flow rows held open, want <= window", open)
+	}
+	if st := acc.Stats(); st.EvictedFlows != 98 {
+		t.Errorf("EvictedFlows = %d, want 98", st.EvictedFlows)
+	}
+}
+
+// TestStreamEmitError: an Emit error aborts the Add/Flush that
+// triggered it.
+func TestStreamEmitError(t *testing.T) {
+	boom := errors.New("boom")
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: time.Minute, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Emit = func(tt int, snap *core.FlowSnapshot) error { return boom }
+	if err := acc.Add(Record{Prefix: pfxA, Time: start, Bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(Record{Prefix: pfxA, Time: start.Add(time.Minute), Bits: 8}); !errors.Is(err, boom) {
+		t.Errorf("Add after forced close = %v, want boom", err)
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	if _, err := NewStreamAccumulator(StreamConfig{Interval: 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewStreamAccumulator(StreamConfig{Interval: time.Minute, Window: -1}); err == nil {
+		t.Error("negative window accepted")
+	}
+	acc, err := NewStreamAccumulator(StreamConfig{Interval: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Window() != DefaultStreamWindow {
+		t.Errorf("default window = %d, want %d", acc.Window(), DefaultStreamWindow)
+	}
+}
+
+// TestCollectMatchesAggregatorArithmetic: Series.AddRecord's point path
+// is the exact AddBits arithmetic the packet Aggregator uses.
+func TestCollectMatchesAggregatorArithmetic(t *testing.T) {
+	iv := 5 * time.Minute
+	a := NewSeries(start, iv, 2)
+	b := NewSeries(start, iv, 2)
+	a.AddBits(pfxA, 0, 12345)
+	if !b.AddRecord(Record{Prefix: pfxA, Time: start.Add(time.Second), Bits: 12345}) {
+		t.Fatal("in-window record rejected")
+	}
+	if a.Bandwidth(pfxA, 0) != b.Bandwidth(pfxA, 0) {
+		t.Errorf("AddBits %v != AddRecord %v", a.Bandwidth(pfxA, 0), b.Bandwidth(pfxA, 0))
+	}
+	if b.AddRecord(Record{Prefix: pfxA, Time: start.Add(2 * iv), Bits: 1}) {
+		t.Error("out-of-window record accepted")
+	}
+}

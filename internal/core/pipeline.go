@@ -92,6 +92,22 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	return &Pipeline{cfg: cfg, ewma: stats.NewEWMA(cfg.Alpha)}, nil
 }
 
+// StepSnapshot is the push-style entry point for streaming producers
+// (an agg.StreamAccumulator's Emit hook, or any source that closes
+// intervals as time advances): it classifies interval t's snapshot,
+// enforcing that closed intervals arrive in order and gap-free — t must
+// equal the number of intervals already processed, and empty intervals
+// must be stepped too (they carry the idle link through the EWMA just
+// as a zero column of a batch Series would). Step is the index-driven
+// equivalent; both share the same per-interval work, so streaming and
+// batch classification of identical columns are byte-identical.
+func (p *Pipeline) StepSnapshot(t int, snap *FlowSnapshot) (Result, error) {
+	if t != p.t {
+		return Result{Interval: p.t}, fmt.Errorf("core: StepSnapshot got interval %d, pipeline at %d (closed intervals must arrive in order, gap-free)", t, p.t)
+	}
+	return p.Step(snap)
+}
+
 // Step processes one interval's snapshot and returns the classification
 // result. The snapshot must be sorted (producers that append in
 // ComparePrefix order — agg.Series.Snapshot — are sorted for free; map

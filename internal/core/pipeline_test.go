@@ -50,6 +50,39 @@ func TestPipelineBootstrapUsesRawThreshold(t *testing.T) {
 	}
 }
 
+// TestStepSnapshotOrderEnforced: the push-style entry point accepts
+// exactly the next interval index and rejects gaps and replays, so a
+// streaming producer cannot silently skew the EWMA timeline.
+func TestStepSnapshotOrderEnforced(t *testing.T) {
+	p, err := NewPipeline(Config{Detector: fixedDetector{100}, Alpha: 0.5, Classifier: SingleFeatureClassifier{}, MinFlows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StepSnapshot(1, snap(150)); err == nil {
+		t.Error("gap (interval 1 before 0) accepted")
+	}
+	res, err := p.StepSnapshot(0, snap(150, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interval != 0 {
+		t.Errorf("Interval = %d", res.Interval)
+	}
+	if _, err := p.StepSnapshot(0, snap(150)); err == nil {
+		t.Error("replay of interval 0 accepted")
+	}
+	if _, err := p.StepSnapshot(1, snap(150)); err != nil {
+		t.Errorf("in-order step rejected: %v", err)
+	}
+	// Step and StepSnapshot share one interval counter.
+	if _, err := p.Step(snap(150)); err != nil {
+		t.Errorf("Step after StepSnapshot: %v", err)
+	}
+	if got := p.Intervals(); got != 3 {
+		t.Errorf("Intervals = %d, want 3", got)
+	}
+}
+
 // TestPipelinePhaseOrdering: interval t classifies with the EWMA carried
 // from intervals < t; theta(t) only affects t+1. This is the paper's
 // two-phase structure.

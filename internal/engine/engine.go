@@ -11,6 +11,13 @@
 // engine run is byte-identical to N sequential runs regardless of
 // worker count or scheduling; the merged output is ordered
 // deterministically by link ID.
+//
+// The engine has two ingestion modes sharing the pool and the merge
+// contract: Run classifies pre-aggregated batch series, RunStreaming
+// drives each link live from an agg.RecordSource through a
+// bounded-memory StreamAccumulator — memory per link is the
+// accumulator's window, not the trace length, and the classifications
+// are byte-identical to the batch path on the same records.
 package engine
 
 import (
@@ -18,6 +25,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/agg"
 	"repro/internal/core"
@@ -36,6 +44,30 @@ type Link struct {
 	// Config returns a fresh pipeline configuration (detector +
 	// classifier instances) for this link. Called once per Run, from
 	// the worker goroutine that processes the link.
+	Config func() (core.Config, error)
+}
+
+// StreamLink is one monitored link fed live: records from Source are
+// windowed into intervals by a private StreamAccumulator and classified
+// as each interval closes. The per-link memory bound is the window, not
+// the trace length.
+type StreamLink struct {
+	// ID names the link in the merged output. Must be unique and
+	// non-empty within one RunStreaming.
+	ID string
+	// Source yields the link's records. Consumed exactly once, from the
+	// worker goroutine that processes the link.
+	Source agg.RecordSource
+	// Start is the left edge of interval 0; the zero value aligns to
+	// the first record.
+	Start time.Time
+	// Interval is the measurement interval Δ. Required.
+	Interval time.Duration
+	// Window is the accumulator's open-interval count (0 selects
+	// agg.DefaultStreamWindow). Size it to cover the source's
+	// out-of-orderness — e.g. a NetFlow active timeout.
+	Window int
+	// Config returns a fresh pipeline configuration for this link.
 	Config func() (core.Config, error)
 }
 
@@ -59,56 +91,101 @@ type MultiLinkEngine struct {
 	Workers int
 }
 
-// Run classifies every link and returns one LinkResult per link, sorted
-// by link ID. Per-link failures are reported in LinkResult.Err;
-// Run itself only fails on structurally invalid input (duplicate or
-// empty link IDs).
-func (e *MultiLinkEngine) Run(links []Link) ([]LinkResult, error) {
-	if len(links) == 0 {
-		return nil, nil
-	}
-	seen := make(map[string]bool, len(links))
-	for _, l := range links {
-		if l.ID == "" {
-			return nil, fmt.Errorf("engine: link with empty ID")
+// validateIDs rejects empty and duplicate link identifiers.
+func validateIDs(ids []string) error {
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if id == "" {
+			return fmt.Errorf("engine: link with empty ID")
 		}
-		if seen[l.ID] {
-			return nil, fmt.Errorf("engine: duplicate link ID %q", l.ID)
+		if seen[id] {
+			return fmt.Errorf("engine: duplicate link ID %q", id)
 		}
-		seen[l.ID] = true
+		seen[id] = true
 	}
+	return nil
+}
 
+// runPool fans n jobs over the engine's workers. newWorker runs once
+// per worker goroutine and returns the job body, letting each worker
+// own reusable per-worker state (e.g. a snapshot buffer).
+func (e *MultiLinkEngine) runPool(n int, newWorker func() func(i int)) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(links) {
-		workers = len(links)
+	if workers > n {
+		workers = n
 	}
-
-	out := make([]LinkResult, len(links))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One reusable snapshot per worker: reused across every
-			// interval of every link the worker processes.
-			snap := core.NewFlowSnapshot(0)
+			run := newWorker()
 			for i := range jobs {
-				out[i] = runLink(links[i], snap)
+				run(i)
 			}
 		}()
 	}
-	for i := range links {
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+}
 
+// runMerged is the orchestration shared by both ingestion modes:
+// validate IDs, fan the links over the pool, merge sorted by link ID.
+func (e *MultiLinkEngine) runMerged(n int, id func(int) string, newWorker func() func(int) LinkResult) ([]LinkResult, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = id(i)
+	}
+	if err := validateIDs(ids); err != nil {
+		return nil, err
+	}
+	out := make([]LinkResult, n)
+	e.runPool(n, func() func(int) {
+		run := newWorker()
+		return func(i int) { out[i] = run(i) }
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
+}
+
+// Run classifies every link and returns one LinkResult per link, sorted
+// by link ID. Per-link failures are reported in LinkResult.Err;
+// Run itself only fails on structurally invalid input (duplicate or
+// empty link IDs).
+func (e *MultiLinkEngine) Run(links []Link) ([]LinkResult, error) {
+	return e.runMerged(len(links),
+		func(i int) string { return links[i].ID },
+		func() func(int) LinkResult {
+			// One reusable snapshot per worker: reused across every
+			// interval of every link the worker processes.
+			snap := core.NewFlowSnapshot(0)
+			return func(i int) LinkResult { return runLink(links[i], snap) }
+		})
+}
+
+// RunStreaming classifies every stream link live and returns one
+// LinkResult per link, sorted by link ID — the streaming twin of Run.
+// Each worker drives its link's records through a private accumulator
+// into a private pipeline, so per-link memory stays bounded by the
+// window while the merge stays deterministic: RunStreaming on sources
+// replaying a batch run's records is byte-identical to Run on the
+// corresponding series.
+func (e *MultiLinkEngine) RunStreaming(links []StreamLink) ([]LinkResult, error) {
+	return e.runMerged(len(links),
+		func(i int) string { return links[i].ID },
+		func() func(int) LinkResult {
+			return func(i int) LinkResult { return RunStreamLink(links[i]) }
+		})
 }
 
 // RunLink classifies a single link sequentially on the calling
@@ -124,24 +201,17 @@ func runLink(l Link, snap *core.FlowSnapshot) LinkResult {
 		lr.Err = fmt.Errorf("engine: link %q: nil series", l.ID)
 		return lr
 	}
-	if l.Config == nil {
-		lr.Err = fmt.Errorf("engine: link %q: nil config factory", l.ID)
-		return lr
-	}
-	cfg, err := l.Config()
+	pipe, err := newPipeline(l.ID, l.Config)
 	if err != nil {
-		lr.Err = fmt.Errorf("engine: link %q: %w", l.ID, err)
-		return lr
-	}
-	pipe, err := core.NewPipeline(cfg)
-	if err != nil {
-		lr.Err = fmt.Errorf("engine: link %q: %w", l.ID, err)
+		lr.Err = err
 		return lr
 	}
 	results := make([]core.Result, 0, l.Series.Intervals)
 	for t := 0; t < l.Series.Intervals; t++ {
 		snap = l.Series.Snapshot(t, snap)
-		res, err := pipe.Step(snap)
+		// The index-driven batch loop and the streaming emit hook share
+		// the same pipeline entry point.
+		res, err := pipe.StepSnapshot(t, snap)
 		if err != nil {
 			lr.Err = fmt.Errorf("engine: link %q: %w", l.ID, err)
 			return lr
@@ -150,4 +220,58 @@ func runLink(l Link, snap *core.FlowSnapshot) LinkResult {
 	}
 	lr.Results = results
 	return lr
+}
+
+// RunStreamLink classifies a single stream link sequentially on the
+// calling goroutine — the reference RunStreaming's concurrent output is
+// defined (and tested) against.
+func RunStreamLink(l StreamLink) LinkResult {
+	lr := LinkResult{ID: l.ID}
+	if l.Source == nil {
+		lr.Err = fmt.Errorf("engine: link %q: nil record source", l.ID)
+		return lr
+	}
+	pipe, err := newPipeline(l.ID, l.Config)
+	if err != nil {
+		lr.Err = err
+		return lr
+	}
+	acc, err := agg.NewStreamAccumulator(agg.StreamConfig{
+		Start:    l.Start,
+		Interval: l.Interval,
+		Window:   l.Window,
+	})
+	if err != nil {
+		lr.Err = fmt.Errorf("engine: link %q: %w", l.ID, err)
+		return lr
+	}
+	acc.Emit = func(t int, snap *core.FlowSnapshot) error {
+		res, err := pipe.StepSnapshot(t, snap)
+		if err != nil {
+			return err
+		}
+		lr.Results = append(lr.Results, res)
+		return nil
+	}
+	if err := agg.Stream(l.Source, acc); err != nil {
+		lr.Results = nil
+		lr.Err = fmt.Errorf("engine: link %q: %w", l.ID, err)
+	}
+	return lr
+}
+
+// newPipeline builds a link's private pipeline from its config factory.
+func newPipeline(id string, factory func() (core.Config, error)) (*core.Pipeline, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("engine: link %q: nil config factory", id)
+	}
+	cfg, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("engine: link %q: %w", id, err)
+	}
+	pipe, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: link %q: %w", id, err)
+	}
+	return pipe, nil
 }

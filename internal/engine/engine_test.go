@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/netip"
@@ -216,6 +217,134 @@ func TestEnginePerLinkErrorsIsolated(t *testing.T) {
 	}
 	if out[2].Err == nil {
 		t.Error("nil-series link reported no error")
+	}
+}
+
+// sliceSource replays a fixed record sequence; one use per source.
+type sliceSource struct {
+	recs []agg.Record
+	i    int
+}
+
+func (s *sliceSource) Next() (agg.Record, error) {
+	if s.i >= len(s.recs) {
+		return agg.Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// seriesRecords flattens a series into interval-ordered point records —
+// the record stream a live feed of the same traffic would deliver.
+func seriesRecords(s *agg.Series) []agg.Record {
+	var recs []agg.Record
+	for t := 0; t < s.Intervals; t++ {
+		at := s.IntervalTime(t)
+		for _, p := range s.Flows() {
+			if bw := s.Bandwidth(p, t); bw > 0 {
+				recs = append(recs, agg.Record{Prefix: p, Time: at, Bits: bw * s.Interval.Seconds()})
+			}
+		}
+	}
+	return recs
+}
+
+// TestRunStreamingMatchesBatch is the streaming determinism contract:
+// driving N links live from record sources (bounded-memory
+// accumulators, push-style pipeline) must produce results
+// byte-identical to a batch Run over series collected from the very
+// same records, for any worker count. Run with -race.
+func TestRunStreamingMatchesBatch(t *testing.T) {
+	const n = 6
+	records := make([][]agg.Record, n)
+	batch := make([]Link, n)
+	for i := range records {
+		records[i] = seriesRecords(synthSeries(int64(200+i), 150, 24))
+		s := agg.NewSeries(start, 5*time.Minute, 24)
+		if _, err := agg.Collect(&sliceSource{recs: records[i]}, s); err != nil {
+			t.Fatal(err)
+		}
+		batch[i] = Link{ID: fmt.Sprintf("link-%02d", i), Series: s, Config: schemeConfig}
+	}
+	want, err := (&MultiLinkEngine{}).Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkStream := func() []StreamLink {
+		links := make([]StreamLink, n)
+		for i := range links {
+			links[i] = StreamLink{
+				ID:       fmt.Sprintf("link-%02d", i),
+				Source:   &sliceSource{recs: records[i]},
+				Start:    start,
+				Interval: 5 * time.Minute,
+				Window:   4,
+				Config:   schemeConfig,
+			}
+		}
+		return links
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		eng := MultiLinkEngine{Workers: workers}
+		got, err := eng.RunStreaming(mkStream())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, lr := range got {
+			if lr.Err != nil {
+				t.Fatalf("workers=%d link %s: %v", workers, lr.ID, lr.Err)
+			}
+			if lr.ID != want[i].ID {
+				t.Fatalf("workers=%d: merge order %q at %d, want %q", workers, lr.ID, i, want[i].ID)
+			}
+			if !reflect.DeepEqual(lr.Results, want[i].Results) {
+				t.Errorf("workers=%d link %s: streaming results differ from batch run", workers, lr.ID)
+			}
+		}
+	}
+
+	// The exported sequential entry point is the same computation.
+	seq := RunStreamLink(mkStream()[2])
+	if seq.Err != nil {
+		t.Fatal(seq.Err)
+	}
+	if !reflect.DeepEqual(seq.Results, want[2].Results) {
+		t.Error("RunStreamLink differs from batch run")
+	}
+}
+
+// TestRunStreamingValidation mirrors the batch validation contract.
+func TestRunStreamingValidation(t *testing.T) {
+	eng := MultiLinkEngine{}
+	if out, err := eng.RunStreaming(nil); err != nil || out != nil {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+	mk := func(id string) StreamLink {
+		return StreamLink{ID: id, Source: &sliceSource{}, Interval: time.Minute, Config: schemeConfig}
+	}
+	if _, err := eng.RunStreaming([]StreamLink{mk("a"), mk("a")}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := eng.RunStreaming([]StreamLink{mk("")}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	out, err := eng.RunStreaming([]StreamLink{
+		{ID: "no-source", Interval: time.Minute, Config: schemeConfig},
+		{ID: "bad-interval", Source: &sliceSource{}, Interval: 0, Config: schemeConfig},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range out {
+		if lr.Err == nil {
+			t.Errorf("link %s: structural defect reported no error", lr.ID)
+		}
 	}
 }
 

@@ -200,10 +200,13 @@ func IntervalSensitivity(cfg LinksConfig, intervals []time.Duration, sc SchemeCo
 	return rows, nil
 }
 
-// rebinTo rebins, tolerating the identity case.
+// rebinTo rebins, tolerating the identity case. The sensitivity sweep
+// compares mean statistics, so the (reported) trailing intervals Rebin
+// truncates on non-dividing factors are acceptable here.
 func rebinTo(s *agg.Series, iv time.Duration) (*agg.Series, error) {
 	if iv == s.Interval {
 		return s, nil
 	}
-	return s.Rebin(iv)
+	out, _, err := s.Rebin(iv)
+	return out, err
 }

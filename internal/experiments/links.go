@@ -204,6 +204,12 @@ func (c SchemeConfig) Link(id string, series *agg.Series) engine.Link {
 	return engine.Link{ID: id, Series: series, Config: c.NewConfig}
 }
 
+// StreamLink wraps a live record source under the scheme as a streaming
+// engine work unit — the bounded-memory twin of Link.
+func (c SchemeConfig) StreamLink(id string, src agg.RecordSource, start time.Time, interval time.Duration, window int) engine.StreamLink {
+	return engine.StreamLink{ID: id, Source: src, Start: start, Interval: interval, Window: window, Config: c.NewConfig}
+}
+
 // RunScheme classifies every interval of series under the scheme and
 // returns the per-interval results.
 func RunScheme(series *agg.Series, sc SchemeConfig) ([]core.Result, error) {

@@ -1,8 +1,6 @@
 package netflow
 
 import (
-	"time"
-
 	"repro/internal/agg"
 	"repro/internal/bgp"
 )
@@ -21,7 +19,10 @@ type CollectorStats struct {
 // spread uniformly over its [First, Last] span, clipped to the series
 // window, so long flows crossing interval boundaries are apportioned
 // correctly (assigning all bytes to one interval would let the active
-// timeout alias the diurnal signal).
+// timeout alias the diurnal signal). The spreading arithmetic lives in
+// agg (Series.AddRecord), shared with the streaming accumulator, so
+// batch collection and streaming ingestion of the same records produce
+// bit-identical series.
 type Collector struct {
 	table  *bgp.Table
 	series *agg.Series
@@ -48,50 +49,33 @@ func (c *Collector) AddDatagram(d *Datagram) {
 
 func (c *Collector) addRecord(h Header, r Record) {
 	c.Stats.Records++
-	route, ok := c.table.Lookup(r.DstAddr)
+	rec, ok := attribute(c.table, h, r)
 	if !ok {
 		c.Stats.Unrouted++
 		return
 	}
-	first, last := h.Timestamps(r)
-	bits := float64(r.Octets) * 8
-	span := last.Sub(first)
-	if span <= 0 {
-		// Point flow: all bytes in one interval.
-		t := c.series.IntervalOf(first)
-		if t < 0 {
-			c.Stats.OutOfRange++
-			return
-		}
-		c.Stats.Routed++
-		c.series.AddBits(route.Prefix, t, bits)
-		return
-	}
-	// Spread uniformly across the covered intervals.
-	routed := false
-	for cur := first; cur.Before(last); {
-		t := c.series.IntervalOf(cur)
-		intervalEnd := c.series.Start.Add(time.Duration(t+1) * c.series.Interval)
-		if t < 0 {
-			// Before the window: skip ahead; after: done.
-			if cur.Before(c.series.Start) {
-				cur = c.series.Start
-				continue
-			}
-			break
-		}
-		segEnd := last
-		if intervalEnd.Before(segEnd) {
-			segEnd = intervalEnd
-		}
-		frac := float64(segEnd.Sub(cur)) / float64(span)
-		c.series.AddBits(route.Prefix, t, bits*frac)
-		routed = true
-		cur = segEnd
-	}
-	if routed {
+	if c.series.AddRecord(rec) {
 		c.Stats.Routed++
 	} else {
 		c.Stats.OutOfRange++
 	}
+}
+
+// attribute longest-prefix matches one v5 record and normalises it to
+// the unified agg.Record form (a point record for degenerate spans).
+func attribute(table *bgp.Table, h Header, r Record) (agg.Record, bool) {
+	route, ok := table.Lookup(r.DstAddr)
+	if !ok {
+		return agg.Record{}, false
+	}
+	first, last := h.Timestamps(r)
+	rec := agg.Record{
+		Prefix: route.Prefix,
+		Time:   first,
+		Bits:   float64(r.Octets) * 8,
+	}
+	if span := last.Sub(first); span > 0 {
+		rec.Span = span
+	}
+	return rec, true
 }

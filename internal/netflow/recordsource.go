@@ -1,0 +1,73 @@
+package netflow
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+)
+
+// RecordSourceStats counts streaming attribution outcomes.
+type RecordSourceStats struct {
+	Datagrams uint64
+	Records   uint64
+	Routed    uint64
+	Unrouted  uint64
+}
+
+// RecordSource adapts a framed NetFlow v5 stream to the unified
+// agg.RecordSource API: datagrams are decoded one at a time, each
+// record longest-prefix matched against the BGP table and yielded as a
+// span record (octets spread over [First, Last] by the consumer's
+// shared apportioning arithmetic). Unrouted records are counted and
+// skipped, exactly as the batch Collector does, so draining a
+// RecordSource into a StreamAccumulator is bit-identical to replaying
+// the same datagrams through a Collector.
+//
+// Flow records are exported out of order up to the cache's active
+// timeout: size the accumulator window to cover at least
+// timeout/interval + 1 intervals so no bits land behind the closed
+// edge.
+type RecordSource struct {
+	sr    *StreamReader
+	table *bgp.Table
+	cur   *Datagram
+	next  int // index of the next record in cur
+
+	// Stats counts attribution outcomes.
+	Stats RecordSourceStats
+}
+
+// NewRecordSource returns a RecordSource draining sr against table.
+func NewRecordSource(sr *StreamReader, table *bgp.Table) *RecordSource {
+	return &RecordSource{sr: sr, table: table}
+}
+
+// Next returns the next routed flow record. io.EOF marks a clean end of
+// stream.
+func (s *RecordSource) Next() (agg.Record, error) {
+	for {
+		for s.cur != nil && s.next < len(s.cur.Records) {
+			h, r := s.cur.Header, s.cur.Records[s.next]
+			s.next++
+			s.Stats.Records++
+			rec, ok := attribute(s.table, h, r)
+			if !ok {
+				s.Stats.Unrouted++
+				continue
+			}
+			s.Stats.Routed++
+			return rec, nil
+		}
+		d, err := s.sr.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return agg.Record{}, io.EOF
+			}
+			return agg.Record{}, err
+		}
+		s.Stats.Datagrams++
+		s.cur, s.next = d, 0
+	}
+}

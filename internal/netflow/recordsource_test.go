@@ -1,0 +1,113 @@
+package netflow
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// exportStream runs a synthetic capture through the flow cache and
+// returns the framed v5 datagram stream a router would ship to disk.
+func exportStream(t *testing.T, table *bgp.Table) ([]byte, time.Time, int) {
+	t.Helper()
+	link, err := trace.NewLink(trace.LinkConfig{
+		Table: table, Flows: 150, MeanLoadBps: 1e6, Seed: 80,
+		Profile: trace.FlatProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const intervals = 4
+	series := link.GenerateSeries(t0, time.Minute, intervals)
+	var capture bytes.Buffer
+	if _, err := trace.NewPacketEmitter(81).Emit(&capture, series); err != nil {
+		t.Fatal(err)
+	}
+
+	var framed bytes.Buffer
+	sw := NewStreamWriter(&framed)
+	exp := NewExporter(ExporterConfig{ActiveTimeout: 30 * time.Second, InactiveTimeout: 10 * time.Second}, sw.Write)
+	src, err := agg.NewPcapPacketSource(bytes.NewReader(capture.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ts, sum, err := src.Next()
+		if err != nil {
+			break
+		}
+		if err := exp.AddPacket(ts, sum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return framed.Bytes(), t0, intervals
+}
+
+// TestRecordSourceMatchesCollector: replaying a framed datagram stream
+// through the unified RecordSource into a StreamAccumulator must
+// produce interval columns bit-identical to the batch Collector filling
+// a Series — both paths share the apportioning arithmetic, and this
+// test pins that contract on real exporter output.
+func TestRecordSourceMatchesCollector(t *testing.T) {
+	table, err := bgp.Generate(bgp.GenConfig{Routes: 800, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed, start, intervals := exportStream(t, table)
+
+	// Batch: Collector -> Series.
+	batch := agg.NewSeries(start, time.Minute, intervals)
+	coll := NewCollector(table, batch)
+	sr := NewStreamReader(bytes.NewReader(framed))
+	for {
+		d, err := sr.Next()
+		if err != nil {
+			break
+		}
+		coll.AddDatagram(d)
+	}
+
+	// Stream: RecordSource -> StreamAccumulator. The window covers the
+	// exporter's active timeout so no record reaches behind the closed
+	// edge.
+	rs := NewRecordSource(NewStreamReader(bytes.NewReader(framed)), table)
+	acc, err := agg.NewStreamAccumulator(agg.StreamConfig{Start: start, Interval: time.Minute, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	acc.Emit = func(tt int, snap *core.FlowSnapshot) error {
+		ref := batch.Snapshot(tt, nil)
+		if snap.Len() != ref.Len() {
+			t.Fatalf("interval %d: %d flows streamed, %d collected", tt, snap.Len(), ref.Len())
+		}
+		for i := 0; i < snap.Len(); i++ {
+			if snap.Key(i) != ref.Key(i) || snap.Bandwidth(i) != ref.Bandwidth(i) {
+				t.Fatalf("interval %d flow %d: stream (%v, %v) != batch (%v, %v)",
+					tt, i, snap.Key(i), snap.Bandwidth(i), ref.Key(i), ref.Bandwidth(i))
+			}
+		}
+		emitted++
+		return nil
+	}
+	if err := agg.Stream(rs, acc); err != nil {
+		t.Fatal(err)
+	}
+	if st := acc.Stats(); st.Late != 0 || st.LateBits != 0 {
+		t.Errorf("late drops on an in-window stream: %+v", st)
+	}
+	if emitted == 0 {
+		t.Fatal("no intervals emitted")
+	}
+	if rs.Stats.Records != coll.Stats.Records || rs.Stats.Unrouted != coll.Stats.Unrouted {
+		t.Errorf("stats diverge: source %+v vs collector %+v", rs.Stats, coll.Stats)
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/agg"
+)
+
+// RecordStream is the incremental mode of the synthetic generator: it
+// yields the link's traffic one measurement interval at a time as
+// prefix-attributable point records, implementing agg.RecordSource.
+// Where GenerateSeries materialises the full flow×interval matrix
+// before anything downstream runs, a RecordStream evolves the flow
+// population on demand, so a streaming consumer (agg.StreamAccumulator)
+// holds only its window of intervals in memory no matter how long the
+// simulated trace is.
+//
+// Each interval consumes the link's RNG in exactly the order
+// GenerateSeries would, so a RecordStream and a GenerateSeries call on
+// identically-seeded links emit the same per-flow bandwidths. Advancing
+// the stream mutates the link's flow and RNG state just like
+// GenerateSeries does: use a fresh NewLink (same config) per generation
+// pass.
+type RecordStream struct {
+	link      *Link
+	start     time.Time
+	interval  time.Duration
+	intervals int
+	midnight  time.Time
+
+	t       int // next interval to synthesise
+	pending []agg.Record
+	next    int // cursor into pending
+}
+
+// Stream returns the link's traffic for the given window as an
+// on-demand record stream — the streaming twin of GenerateSeries. start
+// fixes the diurnal phase exactly as in GenerateSeries.
+func (l *Link) Stream(start time.Time, interval time.Duration, intervals int) *RecordStream {
+	return &RecordStream{
+		link:      l,
+		start:     start,
+		interval:  interval,
+		intervals: intervals,
+		midnight:  time.Date(start.Year(), start.Month(), start.Day(), 0, 0, 0, 0, start.Location()),
+	}
+}
+
+// Next returns the next record, synthesising the following interval
+// once the current one is drained. io.EOF marks the end of the
+// configured window. Records arrive interval by interval in generation
+// order; an interval where every flow happens to be idle simply yields
+// no records.
+func (rs *RecordStream) Next() (agg.Record, error) {
+	for rs.next >= len(rs.pending) {
+		if rs.t >= rs.intervals {
+			return agg.Record{}, io.EOF
+		}
+		rs.synthesise()
+	}
+	rec := rs.pending[rs.next]
+	rs.next++
+	return rec, nil
+}
+
+// synthesise advances every flow by one interval — the same stepping
+// order (and therefore RNG consumption) as GenerateSeries — and queues
+// one point record per active flow. A flow's record carries
+// bw·Δ bits at the interval's left edge, which the accumulator's
+// AddBits arithmetic turns back into the bandwidth column.
+func (rs *RecordStream) synthesise() {
+	rs.pending = rs.pending[:0]
+	rs.next = 0
+	at := rs.start.Add(time.Duration(rs.t) * rs.interval)
+	diurnal := rs.link.cfg.Profile.At(at.Sub(rs.midnight))
+	seconds := rs.interval.Seconds()
+	for i := range rs.link.flows {
+		f := &rs.link.flows[i]
+		if bw := rs.link.step(f, diurnal); bw > 0 {
+			rs.pending = append(rs.pending, agg.Record{
+				Prefix: f.prefix,
+				Time:   at,
+				Bits:   bw * seconds,
+			})
+		}
+	}
+	rs.t++
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+)
+
+func streamTestLink(t *testing.T, seed int64) *Link {
+	t.Helper()
+	table, err := bgp.Generate(bgp.GenConfig{Routes: 900, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := NewLink(LinkConfig{
+		Table: table, Flows: 200, MeanLoadBps: 2e6, Seed: seed,
+		Profile: FlatProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link
+}
+
+// TestStreamMatchesGenerateSeries: the incremental mode consumes the
+// RNG in the same order as the batch generator, so two
+// identically-seeded links emit the same traffic whichever mode runs.
+// The record form carries bw·Δ bits, so values agree to float64
+// round-trip precision.
+func TestStreamMatchesGenerateSeries(t *testing.T) {
+	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	const intervals = 12
+	iv := 5 * time.Minute
+
+	batch := streamTestLink(t, 91).GenerateSeries(start, iv, intervals)
+
+	streamed := agg.NewSeries(start, iv, intervals)
+	st, err := agg.Collect(streamTestLink(t, 91).Stream(start, iv, intervals), streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OutOfRange != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	if streamed.NumFlows() != batch.NumFlows() {
+		t.Fatalf("%d flows streamed, %d generated", streamed.NumFlows(), batch.NumFlows())
+	}
+	for _, p := range batch.Flows() {
+		for tt := 0; tt < intervals; tt++ {
+			want := batch.Bandwidth(p, tt)
+			got := streamed.Bandwidth(p, tt)
+			if want == got {
+				continue
+			}
+			if rel := math.Abs(want-got) / math.Max(want, got); rel > 1e-12 {
+				t.Fatalf("flow %v interval %d: stream %v vs batch %v", p, tt, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamIsDeterministic: two identically-configured links stream
+// identical records.
+func TestStreamIsDeterministic(t *testing.T) {
+	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	drain := func() []agg.Record {
+		rs := streamTestLink(t, 92).Stream(start, time.Minute, 6)
+		var recs []agg.Record
+		for {
+			rec, err := rs.Next()
+			if errors.Is(err, io.EOF) {
+				return recs
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, rec)
+		}
+	}
+	a, b := drain(), drain()
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStreamIntervalOrdering: records arrive interval by interval with
+// in-window timestamps, the shape the streaming accumulator expects.
+func TestStreamIntervalOrdering(t *testing.T) {
+	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	const intervals = 5
+	rs := streamTestLink(t, 93).Stream(start, time.Minute, intervals)
+	last := -1
+	for {
+		rec, err := rs.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := int(rec.Time.Sub(start) / time.Minute)
+		if tt < last {
+			t.Fatalf("interval went backwards: %d after %d", tt, last)
+		}
+		if tt >= intervals {
+			t.Fatalf("record beyond window: interval %d", tt)
+		}
+		if rec.Span != 0 || rec.Bits <= 0 {
+			t.Fatalf("malformed record: %+v", rec)
+		}
+		last = tt
+	}
+}
