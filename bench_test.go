@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/scheme"
 )
 
 // benchConfig is the per-iteration scale: large enough for the paper's
@@ -178,11 +179,12 @@ func BenchmarkPrefixLengthAnalysis(b *testing.B) {
 func BenchmarkIntervalSensitivity(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Intervals = 72 // 6 hours: the 1-minute regeneration is 5x larger
+	sp := scheme.MustParse("load+latent")
 	var spread float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.IntervalSensitivity(cfg,
 			[]time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute},
-			experiments.SchemeConfig{LatentHeat: true})
+			sp)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,9 +314,10 @@ func BenchmarkConcentration(b *testing.B) {
 // the elephant-set agreement at 1-in-1000 sampling.
 func BenchmarkSamplingImpact(b *testing.B) {
 	ls := buildLinks(b)
+	sp := scheme.MustParse("load+latent")
 	var jaccard float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.SamplingImpact(ls, []int{1, 1000}, experiments.SchemeConfig{LatentHeat: true})
+		rows, err := experiments.SamplingImpact(ls, []int{1, 1000}, sp)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -340,7 +343,7 @@ func BenchmarkWorkloadSynthesis(b *testing.B) {
 // whole-run view.
 func BenchmarkSnapshotStep(b *testing.B) {
 	ls := buildLinks(b)
-	cfg, err := experiments.SchemeConfig{LatentHeat: true}.NewConfig()
+	cfg, err := scheme.MustParse("load+latent").Config()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -372,10 +375,10 @@ func BenchmarkMultiLinkEngine(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sc := experiments.SchemeConfig{LatentHeat: true}
+		sp := scheme.MustParse("load+latent")
 		links = append(links,
-			sc.Link(fmt.Sprintf("west-%d", i), ls.West),
-			sc.Link(fmt.Sprintf("east-%d", i), ls.East),
+			engine.Link{ID: fmt.Sprintf("west-%d", i), Series: ls.West, Config: sp.Factory()},
+			engine.Link{ID: fmt.Sprintf("east-%d", i), Series: ls.East, Config: sp.Factory()},
 		)
 	}
 	eng := engine.MultiLinkEngine{}
@@ -399,14 +402,15 @@ func BenchmarkMultiLinkEngine(b *testing.B) {
 // EWMA, latent heat) — the quantity an online deployment cares about.
 func BenchmarkClassifyInterval(b *testing.B) {
 	ls := buildLinks(b)
-	res, err := experiments.RunScheme(ls.West, experiments.SchemeConfig{LatentHeat: true})
+	sp := scheme.MustParse("load+latent")
+	res, err := experiments.RunScheme(ls.West, sp)
 	if err != nil {
 		b.Fatal(err)
 	}
 	perIter := float64(len(res))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunScheme(ls.West, experiments.SchemeConfig{LatentHeat: true}); err != nil {
+		if _, err := experiments.RunScheme(ls.West, sp); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,11 +12,16 @@
 //	mean elephants                  ~600 west / ~500 east
 //	two-feature load fraction       ~0.6
 //
+// By default the two-feature metrics average the paper's two schemes
+// (aest and constant-load, latent heat on); -scheme replaces them with
+// one registry spec, so the workload can be calibrated against any
+// registered scheme — baselines included.
+//
 // Usage:
 //
 //	calibrate [-flows 9000] [-intervals 336] [-seed 1]
 //	          [-tailindex 1.3,1.5,1.7] [-tailshare 0.04,0.08]
-//	          [-burstsigma 0.9] [-burstrho 0.55]
+//	          [-burstsigma 0.9] [-burstrho 0.55] [-scheme SPEC]
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -40,8 +46,20 @@ func main() {
 		tailShare  = flag.String("tailshare", "0.04", "comma list of tail shares")
 		burstSigma = flag.String("burstsigma", "0.9", "comma list of burst sigmas")
 		burstRho   = flag.String("burstrho", "0.55", "comma list of burst rhos")
+		schemeSpec = flag.String("scheme", "", "score the two-feature metrics under one registry spec instead of the paper pair;\n"+scheme.FlagUsage())
 	)
 	flag.Parse()
+
+	var sp *scheme.Spec
+	if *schemeSpec != "" {
+		var err error
+		// A parse error's text enumerates the registered schemes.
+		sp, err = scheme.ParseValidated(*schemeSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(2)
+		}
+	}
 
 	tis := parseList(*tailIndex)
 	tss := parseList(*tailShare)
@@ -70,7 +88,7 @@ func main() {
 							BurstRho:   br,
 						},
 					}
-					m, err := measure(cfg)
+					m, err := measure(cfg, sp)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "calibrate: ti=%g ts=%g bs=%g br=%g: %v\n", ti, ts, bs, br, err)
 						continue
@@ -109,7 +127,7 @@ type metrics struct {
 	oneSlot1, oneSlot2 float64 // single-/two-feature 1-slot flows
 }
 
-func measure(cfg experiments.LinksConfig) (metrics, error) {
+func measure(cfg experiments.LinksConfig, sp *scheme.Spec) (metrics, error) {
 	ls, err := experiments.BuildLinks(cfg)
 	if err != nil {
 		return metrics{}, err
@@ -118,7 +136,12 @@ func measure(cfg experiments.LinksConfig) (metrics, error) {
 	if err != nil {
 		return metrics{}, err
 	}
-	two, err := experiments.TwoFeatureStability(ls)
+	var two []experiments.VolatilityResult
+	if sp != nil {
+		two, err = experiments.SchemeStability(ls, sp)
+	} else {
+		two, err = experiments.TwoFeatureStability(ls)
+	}
 	if err != nil {
 		return metrics{}, err
 	}

@@ -1,26 +1,36 @@
 // Command elephants runs the paper's classification pipeline over a pcap
 // capture and a BGP table: packets are decoded, attributed to BGP
 // destination prefixes by longest-prefix match, aggregated into
-// measurement intervals, and classified with the chosen threshold
-// detection scheme, with or without the latent-heat persistence metric.
+// measurement intervals, and classified under the scheme named by
+// -scheme — any spec the registry knows, from the paper's
+// "load:beta=0.8+latent:window=12" to the baseline sketches
+// ("misragries:k=100"). Run with -scheme help (or any invalid spec) to
+// see the registry listing.
 //
 // Two ingestion modes share the classification stack. The default batch
 // mode prescans the capture to size a full flow×interval matrix, then
 // classifies it on the multi-link engine. -stream classifies in a
 // single pass instead: packets feed a bounded-memory interval
 // accumulator that closes intervals as capture time advances and pushes
-// each one straight into the pipeline — memory is governed by
-// -stream-window intervals, not by capture length, and the resulting
+// each one straight into the pipeline — memory is governed by the
+// accumulator window, not by capture length, and the resulting
 // classifications are identical to batch mode on the same capture
 // (interval 0 is anchored at the first frame in both modes; trailing
 // intervals carrying only unrouted traffic appear, empty, in batch
 // output only).
 //
+// The accumulator window follows the scheme: by default it is the
+// scheme's latent-heat window (so ingestion holds exactly as much
+// history as classification looks back on), floored at
+// agg.DefaultStreamWindow for schemes without persistence.
+// -stream-window overrides the derived value explicitly; there is no
+// separate latent-window flag to keep in sync.
+//
 // Usage:
 //
-//	elephants -pcap trace.pcap -table table.txt [-scheme aest|load]
-//	          [-beta 0.8] [-alpha 0.5] [-latent] [-window 12]
-//	          [-interval 5m] [-top 10] [-stream] [-stream-window 12]
+//	elephants -pcap trace.pcap -table table.txt [-scheme SPEC]
+//	          [-alpha 0.5] [-interval 5m] [-top 10]
+//	          [-stream] [-stream-window N]
 package main
 
 import (
@@ -38,46 +48,42 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/experiments"
 	"repro/internal/pcap"
 	"repro/internal/report"
+	"repro/internal/scheme"
 )
 
 func main() {
 	var (
-		pcapPath  = flag.String("pcap", "", "input pcap path (required)")
-		tablePath = flag.String("table", "", "input BGP table path (required)")
-		scheme    = flag.String("scheme", "load", "threshold scheme: aest or load")
-		beta      = flag.Float64("beta", 0.8, "constant-load target fraction")
-		alpha     = flag.Float64("alpha", 0.5, "EWMA weight")
-		latent    = flag.Bool("latent", true, "enable the latent-heat (two-feature) classifier")
-		window    = flag.Int("window", 12, "latent-heat window in intervals")
-		interval  = flag.Duration("interval", 5*time.Minute, "measurement interval")
-		top       = flag.Int("top", 10, "print the top-N elephant flows by volume")
-		stream    = flag.Bool("stream", false, "single-pass streaming mode: bounded memory, no capture prescan")
-		swindow   = flag.Int("stream-window", agg.DefaultStreamWindow, "streaming mode: open-interval window (memory bound)")
+		pcapPath   = flag.String("pcap", "", "input pcap path (required)")
+		tablePath  = flag.String("table", "", "input BGP table path (required)")
+		schemeSpec = flag.String("scheme", "load+latent", scheme.FlagUsage())
+		alpha      = flag.Float64("alpha", scheme.DefaultAlpha, "EWMA weight on the previous smoothed threshold")
+		interval   = flag.Duration("interval", 5*time.Minute, "measurement interval")
+		top        = flag.Int("top", 10, "print the top-N elephant flows by volume")
+		stream     = flag.Bool("stream", false, "single-pass streaming mode: bounded memory, no capture prescan")
+		swindow    = flag.Int("stream-window", 0, "streaming mode: open-interval window (memory bound); 0 derives it from the scheme's latent-heat window, floored at agg.DefaultStreamWindow")
 	)
 	flag.Parse()
 	if *pcapPath == "" || *tablePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *scheme != "aest" && *scheme != "load" {
-		fmt.Fprintf(os.Stderr, "elephants: unknown scheme %q (want aest or load)\n", *scheme)
+	// A parse error's text enumerates the registered schemes.
+	sp, err := scheme.ParseValidated(*schemeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elephants:", err)
 		os.Exit(2)
 	}
-	sc := experiments.SchemeConfig{
-		UseAest:    *scheme == "aest",
-		Beta:       *beta,
-		Alpha:      *alpha,
-		LatentHeat: *latent,
-		Window:     *window,
+	if *swindow < 0 {
+		fmt.Fprintf(os.Stderr, "elephants: -stream-window %d must be >= 0 (0 derives it from the scheme)\n", *swindow)
+		os.Exit(2)
 	}
-	var err error
+	sp.Alpha = *alpha
 	if *stream {
-		err = runStream(*pcapPath, *tablePath, sc, *interval, *swindow, *top)
+		err = runStream(*pcapPath, *tablePath, sp, *interval, engine.StreamWindow(sp, *swindow), *top)
 	} else {
-		err = runBatch(*pcapPath, *tablePath, sc, *interval, *top)
+		err = runBatch(*pcapPath, *tablePath, sp, *interval, *top)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elephants:", err)
@@ -98,7 +104,7 @@ func readTable(path string) (*bgp.Table, error) {
 	return table, nil
 }
 
-func runBatch(pcapPath, tablePath string, sc experiments.SchemeConfig, interval time.Duration, top int) error {
+func runBatch(pcapPath, tablePath string, sp *scheme.Spec, interval time.Duration, top int) error {
 	table, err := readTable(tablePath)
 	if err != nil {
 		return err
@@ -130,21 +136,21 @@ func runBatch(pcapPath, tablePath string, sc experiments.SchemeConfig, interval 
 	// A single capture is a one-link engine run; feeding several links
 	// (one pcap per monitored interface) classifies them concurrently.
 	eng := engine.MultiLinkEngine{}
-	lrs, err := eng.Run([]engine.Link{sc.Link(pcapPath, series)})
+	lrs, err := eng.Run([]engine.Link{{ID: pcapPath, Series: series, Config: sp.Factory()}})
 	if err != nil {
 		return err
 	}
 	if lrs[0].Err != nil {
 		return lrs[0].Err
 	}
-	printReport(sc, lrs[0].Results, series.IntervalTime, top)
+	printReport(sp, lrs[0].Results, series.IntervalTime, top)
 	return nil
 }
 
 // runStream classifies the capture in one pass: no prescan, no full
 // matrix — records flow through a windowed accumulator into the
 // pipeline as capture time closes each interval.
-func runStream(pcapPath, tablePath string, sc experiments.SchemeConfig, interval time.Duration, window, top int) error {
+func runStream(pcapPath, tablePath string, sp *scheme.Spec, interval time.Duration, window, top int) error {
 	table, err := readTable(tablePath)
 	if err != nil {
 		return err
@@ -158,7 +164,7 @@ func runStream(pcapPath, tablePath string, sc experiments.SchemeConfig, interval
 	if err != nil {
 		return err
 	}
-	cfg, err := sc.NewConfig()
+	cfg, err := sp.Config()
 	if err != nil {
 		return err
 	}
@@ -203,14 +209,14 @@ func runStream(pcapPath, tablePath string, sc experiments.SchemeConfig, interval
 	st := acc.Stats()
 	fmt.Printf("capture: %d frames, %d routed, %d unrouted, %d x %v intervals (streamed, window %d, %d late records)\n",
 		src.ParserStats().Frames, src.Stats.Routed, src.Stats.Unrouted, st.Closed, interval, window, st.Late)
-	printReport(sc, results, acc.IntervalTime, top)
+	printReport(sp, results, acc.IntervalTime, top)
 	return nil
 }
 
 // printReport prints the per-interval table and summary shared by both
 // ingestion modes.
-func printReport(sc experiments.SchemeConfig, results []core.Result, intervalTime func(int) time.Time, top int) {
-	fmt.Printf("scheme: %s\n\n", sc.Name())
+func printReport(sp *scheme.Spec, results []core.Result, intervalTime func(int) time.Time, top int) {
+	fmt.Printf("scheme: %s\n\n", sp.Name())
 	tab := report.NewTable("interval", "start", "active", "elephants", "load Mb/s", "eleph frac", "theta Mb/s")
 	for i, r := range results {
 		tab.AddRow(i, intervalTime(i).Format("15:04"), r.ActiveFlows, r.ElephantCount(),

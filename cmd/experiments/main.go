@@ -19,25 +19,33 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/scheme"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "run at reduced scale (fast; shapes only)")
-		only   = flag.String("only", "", "comma-separated subset: fig1a,fig1b,fig1c,single,two,prefix,interval,alpha,window,beta,baseline,concentration,sampling")
-		csvdir = flag.String("csvdir", "", "directory to write per-figure CSV files (created if missing)")
-		seed   = flag.Int64("seed", 1, "random seed for the synthetic workload")
-		charts = flag.Bool("charts", true, "render ASCII charts")
+		quick      = flag.Bool("quick", false, "run at reduced scale (fast; shapes only)")
+		only       = flag.String("only", "", "comma-separated subset: fig1a,fig1b,fig1c,single,two,prefix,interval,alpha,window,beta,baseline,concentration,sampling")
+		csvdir     = flag.String("csvdir", "", "directory to write per-figure CSV files (created if missing)")
+		seed       = flag.Int64("seed", 1, "random seed for the synthetic workload")
+		charts     = flag.Bool("charts", true, "render ASCII charts")
+		schemeSpec = flag.String("scheme", "load+latent", "scheme used by the interval/sampling sections;\n"+scheme.FlagUsage())
 	)
 	flag.Parse()
 
-	if err := run(*quick, *only, *csvdir, *seed, *charts); err != nil {
+	// A parse error's text enumerates the registered schemes.
+	sp, err := scheme.ParseValidated(*schemeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if err := run(*quick, *only, *csvdir, *seed, *charts, sp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only, csvdir string, seed int64, charts bool) error {
+func run(quick bool, only, csvdir string, seed int64, charts bool, sp *scheme.Spec) error {
 	want := map[string]bool{}
 	if only != "" {
 		for _, k := range strings.Split(only, ",") {
@@ -166,7 +174,7 @@ func run(quick bool, only, csvdir string, seed int64, charts bool) error {
 	}
 
 	if sel("interval") {
-		rows, err := experiments.IntervalSensitivity(cfg, nil, experiments.SchemeConfig{LatentHeat: true})
+		rows, err := experiments.IntervalSensitivity(cfg, nil, sp)
 		if err != nil {
 			return err
 		}
@@ -248,7 +256,7 @@ func run(quick bool, only, csvdir string, seed int64, charts bool) error {
 	}
 
 	if sel("sampling") {
-		rows, err := experiments.SamplingImpact(ls, nil, experiments.SchemeConfig{LatentHeat: true})
+		rows, err := experiments.SamplingImpact(ls, nil, sp)
 		if err != nil {
 			return err
 		}

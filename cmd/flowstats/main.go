@@ -3,9 +3,16 @@
 // per-prefix volumes, concentration (Gini, top-share), heavy-tail
 // analysis (aest + Hill), and a log-log CCDF rendered as an ASCII chart.
 //
+// A non-empty -scheme additionally streams the capture through the
+// classification pipeline under the given registry spec (bounded
+// memory, window derived from the scheme's latent-heat lookback) and
+// prints a per-interval elephant summary next to the whole-capture
+// distribution stats.
+//
 // Usage:
 //
 //	flowstats -pcap trace.pcap -table table.txt [-top 10] [-chart]
+//	          [-scheme SPEC] [-interval 5m]
 package main
 
 import (
@@ -16,32 +23,49 @@ import (
 	"net/netip"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/agg"
+	"repro/internal/analysis"
 	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/report"
+	"repro/internal/scheme"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		pcapPath  = flag.String("pcap", "", "input pcap path (required)")
-		tablePath = flag.String("table", "", "input BGP table path (required)")
-		top       = flag.Int("top", 10, "list the top-N flows by volume")
-		chart     = flag.Bool("chart", true, "render the log-log CCDF chart")
+		pcapPath   = flag.String("pcap", "", "input pcap path (required)")
+		tablePath  = flag.String("table", "", "input BGP table path (required)")
+		top        = flag.Int("top", 10, "list the top-N flows by volume")
+		chart      = flag.Bool("chart", true, "render the log-log CCDF chart")
+		schemeSpec = flag.String("scheme", "", "also classify the capture per interval;\n"+scheme.FlagUsage())
+		interval   = flag.Duration("interval", 5*time.Minute, "measurement interval for -scheme classification")
 	)
 	flag.Parse()
 	if *pcapPath == "" || *tablePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*pcapPath, *tablePath, *top, *chart); err != nil {
+	var sp *scheme.Spec
+	if *schemeSpec != "" {
+		var err error
+		// A parse error's text enumerates the registered schemes.
+		sp, err = scheme.ParseValidated(*schemeSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowstats:", err)
+			os.Exit(2)
+		}
+	}
+	if err := run(*pcapPath, *tablePath, *top, *chart, sp, *interval); err != nil {
 		fmt.Fprintln(os.Stderr, "flowstats:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pcapPath, tablePath string, top int, chart bool) error {
+func run(pcapPath, tablePath string, top int, chart bool, sp *scheme.Spec, interval time.Duration) error {
 	tf, err := os.Open(tablePath)
 	if err != nil {
 		return err
@@ -174,5 +198,57 @@ func run(pcapPath, tablePath string, top int, chart bool) error {
 		}
 		_ = lx
 	}
+
+	// Optional classification pass: stream the capture again through
+	// the scheme's pipeline with bounded memory.
+	if sp != nil {
+		if err := classify(pcapPath, table, sp, interval); err != nil {
+			return fmt.Errorf("classifying capture: %w", err)
+		}
+	}
 	return nil
+}
+
+// classify reopens the capture and classifies it per interval under the
+// spec via the streaming engine path; the accumulator window follows
+// the scheme's latent-heat lookback (engine.StreamWindow).
+func classify(pcapPath string, table *bgp.Table, sp *scheme.Spec, interval time.Duration) error {
+	pf, err := os.Open(pcapPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	src, err := agg.NewPacketRecordSource(bufio.NewReaderSize(pf, 1<<20), table)
+	if err != nil {
+		return err
+	}
+	lr := engine.RunStreamLink(engine.StreamLink{
+		ID:       pcapPath,
+		Source:   src,
+		Interval: interval,
+		Window:   engine.StreamWindow(sp, 0),
+		Config:   sp.Factory(),
+	})
+	if lr.Err != nil {
+		return lr.Err
+	}
+	fmt.Printf("\nclassification under %s (%v intervals):\n", sp.Name(), interval)
+	tab := report.NewTable("metric", "value")
+	tab.AddRow("intervals", len(lr.Results))
+	tab.AddRow("mean active flows", fmt.Sprintf("%.1f", meanActive(lr.Results)))
+	tab.AddRow("mean elephants", fmt.Sprintf("%.1f", analysis.MeanInt(analysis.CountSeries(lr.Results))))
+	tab.AddRow("mean elephant load fraction", fmt.Sprintf("%.3f", analysis.MeanFloat(analysis.FractionSeries(lr.Results))))
+	fmt.Print(tab.String())
+	return nil
+}
+
+func meanActive(results []core.Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range results {
+		sum += float64(results[i].ActiveFlows)
+	}
+	return sum / float64(len(results))
 }

@@ -13,6 +13,18 @@
 // concurrently on a worker pool with deterministic, seed-reproducible
 // output.
 //
+// Schemes are first-class: internal/scheme is a registry of every
+// detector and classifier — the paper's and the internal/baseline
+// alternatives (fixed threshold, top-K, Misra–Gries, Space-Saving) —
+// addressable through the spec grammar
+// "detector[:k=v,...]+classifier[:k=v,...]" (e.g.
+// "load:beta=0.8+latent:window=12", "aest", "misragries:k=100"). A
+// parsed spec compiles to a fresh-instances core.Config factory, so any
+// registered scheme runs through the engine (including the
+// RunMatrix/RunMatrixStreaming specs×links sweeps), the experiments
+// harnesses and every CLI -scheme flag, with batch/stream equivalence
+// pinned registry-wide by scheme_matrix_test.go.
+//
 // Ingestion is streaming-first: every substrate (pcap captures, NetFlow
 // v5 streams, the synthetic generator's incremental mode) is normalised
 // to the unified agg.RecordSource iterator of prefix-attributable

@@ -29,6 +29,8 @@ import (
 	"repro/internal/agg"
 	"repro/internal/bgp"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/scheme"
 	"repro/internal/trace"
 )
 
@@ -55,27 +57,28 @@ func main() {
 	// the link's full bandwidth matrix never exists.
 	feed := link.Stream(start, 5*time.Minute, intervals)
 
-	lh, err := core.NewLatentHeatClassifier(12)
+	// The scheme comes from the registry: the paper's constant-load
+	// detector plus latent heat. Swapping in any other registered spec
+	// ("aest+latent", "spacesaving:k=100", ...) changes nothing below.
+	sp := scheme.MustParse("load+latent")
+	cfg, err := sp.Config()
 	if err != nil {
 		log.Fatal(err)
 	}
-	det, err := core.NewConstantLoadDetector(0.8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pipe, err := core.NewPipeline(core.Config{Detector: det, Alpha: 0.5, Classifier: lh})
+	pipe, err := core.NewPipeline(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The accumulator windows the record stream into intervals and
-	// pushes each closed interval into the pipeline. Window = the
-	// classifier's lookback, so ingestion holds no more history than
-	// classification needs.
+	// pushes each closed interval into the pipeline. Its window is
+	// derived from the scheme (the latent-heat lookback, floored at
+	// agg.DefaultStreamWindow), so ingestion holds no more history than
+	// classification needs — the same rule cmd/elephants -stream uses.
 	acc, err := agg.NewStreamAccumulator(agg.StreamConfig{
 		Start:    start,
 		Interval: 5 * time.Minute,
-		Window:   12,
+		Window:   engine.StreamWindow(sp, 0),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/netflow"
+	"repro/internal/scheme"
 	"repro/internal/trace"
 )
 
@@ -106,13 +107,14 @@ func main() {
 		collector.Stats.Records, datagrams, float64(bytesOnWire)/1024,
 		100*float64(bytesOnWire)/float64(len(raw)))
 
-	// Classify both series and compare.
+	// Classify both series and compare; the scheme is a registry spec,
+	// built fresh per series (the classifier may be stateful).
 	classify := func(s *agg.Series) []map[string]bool {
-		det, err := core.NewConstantLoadDetector(0.8)
+		cfg, err := scheme.MustParse("load:beta=0.8+single").Config()
 		if err != nil {
 			log.Fatal(err)
 		}
-		pipe, err := core.NewPipeline(core.Config{Detector: det, Alpha: 0.5, Classifier: core.SingleFeatureClassifier{}})
+		pipe, err := core.NewPipeline(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/core"
+	"repro/internal/scheme"
 	"repro/internal/trace"
 )
 
@@ -43,22 +44,16 @@ func main() {
 	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
 	series := link.GenerateSeries(start, 5*time.Minute, 48) // 4 hours
 
-	// 3. Assemble the paper's pipeline: 0.8-constant-load threshold
-	// detection, EWMA smoothing with alpha = 0.5, and the latent-heat
-	// classifier with a one-hour (12-slot) window.
-	detector, err := core.NewConstantLoadDetector(0.8)
+	// 3. Name the paper's pipeline as a scheme spec: 0.8-constant-load
+	// threshold detection with the latent-heat classifier over a
+	// one-hour (12-slot) window (EWMA alpha defaults to 0.5). Any other
+	// registered spec — "aest+latent", "topk:k=50", "misragries:k=100" —
+	// drops in here unchanged; scheme.List() enumerates them.
+	cfg, err := scheme.MustParse("load:beta=0.8+latent:window=12").Config()
 	if err != nil {
 		log.Fatal(err)
 	}
-	classifier, err := core.NewLatentHeatClassifier(12)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pipe, err := core.NewPipeline(core.Config{
-		Detector:   detector,
-		Alpha:      0.5,
-		Classifier: classifier,
-	})
+	pipe, err := core.NewPipeline(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/packet"
 	"repro/internal/pcap"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -96,17 +97,15 @@ func main() {
 		frames, stats.Routed, stats.Unrouted, series.NumFlows())
 
 	// Classify. With so few flows the aest estimator has nothing to chew
-	// on, so use the constant-load detector.
-	det, err := core.NewConstantLoadDetector(0.8)
+	// on, so the spec names the constant-load detector; MinFlows is a
+	// pipeline-level setting on the spec, outside the grammar.
+	sp := scheme.MustParse("load:beta=0.8+single")
+	sp.MinFlows = 1 // tiny demo: classify even with a handful of flows
+	cfg, err := sp.Config()
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipe, err := core.NewPipeline(core.Config{
-		Detector:   det,
-		Alpha:      0.5,
-		Classifier: core.SingleFeatureClassifier{},
-		MinFlows:   1, // tiny demo: classify even with a handful of flows
-	})
+	pipe, err := core.NewPipeline(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/bgp"
 	"repro/internal/core"
+	"repro/internal/scheme"
 	"repro/internal/trace"
 )
 
@@ -51,20 +52,17 @@ func main() {
 	start := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
 	series := link.GenerateSeries(start, 5*time.Minute, 144) // 12 hours
 
-	lh, err := core.NewLatentHeatClassifier(12)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	fmt.Println("scheme          mean eleph-path share   reroutes   reroutes/interval")
+	// Both contenders come from the scheme registry; the comparison is
+	// two specs differing only in the classifier component.
 	for _, run := range []struct {
 		name string
-		cls  core.Classifier
+		spec string
 	}{
-		{"single-feature", core.SingleFeatureClassifier{}},
-		{"latent-heat", lh},
+		{"single-feature", "load+single"},
+		{"latent-heat", "load+latent"},
 	} {
-		share, reroutes := simulate(series, mustPipeline(run.cls))
+		share, reroutes := simulate(series, mustPipeline(run.spec))
 		fmt.Printf("%-14s  %21.3f   %8d   %17.1f\n",
 			run.name, share, reroutes, float64(reroutes)/float64(series.Intervals))
 	}
@@ -101,12 +99,12 @@ func simulate(series *agg.Series, pipe *core.Pipeline) (meanShare float64, rerou
 	return meanShare / float64(series.Intervals), reroutes
 }
 
-func mustPipeline(cls core.Classifier) *core.Pipeline {
-	det, err := core.NewConstantLoadDetector(0.8)
+func mustPipeline(spec string) *core.Pipeline {
+	cfg, err := scheme.MustParse(spec).Config()
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipe, err := core.NewPipeline(core.Config{Detector: det, Alpha: 0.5, Classifier: cls})
+	pipe, err := core.NewPipeline(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

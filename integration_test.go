@@ -14,6 +14,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/scheme"
 	"repro/internal/trace"
 )
 
@@ -59,7 +60,7 @@ func TestFullPipelineFromPackets(t *testing.T) {
 	}
 
 	classify := func(s *agg.Series) []core.Result {
-		res, err := experiments.RunScheme(s, experiments.SchemeConfig{LatentHeat: true, Window: 4})
+		res, err := experiments.RunScheme(s, scheme.MustParse("load+latent:window=4"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestReproducibilityAcrossRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := experiments.RunScheme(ls.West, experiments.SchemeConfig{UseAest: true, LatentHeat: true})
+		res, err := experiments.RunScheme(ls.West, scheme.MustParse("aest+latent"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func TestElephantsAreActuallyHeavy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := experiments.RunScheme(ls.West, experiments.SchemeConfig{})
+	res, err := experiments.RunScheme(ls.West, scheme.MustParse("load+single"))
 	if err != nil {
 		t.Fatal(err)
 	}

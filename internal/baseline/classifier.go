@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// sketch is the operation set SketchClassifier needs from a heavy-hitter
+// summary; MisraGries and SpaceSaving both provide it.
+type sketch interface {
+	Add(p netip.Prefix, weight float64)
+	HeavyHitters(fraction float64) []netip.Prefix
+	Reset()
+}
+
+// SketchClassifier adapts a k-counter heavy-hitter sketch to
+// core.Classifier, making the streaming-sketch baselines runnable
+// through the same pipeline, engine and CLIs as the paper's schemes.
+// Each interval it resets the sketch, feeds every active flow's
+// bandwidth, and classifies as elephants the flows whose estimated share
+// of the interval's traffic exceeds Fraction. The smoothed threshold is
+// ignored: like TopKClassifier this baseline is volume-only, with no
+// adaptive threshold and no persistence — exactly what the paper's
+// two-feature scheme is compared against. Memory is bounded by the
+// sketch's k counters instead of the interval's flow count, which is
+// the operational argument for sketches; the price is approximation
+// error (under-estimates for Misra–Gries, over-estimates for
+// Space-Saving).
+type SketchClassifier struct {
+	// Fraction is the heavy-hitter cut as a share of interval traffic.
+	Fraction float64
+
+	sk      sketch
+	name    string
+	scratch []int
+}
+
+// NewMisraGriesClassifier returns a per-interval Misra–Gries
+// heavy-hitter classifier with k counters. fraction <= 0 selects
+// 1/(k+1), the classic support threshold. Both sketch classifiers cut
+// on their guaranteed weight (Misra–Gries underestimates,
+// Space-Saving's count minus its error bound), so the elephant set has
+// no false positives; borderline true heavy hitters whose guarantee
+// falls below the cut are missed — part of what the exact adaptive
+// schemes buy over a k-counter memory budget.
+func NewMisraGriesClassifier(k int, fraction float64) (*SketchClassifier, error) {
+	mg, err := NewMisraGries(k)
+	if err != nil {
+		return nil, err
+	}
+	return newSketchClassifier(mg, fmt.Sprintf("misra-gries-%d", k), k, fraction)
+}
+
+// NewSpaceSavingClassifier returns a per-interval Space-Saving
+// heavy-hitter classifier with k counters. fraction <= 0 selects
+// 1/(k+1).
+func NewSpaceSavingClassifier(k int, fraction float64) (*SketchClassifier, error) {
+	ss, err := NewSpaceSaving(k)
+	if err != nil {
+		return nil, err
+	}
+	return newSketchClassifier(ss, fmt.Sprintf("space-saving-%d", k), k, fraction)
+}
+
+func newSketchClassifier(sk sketch, name string, k int, fraction float64) (*SketchClassifier, error) {
+	if fraction >= 1 {
+		return nil, fmt.Errorf("baseline: %s: fraction %v must be below 1", name, fraction)
+	}
+	if fraction <= 0 {
+		fraction = 1 / float64(k+1)
+	}
+	return &SketchClassifier{Fraction: fraction, sk: sk, name: name}, nil
+}
+
+// Name implements core.Classifier.
+func (c *SketchClassifier) Name() string { return c.name }
+
+// Classify implements core.Classifier. The threshold argument is
+// ignored. The snapshot's sorted flow order makes the sketch's
+// eviction decisions, and therefore the verdict, deterministic.
+func (c *SketchClassifier) Classify(snap *core.FlowSnapshot, _ float64) core.Verdict {
+	c.sk.Reset()
+	for i := 0; i < snap.Len(); i++ {
+		c.sk.Add(snap.Key(i), snap.Bandwidth(i))
+	}
+	c.scratch = c.scratch[:0]
+	for _, p := range c.sk.HeavyHitters(c.Fraction) {
+		// Every heavy hitter was fed from the snapshot this interval, so
+		// the lookup always succeeds.
+		if i, ok := snap.Lookup(p); ok {
+			c.scratch = append(c.scratch, i)
+		}
+	}
+	sort.Ints(c.scratch)
+	return core.Verdict{Indices: c.scratch}
+}

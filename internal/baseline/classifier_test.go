@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sketchSnap(t *testing.T, bws map[string]float64) *core.FlowSnapshot {
+	t.Helper()
+	m := make(map[netip.Prefix]float64, len(bws))
+	for s, bw := range bws {
+		m[netip.MustParsePrefix(s)] = bw
+	}
+	return core.SnapshotFromMap(m, nil)
+}
+
+func TestSketchClassifierFindsHeavyHitter(t *testing.T) {
+	snap := sketchSnap(t, map[string]float64{
+		"10.0.0.0/24": 1000, // 10/12 of the traffic
+		"10.0.1.0/24": 50,
+		"10.0.2.0/24": 50,
+		"10.0.3.0/24": 50,
+		"10.0.4.0/24": 50,
+	})
+	for name, mk := range map[string]func() (*SketchClassifier, error){
+		"misragries":  func() (*SketchClassifier, error) { return NewMisraGriesClassifier(2, 0.5) },
+		"spacesaving": func() (*SketchClassifier, error) { return NewSpaceSavingClassifier(2, 0.5) },
+	} {
+		cls, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := cls.Classify(snap, 0)
+		if len(v.Indices) != 1 {
+			t.Fatalf("%s: got %d elephants, want 1", name, len(v.Indices))
+		}
+		if got := snap.Key(v.Indices[0]); got != netip.MustParsePrefix("10.0.0.0/24") {
+			t.Errorf("%s: elephant %v, want 10.0.0.0/24", name, got)
+		}
+		if len(v.Offline) != 0 {
+			t.Errorf("%s: per-interval sketch reported %d offline flows", name, len(v.Offline))
+		}
+	}
+}
+
+// TestSketchClassifierDeterministic pins that two fresh instances
+// produce identical verdicts over the same interval sequence — the
+// engine's fresh-instances-per-link determinism contract.
+func TestSketchClassifierDeterministic(t *testing.T) {
+	snaps := []*core.FlowSnapshot{
+		sketchSnap(t, map[string]float64{"10.0.0.0/24": 900, "10.0.1.0/24": 30, "10.0.2.0/24": 800, "10.0.3.0/24": 10}),
+		sketchSnap(t, map[string]float64{"10.0.0.0/24": 20, "10.0.4.0/24": 700, "10.0.5.0/24": 650, "10.0.6.0/24": 5}),
+	}
+	mk := func() *SketchClassifier {
+		c, err := NewSpaceSavingClassifier(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	for i, snap := range snaps {
+		va := a.Classify(snap, 123)
+		vb := b.Classify(snap, 456) // threshold must be ignored
+		if !reflect.DeepEqual(append([]int(nil), va.Indices...), append([]int(nil), vb.Indices...)) {
+			t.Fatalf("interval %d: verdicts diverge: %v vs %v", i, va.Indices, vb.Indices)
+		}
+		for k := 1; k < len(va.Indices); k++ {
+			if va.Indices[k-1] >= va.Indices[k] {
+				t.Fatalf("interval %d: indices not ascending: %v", i, va.Indices)
+			}
+		}
+	}
+}
+
+func TestSketchClassifierValidation(t *testing.T) {
+	if _, err := NewMisraGriesClassifier(0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewSpaceSavingClassifier(4, 1.5); err == nil {
+		t.Error("fraction>=1 accepted")
+	}
+	c, err := NewMisraGriesClassifier(9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fraction != 0.1 {
+		t.Errorf("default fraction = %v, want 1/(k+1) = 0.1", c.Fraction)
+	}
+}

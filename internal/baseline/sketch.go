@@ -72,9 +72,13 @@ func (m *MisraGries) Estimate(p netip.Prefix) (float64, bool) {
 	return c, ok
 }
 
-// HeavyHitters returns every tracked flow whose estimate exceeds
-// fraction*Total, sorted by descending estimate. With fraction >=
-// 1/(k+1) the result is a superset of the true heavy hitters.
+// HeavyHitters returns every tracked flow whose (under)estimate exceeds
+// fraction*Total, sorted by descending estimate. Because counters
+// undercount by up to Total/(k+1), the report is conservative: every
+// returned flow truly carries more than fraction*Total (no false
+// positives), but a true heavy hitter whose counter was decremented
+// below the cut can be missed. A guaranteed-superset query must lower
+// the cut by the error bound: fraction' = fraction - 1/(k+1).
 func (m *MisraGries) HeavyHitters(fraction float64) []netip.Prefix {
 	cut := fraction * m.total
 	var out []flowBW

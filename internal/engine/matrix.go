@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/scheme"
+)
+
+// MatrixLink is one link offered to RunMatrix: the series only — the
+// scheme dimension comes from the spec list, so registering a new
+// scheme makes it runnable over every link at zero marginal cost.
+type MatrixLink struct {
+	// ID names the link; each (link, spec) cell is reported as
+	// MatrixID(ID, spec). Must be unique and non-empty.
+	ID string
+	// Series is the link's flow-by-interval bandwidth matrix. Sharing
+	// one fully aggregated series across specs is safe: snapshots are
+	// read-only views and every cell gets fresh pipeline state.
+	Series *agg.Series
+}
+
+// MatrixStreamLink is MatrixLink's streaming twin. Open is called once
+// per (link, spec) cell, from the worker goroutine that runs the cell,
+// because a RecordSource is consumed by exactly one run.
+type MatrixStreamLink struct {
+	// ID names the link; see MatrixLink.
+	ID string
+	// Open yields a fresh record source for one cell.
+	Open func() (agg.RecordSource, error)
+	// Start is the left edge of interval 0; the zero value aligns to
+	// the first record.
+	Start time.Time
+	// Interval is the measurement interval Δ. Required.
+	Interval time.Duration
+	// Window is the accumulator's open-interval count; 0 derives it
+	// per spec via StreamWindow.
+	Window int
+}
+
+// MatrixID names one (link, spec) cell of a matrix run:
+// "linkID/canonical-spec". Pipeline-level Spec fields that sit outside
+// the spec grammar (Alpha, MinFlows) are appended when set, so specs
+// differing only in those fields — an alpha sweep on the matrix — get
+// distinct cell IDs instead of a duplicate-ID rejection.
+func MatrixID(linkID string, sp *scheme.Spec) string {
+	id := linkID + "/" + sp.String()
+	if sp.Alpha != 0 && sp.Alpha != scheme.DefaultAlpha {
+		id += fmt.Sprintf("@alpha=%v", sp.Alpha)
+	}
+	if sp.MinFlows != 0 {
+		id += fmt.Sprintf("@minflows=%d", sp.MinFlows)
+	}
+	return id
+}
+
+// StreamWindow is the accumulator-window rule shared by the streaming
+// matrix, cmd/elephants -stream and the examples: an explicit window
+// wins; otherwise the window follows the scheme's latent-heat lookback
+// so ingestion holds exactly as much history as classification needs,
+// floored at agg.DefaultStreamWindow so schemes without persistence
+// still tolerate moderately out-of-order sources.
+func StreamWindow(sp *scheme.Spec, explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	w := agg.DefaultStreamWindow
+	if lw, ok := sp.LatentWindow(); ok && lw > w {
+		w = lw
+	}
+	return w
+}
+
+// RunMatrix classifies every link under every scheme spec: the
+// len(links)×len(specs) cross-product fans onto the worker pool as
+// independent cells, each with its own pipeline built from the spec's
+// factory. Results are ordered by cell ID; per-cell failures land in
+// LinkResult.Err like any other link run.
+func (e *MultiLinkEngine) RunMatrix(links []MatrixLink, specs []*scheme.Spec) ([]LinkResult, error) {
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	work := make([]Link, 0, len(links)*len(specs))
+	for _, l := range links {
+		for _, sp := range specs {
+			work = append(work, Link{ID: MatrixID(l.ID, sp), Series: l.Series, Config: sp.Factory()})
+		}
+	}
+	return e.Run(work)
+}
+
+// RunMatrixStreaming is RunMatrix's bounded-memory twin: every (link,
+// spec) cell opens its own record source and streams it through a
+// private accumulator sized by the spec's window rule. On sources that
+// replay the same records, the results are byte-identical to RunMatrix
+// on the collected series — the registry-wide equivalence contract.
+func (e *MultiLinkEngine) RunMatrixStreaming(links []MatrixStreamLink, specs []*scheme.Spec) ([]LinkResult, error) {
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		link MatrixStreamLink
+		sp   *scheme.Spec
+	}
+	cells := make([]cell, 0, len(links)*len(specs))
+	for _, l := range links {
+		for _, sp := range specs {
+			cells = append(cells, cell{link: l, sp: sp})
+		}
+	}
+	return e.runMerged(len(cells),
+		func(i int) string { return MatrixID(cells[i].link.ID, cells[i].sp) },
+		func() func(int) LinkResult {
+			return func(i int) LinkResult {
+				c := cells[i]
+				id := MatrixID(c.link.ID, c.sp)
+				if c.link.Open == nil {
+					return LinkResult{ID: id, Err: fmt.Errorf("engine: link %q: nil Open", c.link.ID)}
+				}
+				src, err := c.link.Open()
+				if err != nil {
+					return LinkResult{ID: id, Err: fmt.Errorf("engine: link %q: opening source: %w", c.link.ID, err)}
+				}
+				return RunStreamLink(StreamLink{
+					ID:       id,
+					Source:   src,
+					Start:    c.link.Start,
+					Interval: c.link.Interval,
+					Window:   StreamWindow(c.sp, c.link.Window),
+					Config:   c.sp.Factory(),
+				})
+			}
+		})
+}
+
+// validateSpecs rejects empty and nil spec lists up front so the error
+// is structural rather than one failure per cell.
+func validateSpecs(specs []*scheme.Spec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("engine: matrix run with no scheme specs")
+	}
+	for i, sp := range specs {
+		if sp == nil {
+			return fmt.Errorf("engine: matrix spec %d is nil", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/scheme"
+)
+
+func matrixSpecs() []*scheme.Spec {
+	specs := []*scheme.Spec{
+		scheme.MustParse("load+latent:window=4"),
+		scheme.MustParse("aest+single"),
+		scheme.MustParse("topk:k=25"),
+	}
+	for _, sp := range specs {
+		sp.MinFlows = 8
+	}
+	return specs
+}
+
+// TestRunMatrix pins the cross-product contract: one result per (link,
+// spec) cell, IDs "link/spec" in sorted order, each byte-identical to a
+// sequential single-link run of the same spec, for any worker count.
+func TestRunMatrix(t *testing.T) {
+	links := []MatrixLink{
+		{ID: "west", Series: synthSeries(7, 200, 24)},
+		{ID: "east", Series: synthSeries(8, 180, 24)},
+	}
+	specs := matrixSpecs()
+
+	want := make(map[string][]core.Result)
+	for _, l := range links {
+		for _, sp := range specs {
+			id := MatrixID(l.ID, sp)
+			lr := RunLink(Link{ID: id, Series: l.Series, Config: sp.Factory()})
+			if lr.Err != nil {
+				t.Fatalf("%s: %v", id, lr.Err)
+			}
+			want[id] = lr.Results
+		}
+	}
+
+	for _, workers := range []int{1, 4} {
+		eng := MultiLinkEngine{Workers: workers}
+		got, err := eng.RunMatrix(links, specs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(links)*len(specs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(links)*len(specs))
+		}
+		for i, lr := range got {
+			if i > 0 && got[i-1].ID >= lr.ID {
+				t.Fatalf("results not sorted: %q before %q", got[i-1].ID, lr.ID)
+			}
+			if lr.Err != nil {
+				t.Fatalf("cell %s: %v", lr.ID, lr.Err)
+			}
+			ref, ok := want[lr.ID]
+			if !ok {
+				t.Fatalf("unexpected cell ID %q", lr.ID)
+			}
+			if !reflect.DeepEqual(lr.Results, ref) {
+				t.Fatalf("workers=%d: cell %s diverges from sequential run", workers, lr.ID)
+			}
+		}
+	}
+}
+
+// TestRunMatrixStreamingMatchesBatch is the registry equivalence
+// contract at engine level: the streaming matrix over record replays of
+// a series must be byte-identical to the batch matrix over the
+// collected series, per cell.
+func TestRunMatrixStreamingMatchesBatch(t *testing.T) {
+	const intervals = 24
+	recs := seriesRecords(synthSeries(9, 150, intervals))
+	s := agg.NewSeries(start, 5*time.Minute, intervals)
+	if _, err := agg.Collect(&sliceSource{recs: recs}, s); err != nil {
+		t.Fatal(err)
+	}
+	specs := matrixSpecs()
+
+	eng := MultiLinkEngine{Workers: 4}
+	batch, err := eng.RunMatrix([]MatrixLink{{ID: "live", Series: s}}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := eng.RunMatrixStreaming([]MatrixStreamLink{{
+		ID:       "live",
+		Open:     func() (agg.RecordSource, error) { return &sliceSource{recs: recs}, nil },
+		Start:    start,
+		Interval: 5 * time.Minute,
+	}}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != len(batch) {
+		t.Fatalf("%d stream cells vs %d batch", len(stream), len(batch))
+	}
+	for i := range batch {
+		if batch[i].Err != nil || stream[i].Err != nil {
+			t.Fatalf("cell %s: batch err %v, stream err %v", batch[i].ID, batch[i].Err, stream[i].Err)
+		}
+		if batch[i].ID != stream[i].ID {
+			t.Fatalf("cell order diverges: %q vs %q", batch[i].ID, stream[i].ID)
+		}
+		if !reflect.DeepEqual(batch[i].Results, stream[i].Results) {
+			t.Fatalf("cell %s: streaming diverges from batch", batch[i].ID)
+		}
+	}
+}
+
+// TestStreamWindow pins the window-derivation rule: explicit beats
+// derived; latent windows above the default stretch the accumulator;
+// everything else floors at agg.DefaultStreamWindow.
+func TestStreamWindow(t *testing.T) {
+	cases := []struct {
+		spec     string
+		explicit int
+		want     int
+	}{
+		{"load+single", 0, agg.DefaultStreamWindow},
+		{"load+latent", 0, agg.DefaultStreamWindow}, // default latent window == default stream window
+		{"load+latent:window=24", 0, 24},
+		{"load+latent:window=4", 0, agg.DefaultStreamWindow},
+		{"load+latent:window=24", 6, 6},
+		{"topk:k=5", 0, agg.DefaultStreamWindow},
+	}
+	for _, c := range cases {
+		if got := StreamWindow(scheme.MustParse(c.spec), c.explicit); got != c.want {
+			t.Errorf("StreamWindow(%q, %d) = %d, want %d", c.spec, c.explicit, got, c.want)
+		}
+	}
+}
+
+// TestRunMatrixPipelineLevelSweep pins that specs differing only in
+// pipeline-level fields (Alpha, MinFlows — outside the spec grammar)
+// get distinct cell IDs and run as independent cells.
+func TestRunMatrixPipelineLevelSweep(t *testing.T) {
+	links := []MatrixLink{{ID: "l", Series: synthSeries(7, 200, 12)}}
+	a, b := scheme.MustParse("load+latent"), scheme.MustParse("load+latent")
+	a.Alpha, b.Alpha = 0.25, 0.75
+	a.MinFlows, b.MinFlows = 8, 8
+	got, err := (&MultiLinkEngine{}).RunMatrix(links, []*scheme.Spec{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID == got[1].ID {
+		t.Fatalf("alpha sweep cells = %+v", []string{got[0].ID, got[1].ID})
+	}
+	for _, lr := range got {
+		if lr.Err != nil {
+			t.Fatalf("cell %s: %v", lr.ID, lr.Err)
+		}
+	}
+	// Different alphas must actually produce different smoothed
+	// thresholds after the first interval.
+	if got[0].Results[2].Threshold == got[1].Results[2].Threshold {
+		t.Error("alpha sweep cells produced identical thresholds")
+	}
+}
+
+func TestRunMatrixValidation(t *testing.T) {
+	links := []MatrixLink{{ID: "l", Series: synthSeries(7, 50, 4)}}
+	if _, err := (&MultiLinkEngine{}).RunMatrix(links, nil); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	if _, err := (&MultiLinkEngine{}).RunMatrix(links, []*scheme.Spec{nil}); err == nil {
+		t.Error("nil spec accepted")
+	}
+	// Duplicate specs collide on cell IDs and must be rejected
+	// structurally, not raced.
+	dup := []*scheme.Spec{scheme.MustParse("load+single"), scheme.MustParse("load+single")}
+	_, err := (&MultiLinkEngine{}).RunMatrix(links, dup)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate specs: err = %v, want duplicate-ID error", err)
+	}
+	slinks := []MatrixStreamLink{{ID: "l", Start: start, Interval: time.Minute}}
+	got, err := (&MultiLinkEngine{}).RunMatrixStreaming(slinks, []*scheme.Spec{scheme.MustParse("load+single")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err == nil || !strings.Contains(got[0].Err.Error(), "nil Open") {
+		t.Errorf("nil Open: cell err = %v", got[0].Err)
+	}
+}

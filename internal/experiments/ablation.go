@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/scheme"
 )
 
 // AblationRow summarises one parameter setting of an ablation sweep.
@@ -32,8 +34,8 @@ type AblationRow struct {
 }
 
 // sweepRow runs one scheme variant over series and summarises it.
-func sweepRow(ls *LinkSet, sc SchemeConfig, param string, value float64) (AblationRow, error) {
-	res, err := RunScheme(ls.West, sc)
+func sweepRow(ls *LinkSet, sp *scheme.Spec, param string, value float64) (AblationRow, error) {
+	res, err := RunScheme(ls.West, sp)
 	if err != nil {
 		return AblationRow{}, fmt.Errorf("experiments: ablation %s=%v: %w", param, value, err)
 	}
@@ -84,13 +86,14 @@ func AblationAlpha(ls *LinkSet, alphas []float64) ([]AblationRow, error) {
 	}
 	rows := make([]AblationRow, 0, len(alphas))
 	for _, a := range alphas {
-		sc := SchemeConfig{LatentHeat: true, Alpha: a}
+		sp := PaperSpec()
+		sp.Alpha = a
 		if a == 0 {
-			// SchemeConfig.defaults treats 0 as unset; encode "no
-			// smoothing" as a tiny epsilon that the pipeline accepts.
-			sc.Alpha = 1e-9
+			// Spec.Alpha treats 0 as unset; encode "no smoothing" as a
+			// tiny epsilon that the pipeline accepts.
+			sp.Alpha = 1e-9
 		}
-		row, err := sweepRow(ls, sc, "alpha", a)
+		row, err := sweepRow(ls, sp, "alpha", a)
 		if err != nil {
 			return nil, err
 		}
@@ -108,8 +111,8 @@ func AblationWindow(ls *LinkSet, windows []int) ([]AblationRow, error) {
 	}
 	rows := make([]AblationRow, 0, len(windows))
 	for _, w := range windows {
-		sc := SchemeConfig{LatentHeat: true, Window: w}
-		row, err := sweepRow(ls, sc, "window", float64(w))
+		sp := PaperSpec().WithClassifierParam("window", strconv.Itoa(w))
+		row, err := sweepRow(ls, sp, "window", float64(w))
 		if err != nil {
 			return nil, err
 		}
@@ -126,8 +129,8 @@ func AblationBeta(ls *LinkSet, betas []float64) ([]AblationRow, error) {
 	}
 	rows := make([]AblationRow, 0, len(betas))
 	for _, b := range betas {
-		sc := SchemeConfig{LatentHeat: true, Beta: b}
-		row, err := sweepRow(ls, sc, "beta", b)
+		sp := PaperSpec().WithDetectorParam("beta", strconv.FormatFloat(b, 'f', -1, 64))
+		row, err := sweepRow(ls, sp, "beta", b)
 		if err != nil {
 			return nil, err
 		}

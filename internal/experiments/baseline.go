@@ -3,10 +3,11 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/analysis"
-	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/scheme"
 )
 
 // BaselineRow compares one classification strategy on the stability
@@ -40,13 +41,16 @@ type BaselineRow struct {
 }
 
 // BaselineComparison runs the paper's scheme (0.8-constant-load + latent
-// heat) against fixed-threshold and top-K baselines on the west link.
-// The fixed threshold is set "optimally in hindsight" to the run's mean
-// adaptive threshold; K is set to the paper scheme's mean elephant
-// count, so each baseline gets its best shot.
+// heat) against every baseline the registry offers on the west link:
+// fixed threshold, top-K talkers and the two heavy-hitter sketches. The
+// fixed threshold is set "optimally in hindsight" to the run's mean
+// adaptive threshold; K (and the sketches' counter budget) is set to the
+// paper scheme's mean elephant count, so each baseline gets its best
+// shot. Every strategy is a registry spec running through the same
+// engine path as the paper's scheme.
 func BaselineComparison(ls *LinkSet) ([]BaselineRow, error) {
 	// Reference run: the paper's scheme.
-	ref, err := RunScheme(ls.West, SchemeConfig{LatentHeat: true})
+	ref, err := RunScheme(ls.West, PaperSpec())
 	if err != nil {
 		return nil, err
 	}
@@ -61,48 +65,31 @@ func BaselineComparison(ls *LinkSet) ([]BaselineRow, error) {
 		k = 1
 	}
 
-	fixedDet, err := baseline.NewFixedThresholdDetector(meanTheta)
-	if err != nil {
-		return nil, err
-	}
-	topK, err := baseline.NewTopKClassifier(k)
-	if err != nil {
-		return nil, err
-	}
-	cl, err := core.NewConstantLoadDetector(0.8)
-	if err != nil {
-		return nil, err
-	}
-
 	type strategy struct {
 		name string
-		det  core.Detector
-		cls  core.Classifier
+		spec string
 	}
 	strategies := []strategy{
-		{"paper: 0.8-load + latent heat", nil, nil}, // precomputed ref
-		{"single-feature 0.8-load", cl, core.SingleFeatureClassifier{}},
-		{fmt.Sprintf("fixed threshold (%.2g b/s)", meanTheta), fixedDet, core.SingleFeatureClassifier{}},
-		{fmt.Sprintf("top-%d talkers", k), cl, topK},
+		{"paper: 0.8-load + latent heat", ""}, // precomputed ref
+		{"single-feature 0.8-load", "load+single"},
+		{fmt.Sprintf("fixed threshold (%.2g b/s)", meanTheta),
+			"fixed:theta=" + strconv.FormatFloat(meanTheta, 'f', -1, 64) + "+single"},
+		{fmt.Sprintf("top-%d talkers", k), fmt.Sprintf("load+topk:k=%d", k)},
+		{fmt.Sprintf("misra-gries sketch (k=%d)", k), fmt.Sprintf("load+misragries:k=%d", k)},
+		{fmt.Sprintf("space-saving sketch (k=%d)", k), fmt.Sprintf("load+spacesaving:k=%d", k)},
 	}
 
 	rows := make([]BaselineRow, 0, len(strategies))
 	for i, st := range strategies {
 		results := ref
 		if i > 0 {
-			pipe, err := core.NewPipeline(core.Config{Detector: st.det, Alpha: 0.5, Classifier: st.cls})
+			sp, err := scheme.Parse(st.spec)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, err)
 			}
-			results = make([]core.Result, 0, ls.West.Intervals)
-			var snap *core.FlowSnapshot
-			for t := 0; t < ls.West.Intervals; t++ {
-				snap = ls.West.Snapshot(t, snap)
-				res, err := pipe.Step(snap)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, err)
-				}
-				results = append(results, res)
+			results, err = RunScheme(ls.West, sp)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, err)
 			}
 		}
 		row, err := summarizeBaseline(st.name, results, ls.Cfg)

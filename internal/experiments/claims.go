@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/agg"
 	"repro/internal/analysis"
+	"repro/internal/scheme"
 )
 
 // VolatilityResult quantifies, for one (scheme, link) run, the
@@ -85,6 +87,18 @@ func TwoFeatureStability(ls *LinkSet) ([]VolatilityResult, error) {
 	return Volatility(runs, ls.Cfg.Interval, busySlots(ls.Cfg.Interval))
 }
 
+// SchemeStability computes the same stability metrics for one arbitrary
+// scheme spec on both links — the registry-driven generalisation of
+// TwoFeatureStability, so any registered scheme (baseline sketches
+// included) can be scored on the paper's persistence axes.
+func SchemeStability(ls *LinkSet, sp *scheme.Spec) ([]VolatilityResult, error) {
+	runs, err := runMatrix(ls, []*scheme.Spec{sp})
+	if err != nil {
+		return nil, err
+	}
+	return Volatility(runs, ls.Cfg.Interval, busySlots(ls.Cfg.Interval))
+}
+
 // busySlots converts the paper's five-hour busy period to slots.
 func busySlots(interval time.Duration) int {
 	if interval <= 0 {
@@ -140,7 +154,7 @@ type IntervalSensitivityRow struct {
 // The west link is generated once at a 1-minute base resolution and
 // rebinned to each candidate interval, so every row sees the same
 // underlying traffic.
-func IntervalSensitivity(cfg LinksConfig, intervals []time.Duration, sc SchemeConfig) ([]IntervalSensitivityRow, error) {
+func IntervalSensitivity(cfg LinksConfig, intervals []time.Duration, sp *scheme.Spec) ([]IntervalSensitivityRow, error) {
 	if len(intervals) == 0 {
 		intervals = []time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute}
 	}
@@ -167,16 +181,15 @@ func IntervalSensitivity(cfg LinksConfig, intervals []time.Duration, sc SchemeCo
 			return nil, fmt.Errorf("experiments: interval sensitivity at %v: %w", iv, err)
 		}
 		// The latent-heat window is one hour of slots at any interval.
-		scAdj := sc
-		scAdj.defaults()
-		if scAdj.LatentHeat {
+		spAdj := sp
+		if _, latent := sp.LatentWindow(); latent {
 			w := int(time.Hour / iv)
 			if w < 1 {
 				w = 1
 			}
-			scAdj.Window = w
+			spAdj = sp.WithClassifierParam("window", strconv.Itoa(w))
 		}
-		res, err := RunScheme(series, scAdj)
+		res, err := RunScheme(series, spAdj)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: interval sensitivity at %v: %w", iv, err)
 		}
@@ -191,7 +204,7 @@ func IntervalSensitivity(cfg LinksConfig, intervals []time.Duration, sc SchemeCo
 		st := analysis.HoldingTimes(res, from, to)
 		rows = append(rows, IntervalSensitivityRow{
 			Interval:           iv,
-			Scheme:             scAdj.Name(),
+			Scheme:             spAdj.Name(),
 			MeanElephants:      analysis.MeanInt(analysis.CountSeries(res)),
 			MeanLoadFraction:   analysis.MeanFloat(analysis.FractionSeries(res)),
 			MeanHoldingMinutes: st.MeanHolding * iv.Minutes(),

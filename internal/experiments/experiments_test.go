@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/scheme"
 )
 
 // smallLinks builds a reduced two-link setup shared by the tests in this
@@ -42,27 +43,25 @@ func TestBuildLinksDefaultsAndDeterminism(t *testing.T) {
 	}
 }
 
-func TestSchemeNames(t *testing.T) {
-	cases := []struct {
-		sc   SchemeConfig
-		want string
-	}{
-		{SchemeConfig{}, "0.80-constant-load"},
-		{SchemeConfig{Beta: 0.5}, "0.50-constant-load"},
-		{SchemeConfig{UseAest: true}, "aest"},
-		{SchemeConfig{UseAest: true, LatentHeat: true}, "aest+latent-heat"},
-		{SchemeConfig{LatentHeat: true}, "0.80-constant-load+latent-heat"},
+// TestPaperSpec pins the headline spec and that each call returns an
+// independently mutable copy.
+func TestPaperSpec(t *testing.T) {
+	a, b := PaperSpec(), PaperSpec()
+	if a.String() != "load+latent" {
+		t.Errorf("PaperSpec() = %q", a.String())
 	}
-	for _, tc := range cases {
-		if got := tc.sc.Name(); got != tc.want {
-			t.Errorf("Name() = %q, want %q", got, tc.want)
-		}
+	if a.Name() != "0.80-constant-load+latent-heat" {
+		t.Errorf("PaperSpec().Name() = %q", a.Name())
+	}
+	a.Alpha = 0.9
+	if b.Alpha != 0 {
+		t.Error("PaperSpec() returned shared state")
 	}
 }
 
 func TestRunSchemeProducesOneResultPerInterval(t *testing.T) {
 	ls := smallLinks(t)
-	res, err := RunScheme(ls.West, SchemeConfig{})
+	res, err := RunScheme(ls.West, scheme.MustParse("load+single"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +82,7 @@ func TestRunSchemeProducesOneResultPerInterval(t *testing.T) {
 // scheme must apportion ≈80% of traffic to elephants by construction.
 func TestConstantLoadHitsTarget(t *testing.T) {
 	ls := smallLinks(t)
-	res, err := RunScheme(ls.West, SchemeConfig{})
+	res, err := RunScheme(ls.West, scheme.MustParse("load+single"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +102,15 @@ func TestConstantLoadHitsTarget(t *testing.T) {
 func TestLatentHeatReducesChurn(t *testing.T) {
 	ls := smallLinks(t)
 	for _, useAest := range []bool{false, true} {
-		single, err := RunScheme(ls.West, SchemeConfig{UseAest: useAest})
+		det := "load"
+		if useAest {
+			det = "aest"
+		}
+		single, err := RunScheme(ls.West, scheme.MustParse(det+"+single"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		two, err := RunScheme(ls.West, SchemeConfig{UseAest: useAest, LatentHeat: true})
+		two, err := RunScheme(ls.West, scheme.MustParse(det+"+latent"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,7 +263,7 @@ func TestIntervalSensitivityRows(t *testing.T) {
 	cfg.Intervals = 48 // keep the 1-minute regeneration affordable
 	rows, err := IntervalSensitivity(cfg,
 		[]time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute},
-		SchemeConfig{LatentHeat: true})
+		PaperSpec())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
+
+	"repro/internal/scheme"
 )
 
 func TestBaselineComparison(t *testing.T) {
@@ -17,27 +20,37 @@ func TestBaselineComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 4", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
 	}
 	paper := rows[0]
-	var single, fixed, topk *BaselineRow
+	var single, fixed, topk, mg, ss *BaselineRow
 	for i := range rows[1:] {
 		r := &rows[i+1]
 		switch {
 		case r.Strategy == "single-feature 0.8-load":
 			single = r
-		case len(r.Strategy) > 5 && r.Strategy[:5] == "fixed":
+		case strings.HasPrefix(r.Strategy, "fixed"):
 			fixed = r
-		case len(r.Strategy) > 3 && r.Strategy[:4] == "top-":
+		case strings.HasPrefix(r.Strategy, "top-"):
 			topk = r
+		case strings.HasPrefix(r.Strategy, "misra-gries"):
+			mg = r
+		case strings.HasPrefix(r.Strategy, "space-saving"):
+			ss = r
 		}
 	}
-	if single == nil || fixed == nil || topk == nil {
+	if single == nil || fixed == nil || topk == nil || mg == nil || ss == nil {
 		t.Fatalf("strategies missing: %+v", rows)
 	}
+	// The sketch baselines must actually classify something.
+	for _, b := range []*BaselineRow{mg, ss} {
+		if b.MeanElephants <= 0 {
+			t.Errorf("%s: no elephants", b.Strategy)
+		}
+	}
 	// The paper's scheme must beat every baseline on churn.
-	for _, b := range []*BaselineRow{single, fixed, topk} {
+	for _, b := range []*BaselineRow{single, fixed, topk, mg, ss} {
 		if paper.Reclassifications >= b.Reclassifications {
 			t.Errorf("paper scheme reclass %d not below %s's %d",
 				paper.Reclassifications, b.Strategy, b.Reclassifications)
@@ -84,7 +97,7 @@ func TestConcentration(t *testing.T) {
 
 func TestSamplingImpact(t *testing.T) {
 	ls := smallLinks(t)
-	rows, err := SamplingImpact(ls, []int{1, 100}, SchemeConfig{LatentHeat: true})
+	rows, err := SamplingImpact(ls, []int{1, 100}, PaperSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +126,7 @@ func TestSamplingImpact(t *testing.T) {
 
 func TestSamplingImpactRejectsBadRate(t *testing.T) {
 	ls := smallLinks(t)
-	if _, err := SamplingImpact(ls, []int{0}, SchemeConfig{}); err == nil {
+	if _, err := SamplingImpact(ls, []int{0}, scheme.MustParse("load+single")); err == nil {
 		t.Error("rate 0 accepted")
 	}
 }

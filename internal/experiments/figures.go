@@ -3,18 +3,18 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/agg"
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/report"
+	"repro/internal/scheme"
 )
 
 // FigureRun is one (scheme, link) combination with its per-interval
 // classification results.
 type FigureRun struct {
-	// Scheme is the configuration that produced the run.
-	Scheme SchemeConfig
+	// Scheme is the spec that produced the run.
+	Scheme *scheme.Spec
 	// Link is "west" or "east".
 	Link string
 	// Results holds one entry per measurement interval.
@@ -22,64 +22,63 @@ type FigureRun struct {
 }
 
 // Label returns the legend label used in the figures, matching the
-// paper's: "constant load (west coast)", "aest (east coast)".
+// paper's for its two detectors — "constant load (west coast)",
+// "aest (east coast)" — and falling back to the scheme's display name
+// for any other registry spec routed through the figure harnesses.
 func (r FigureRun) Label() string {
-	base := "constant load"
-	if r.Scheme.UseAest {
+	var base string
+	switch r.Scheme.Detector.Name {
+	case "aest":
 		base = "aest"
+	case "load":
+		base = "constant load"
+	default:
+		base = r.Scheme.Name()
 	}
 	return fmt.Sprintf("%s (%s coast)", base, r.Link)
+}
+
+// runMatrix fans the given specs over both evaluation links on the
+// multi-link engine and reassembles the results link-major, spec-minor
+// — the historical figure ordering. Results are identical to
+// sequential execution.
+func runMatrix(ls *LinkSet, specs []*scheme.Spec) ([]FigureRun, error) {
+	links := ls.matrixLinks()
+	eng := engine.MultiLinkEngine{}
+	lrs, err := eng.RunMatrix(links, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scheme matrix: %w", err)
+	}
+	done := make(map[string][]core.Result, len(lrs))
+	for _, lr := range lrs {
+		if lr.Err != nil {
+			return nil, fmt.Errorf("experiments: scheme matrix run %s: %w", lr.ID, lr.Err)
+		}
+		done[lr.ID] = lr.Results
+	}
+	runs := make([]FigureRun, 0, len(links)*len(specs))
+	for _, l := range links {
+		for _, sp := range specs {
+			runs = append(runs, FigureRun{Scheme: sp, Link: l.ID, Results: done[engine.MatrixID(l.ID, sp)]})
+		}
+	}
+	return runs, nil
 }
 
 // RunFigure1 executes the four runs of Figure 1 — {0.8-constant-load,
 // aest} × {west, east} — with the latent-heat metric switched as
 // requested (the paper's Figure 1 has it on). The four runs are
-// independent (scheme, link) pipelines, so they execute concurrently on
-// the multi-link engine; results are identical to sequential execution.
+// independent (scheme, link) cells of a registry matrix, executing
+// concurrently on the multi-link engine.
 func RunFigure1(ls *LinkSet, latentHeat bool) ([]FigureRun, error) {
-	schemes := []SchemeConfig{
-		{UseAest: false, LatentHeat: latentHeat},
-		{UseAest: true, LatentHeat: latentHeat},
+	cls := "single"
+	if latentHeat {
+		cls = "latent"
 	}
-	links := []struct {
-		name   string
-		series *agg.Series
-	}{
-		{"west", ls.West},
-		{"east", ls.East},
-	}
-	type runKey struct {
-		scheme SchemeConfig
-		link   string
-	}
-	var work []engine.Link
-	byID := make(map[string]runKey, 4)
-	for _, link := range links {
-		for _, sc := range schemes {
-			id := link.name + "/" + sc.Name()
-			byID[id] = runKey{scheme: sc, link: link.name}
-			work = append(work, sc.Link(id, link.series))
-		}
-	}
-	eng := engine.MultiLinkEngine{}
-	lrs, err := eng.Run(work)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure 1: %w", err)
-	}
-	done := make(map[string][]core.Result, len(lrs))
-	for _, lr := range lrs {
-		if lr.Err != nil {
-			return nil, fmt.Errorf("experiments: figure 1 run %s: %w", lr.ID, lr.Err)
-		}
-		done[lr.ID] = lr.Results
-	}
-	// Reassemble in the historical order: link-major, scheme-minor.
-	runs := make([]FigureRun, 0, len(work))
-	for _, w := range work {
-		k := byID[w.ID]
-		runs = append(runs, FigureRun{Scheme: k.scheme, Link: k.link, Results: done[w.ID]})
-	}
-	return runs, nil
+	return runMatrix(ls, []*scheme.Spec{
+		scheme.MustParse("load+" + cls),
+		scheme.MustParse("aest+" + cls),
+	})
 }
 
 // Fig1a extracts the per-interval elephant-count series of Figure 1(a),

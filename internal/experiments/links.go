@@ -13,6 +13,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scheme"
 	"repro/internal/trace"
 )
 
@@ -129,94 +130,26 @@ func BuildLinks(cfg LinksConfig) (*LinkSet, error) {
 	return ls, nil
 }
 
-// SchemeConfig selects a classification scheme variant.
-type SchemeConfig struct {
-	// UseAest selects the aest detector; otherwise β-constant-load.
-	UseAest bool
-	// Beta is the constant-load target fraction. Default 0.8.
-	Beta float64
-	// Alpha is the EWMA weight. Default 0.5.
-	Alpha float64
-	// LatentHeat enables the two-feature classifier.
-	LatentHeat bool
-	// Window is the latent-heat window in slots. Default 12.
-	Window int
-}
+// PaperSpec parses the paper's headline scheme — 0.8-constant-load
+// detection with the latent-heat classifier — as a fresh, independently
+// mutable spec.
+func PaperSpec() *scheme.Spec { return scheme.MustParse("load+latent") }
 
-func (c *SchemeConfig) defaults() {
-	if c.Beta == 0 {
-		c.Beta = 0.8
-	}
-	if c.Alpha == 0 {
-		c.Alpha = 0.5
-	}
-	if c.Window == 0 {
-		c.Window = 12
-	}
-}
-
-// Name returns the scheme label used in figures, e.g.
-// "aest+latent-heat" or "0.80-constant-load".
-func (c SchemeConfig) Name() string {
-	c.defaults()
-	var base string
-	if c.UseAest {
-		base = "aest"
-	} else {
-		base = fmt.Sprintf("%.2f-constant-load", c.Beta)
-	}
-	if c.LatentHeat {
-		return base + "+latent-heat"
-	}
-	return base
-}
-
-// NewConfig builds a fresh pipeline configuration (detector +
-// classifier instances) for the scheme. Each call returns independent
-// state, so the result can be used as an engine.Link config factory.
-func (c SchemeConfig) NewConfig() (core.Config, error) {
-	c.defaults()
-	var det core.Detector
-	if c.UseAest {
-		det = core.NewAestDetector()
-	} else {
-		d, err := core.NewConstantLoadDetector(c.Beta)
-		if err != nil {
-			return core.Config{}, err
-		}
-		det = d
-	}
-	var cls core.Classifier
-	if c.LatentHeat {
-		lh, err := core.NewLatentHeatClassifier(c.Window)
-		if err != nil {
-			return core.Config{}, err
-		}
-		cls = lh
-	} else {
-		cls = core.SingleFeatureClassifier{}
-	}
-	return core.Config{Detector: det, Alpha: c.Alpha, Classifier: cls}, nil
-}
-
-// Link wraps a series under the scheme as an engine work unit.
-func (c SchemeConfig) Link(id string, series *agg.Series) engine.Link {
-	return engine.Link{ID: id, Series: series, Config: c.NewConfig}
-}
-
-// StreamLink wraps a live record source under the scheme as a streaming
-// engine work unit — the bounded-memory twin of Link.
-func (c SchemeConfig) StreamLink(id string, src agg.RecordSource, start time.Time, interval time.Duration, window int) engine.StreamLink {
-	return engine.StreamLink{ID: id, Source: src, Start: start, Interval: interval, Window: window, Config: c.NewConfig}
-}
-
-// RunScheme classifies every interval of series under the scheme and
-// returns the per-interval results.
-func RunScheme(series *agg.Series, sc SchemeConfig) ([]core.Result, error) {
-	sc.defaults()
-	lr := engine.RunLink(sc.Link(sc.Name(), series))
+// RunScheme classifies every interval of series under the scheme spec
+// and returns the per-interval results. Every registered scheme — the
+// paper's and the baselines alike — runs through the same engine path.
+func RunScheme(series *agg.Series, sp *scheme.Spec) ([]core.Result, error) {
+	lr := engine.RunLink(engine.Link{ID: sp.String(), Series: series, Config: sp.Factory()})
 	if lr.Err != nil {
-		return nil, fmt.Errorf("experiments: scheme %s: %w", sc.Name(), lr.Err)
+		return nil, fmt.Errorf("experiments: scheme %s: %w", sp.Name(), lr.Err)
 	}
 	return lr.Results, nil
+}
+
+// matrixLinks exposes the two evaluation links as engine matrix work.
+func (ls *LinkSet) matrixLinks() []engine.MatrixLink {
+	return []engine.MatrixLink{
+		{ID: "west", Series: ls.West},
+		{ID: "east", Series: ls.East},
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/scheme"
 )
 
 // SamplingRow reports how classification degrades when bandwidths are
@@ -35,14 +36,14 @@ type SamplingRow struct {
 // (flow, interval): the packet count implied by the flow's true
 // bandwidth is thinned binomially, then scaled back up by N — exactly
 // the estimator sampled NetFlow used.
-func SamplingImpact(ls *LinkSet, rates []int, sc SchemeConfig) ([]SamplingRow, error) {
+func SamplingImpact(ls *LinkSet, rates []int, sp *scheme.Spec) ([]SamplingRow, error) {
 	if len(rates) == 0 {
 		rates = []int{1, 10, 100, 1000}
 	}
 	const meanPacketBytes = 550 // backbone mean packet size of the era
 	truth := ls.West
 
-	ref, err := RunScheme(truth, sc)
+	ref, err := RunScheme(truth, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +57,7 @@ func SamplingImpact(ls *LinkSet, rates []int, sc SchemeConfig) ([]SamplingRow, e
 		if n > 1 {
 			series = sampleSeries(truth, n, meanPacketBytes, ls.Cfg.Seed+int64(n))
 		}
-		res, err := RunScheme(series, sc)
+		res, err := RunScheme(series, sp)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sampling 1-in-%d: %w", n, err)
 		}
