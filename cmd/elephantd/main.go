@@ -1,0 +1,138 @@
+// Command elephantd is the live monitoring daemon: it listens for
+// NetFlow v5 datagrams over UDP, demultiplexes them into per-link
+// classification pipelines (exporter source address @ engine ID names
+// a link), and serves the current elephant sets, recent history and
+// Prometheus metrics over HTTP — the paper's classification running
+// resident at a POP instead of over a finite trace.
+//
+// HTTP API:
+//
+//	GET /healthz                liveness + daemon-wide ingest counters
+//	GET /links                  every known link, summarised
+//	GET /links/{id}/elephants   the link's current elephant set
+//	GET /links/{id}/history     recent interval summaries
+//	                            (?n=COUNT limits, ?flows=1 adds sets)
+//	GET /metrics                Prometheus text exposition
+//
+// Flags:
+//
+//	-udp addr       NetFlow v5 listen address (default ":2055")
+//	-http addr      HTTP API listen address (default ":8055")
+//	-table path     BGP table file attributing records to prefixes;
+//	                mutually exclusive with -gen-routes
+//	-gen-routes N   synthesize an N-route table instead of -table
+//	                (demo/smoke mode; pair with cmd/nfreplay -routes N
+//	                -seed S so both sides share the table)
+//	-gen-seed S     seed for -gen-routes (default 1)
+//	-scheme SPEC    classification scheme from the registry
+//	                (default "load+latent"; see -scheme help)
+//	-alpha A        EWMA weight on the previous smoothed threshold
+//	-interval D     measurement interval Δ (default 5m)
+//	-window N       open-interval window override; 0 derives it from
+//	                the scheme's latent-heat lookback
+//	-history N      per-link interval-summary ring (default 288 —
+//	                a day of five-minute slots)
+//	-buffer N       per-link record queue capacity
+//	-grace D        shutdown grace period on SIGINT/SIGTERM (default 10s)
+//
+// Run a self-contained demo:
+//
+//	elephantd -gen-routes 600 -gen-seed 7 -udp 127.0.0.1:2055 -http 127.0.0.1:8055 &
+//	nfreplay -addr 127.0.0.1:2055 -routes 600 -seed 7
+//	curl -s http://127.0.0.1:8055/links
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/scheme"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		udpAddr    = flag.String("udp", ":2055", "NetFlow v5 listen address")
+		httpAddr   = flag.String("http", ":8055", "HTTP API listen address")
+		tablePath  = flag.String("table", "", "BGP table path (or use -gen-routes)")
+		genRoutes  = flag.Int("gen-routes", 0, "synthesize a BGP table with this many routes instead of -table")
+		genSeed    = flag.Int64("gen-seed", 1, "seed for -gen-routes")
+		schemeSpec = flag.String("scheme", "load+latent", scheme.FlagUsage())
+		alpha      = flag.Float64("alpha", scheme.DefaultAlpha, "EWMA weight on the previous smoothed threshold")
+		interval   = flag.Duration("interval", serve.DefaultInterval, "measurement interval")
+		window     = flag.Int("window", 0, "open-interval window (memory bound); 0 derives it from the scheme")
+		history    = flag.Int("history", serve.DefaultHistory, "per-link interval-summary ring capacity")
+		buffer     = flag.Int("buffer", 0, "per-link record queue capacity; 0 selects the engine default")
+		grace      = flag.Duration("grace", 10*time.Second, "graceful shutdown window on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	log.SetPrefix("elephantd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	sp, err := scheme.ParseValidated(*schemeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elephantd:", err)
+		os.Exit(2)
+	}
+	sp.Alpha = *alpha
+
+	table, err := loadTable(*tablePath, *genRoutes, *genSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elephantd:", err)
+		os.Exit(2)
+	}
+
+	d, err := serve.NewDaemon(serve.Config{
+		UDPAddr:  *udpAddr,
+		HTTPAddr: *httpAddr,
+		Table:    table,
+		Scheme:   sp,
+		Interval: *interval,
+		Window:   *window,
+		History:  *history,
+		Buffer:   *buffer,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elephantd:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := d.Run(ctx, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "elephantd:", err)
+		os.Exit(1)
+	}
+}
+
+func loadTable(path string, genRoutes int, genSeed int64) (*bgp.Table, error) {
+	switch {
+	case path != "" && genRoutes > 0:
+		return nil, fmt.Errorf("-table and -gen-routes are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		table, err := bgp.ReadText(bufio.NewReader(f))
+		if err != nil {
+			return nil, fmt.Errorf("reading BGP table: %w", err)
+		}
+		return table, nil
+	case genRoutes > 0:
+		return bgp.Generate(bgp.GenConfig{Routes: genRoutes, Seed: genSeed})
+	default:
+		return nil, fmt.Errorf("a BGP table is required: -table PATH or -gen-routes N")
+	}
+}

@@ -38,6 +38,17 @@
 // to batch classification on the same records; streaming_test.go pins
 // that contract on all three substrates.
 //
+// The streaming stack also runs resident: internal/serve is a live
+// monitoring daemon (cmd/elephantd) that collects NetFlow v5 datagrams
+// on a UDP socket, demultiplexes them by exporter into long-lived
+// per-link pipelines (engine.LivePipeline), and answers "who are the
+// elephants right now" over HTTP — current sets, a ring of recent
+// interval summaries, and Prometheus metrics — with graceful drain on
+// shutdown. cmd/nfreplay feeds it synthetic traffic through the
+// router-model flow cache for demos and smoke tests, and a loopback
+// test pins that what the API serves equals what the batch pipeline
+// computes from the same datagrams.
+//
 // Everything the methodology needs to run is implemented here as
 // well: a layered packet decoder/serializer (internal/packet), a pcap
 // file reader/writer (internal/pcap), a BGP table with longest-prefix

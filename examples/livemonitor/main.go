@@ -18,11 +18,26 @@
 // Run with:
 //
 //	go run ./examples/livemonitor
+//
+// With -daemon the example becomes a client of a running elephantd
+// instead: it fetches every link from the daemon's HTTP API and renders
+// each link's /history as ASCII charts (load and elephant count over
+// the retained intervals) plus the current elephant set — a terminal
+// dashboard over the serving subsystem:
+//
+//	elephantd -gen-routes 600 -gen-seed 7 -udp 127.0.0.1:2055 -http 127.0.0.1:8055 &
+//	nfreplay -addr 127.0.0.1:2055 -routes 600 -seed 7 -intervals 20
+//	go run ./examples/livemonitor -daemon http://127.0.0.1:8055
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/url"
+	"os"
 	"sort"
 	"time"
 
@@ -30,11 +45,126 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/report"
 	"repro/internal/scheme"
 	"repro/internal/trace"
 )
 
 func main() {
+	daemon := flag.String("daemon", "", "base URL of a running elephantd (e.g. http://127.0.0.1:8055); empty runs the in-process demo")
+	flag.Parse()
+	if *daemon != "" {
+		if err := monitorDaemon(*daemon); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	runLocal()
+}
+
+// linkSummary, intervalSummary and elephantsPage mirror the daemon's
+// JSON shapes (only the fields the dashboard renders).
+type linkSummary struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+type intervalSummary struct {
+	Interval     int     `json:"interval"`
+	TotalLoadBps float64 `json:"total_load_bps"`
+	Elephants    int     `json:"elephants"`
+	LoadFraction float64 `json:"load_fraction"`
+	Promoted     int     `json:"promoted"`
+	Demoted      int     `json:"demoted"`
+}
+
+type historyPage struct {
+	Entries []intervalSummary `json:"entries"`
+}
+
+type elephantsPage struct {
+	Interval     int      `json:"interval"`
+	ThresholdBps float64  `json:"threshold_bps"`
+	Flows        []string `json:"flows"`
+}
+
+// monitorDaemon renders one dashboard pass over a running elephantd.
+func monitorDaemon(base string) error {
+	var links []linkSummary
+	if err := getJSON(base+"/links", &links); err != nil {
+		return err
+	}
+	if len(links) == 0 {
+		fmt.Println("daemon knows no links yet — point an exporter (e.g. cmd/nfreplay) at its UDP port")
+		return nil
+	}
+	for _, l := range links {
+		if l.Error != "" {
+			fmt.Printf("link %s: FAILED: %s\n\n", l.ID, l.Error)
+			continue
+		}
+		var hist historyPage
+		if err := getJSON(base+"/links/"+url.PathEscape(l.ID)+"/history", &hist); err != nil {
+			return err
+		}
+		if len(hist.Entries) == 0 {
+			fmt.Printf("link %s: no closed intervals yet\n\n", l.ID)
+			continue
+		}
+		load := make([]float64, len(hist.Entries))
+		count := make([]float64, len(hist.Entries))
+		churn := make([]float64, len(hist.Entries))
+		for i, e := range hist.Entries {
+			load[i] = e.TotalLoadBps / 1e6
+			count[i] = float64(e.Elephants)
+			churn[i] = float64(e.Promoted + e.Demoted)
+		}
+		if err := report.Chart(os.Stdout, report.ChartConfig{
+			Width: 64, Height: 10,
+			Title:  fmt.Sprintf("link %s — last %d intervals", l.ID, len(hist.Entries)),
+			XLabel: "interval",
+		}, report.Series{Label: "load Mb/s", Values: load}); err != nil {
+			return err
+		}
+		if err := report.Chart(os.Stdout, report.ChartConfig{
+			Width: 64, Height: 8,
+			XLabel: "interval",
+		}, report.Series{Label: "elephants", Values: count}); err != nil {
+			return err
+		}
+		fmt.Printf("churn (promoted+demoted): %s\n", report.Sparkline(churn))
+
+		var cur elephantsPage
+		if err := getJSON(base+"/links/"+url.PathEscape(l.ID)+"/elephants", &cur); err != nil {
+			return err
+		}
+		fmt.Printf("current elephants (interval %d, θ̂ = %.3f Mb/s): %d flows\n",
+			cur.Interval, cur.ThresholdBps/1e6, len(cur.Flows))
+		for i, f := range cur.Flows {
+			if i == 10 {
+				fmt.Printf("  … %d more\n", len(cur.Flows)-10)
+				break
+			}
+			fmt.Printf("  %s\n", f)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func runLocal() {
 	table, err := bgp.Generate(bgp.GenConfig{Routes: 4000, Seed: 11})
 	if err != nil {
 		log.Fatal(err)

@@ -336,6 +336,60 @@ func TestStreamOpenStats(t *testing.T) {
 	}
 }
 
+// TestStreamStatsCounters is the regression pin on the Stats() counter
+// contract the serving daemon exposes in its /metrics endpoint: one
+// deterministic record sequence exercising every StreamStats field, with
+// the whole struct asserted at once so a counter silently changing
+// meaning (or a new drop path forgetting to count) fails loudly.
+func TestStreamStatsCounters(t *testing.T) {
+	iv := time.Minute
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 2, MaxGap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		rec  Record
+		want StreamStats
+	}{
+		// In-window point record.
+		{Record{Prefix: pfxA, Time: start, Bits: 600},
+			StreamStats{Records: 1, InWindow: 1}},
+		// Entirely before the stream origin.
+		{Record{Prefix: pfxA, Time: start.Add(-iv), Bits: 600},
+			StreamStats{Records: 2, InWindow: 1, Late: 1, LateBits: 600}},
+		// Advances the window: closes interval 0, evicting its one flow.
+		{Record{Prefix: pfxB, Time: start.Add(2 * iv), Bits: 8},
+			StreamStats{Records: 3, InWindow: 2, Late: 1, LateBits: 600, Closed: 1, EvictedFlows: 1}},
+		// Wholly behind the closed edge.
+		{Record{Prefix: pfxA, Time: start.Add(10 * time.Second), Bits: 100},
+			StreamStats{Records: 4, InWindow: 2, Late: 2, LateBits: 700, Closed: 1, EvictedFlows: 1}},
+		// Span record clipped by the closed edge: 30 of 90 seconds (300
+		// of 900 bits) fall into closed interval 0, the rest lands.
+		{Record{Prefix: pfxA, Time: start.Add(30 * time.Second), Span: 90 * time.Second, Bits: 900},
+			StreamStats{Records: 5, InWindow: 3, Late: 2, LateBits: 1000, Closed: 1, EvictedFlows: 1}},
+		// Corrupted far-future timestamp: beyond maxTouched+MaxGap.
+		{Record{Prefix: pfxA, Time: start.Add(7 * iv), Bits: 8},
+			StreamStats{Records: 6, InWindow: 3, Late: 2, LateBits: 1000, FarFuture: 1, Closed: 1, EvictedFlows: 1}},
+	}
+	for i, st := range steps {
+		if err := acc.Add(st.rec); err != nil {
+			t.Fatal(err)
+		}
+		if got := acc.Stats(); got != st.want {
+			t.Errorf("after record %d: Stats() = %+v, want %+v", i, got, st.want)
+		}
+	}
+	// Flush closes intervals 1 and 2 (through the last bit-carrying
+	// interval), evicting one flow from each.
+	if err := acc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := StreamStats{Records: 6, InWindow: 3, Late: 2, LateBits: 1000, FarFuture: 1, Closed: 3, EvictedFlows: 3}
+	if got := acc.Stats(); got != want {
+		t.Errorf("after flush: Stats() = %+v, want %+v", got, want)
+	}
+}
+
 // TestStreamEvictionBoundsMemory: closing intervals releases their flow
 // rows; the ring never holds more than Window columns.
 func TestStreamEvictionBoundsMemory(t *testing.T) {

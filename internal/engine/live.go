@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+// DefaultLiveBuffer is the default Send queue capacity of a
+// LivePipeline — enough to absorb a burst of decoded NetFlow records
+// (a full v5 datagram is 30) without the producer blocking, small
+// enough that backpressure reaches the producer before memory does.
+const DefaultLiveBuffer = 1024
+
+// LiveLink configures one long-lived streaming link. It is the
+// resident-daemon counterpart of StreamLink: where a StreamLink drains
+// a finite RecordSource to completion, a LiveLink accepts records
+// pushed from the outside (a UDP ingest loop) for as long as the
+// process lives, delivering classification results through a hook as
+// intervals close.
+type LiveLink struct {
+	// ID names the link in errors.
+	ID string
+	// Start is the left edge of interval 0; the zero value aligns to
+	// the first record.
+	Start time.Time
+	// Interval is the measurement interval Δ. Required.
+	Interval time.Duration
+	// Window is the accumulator's open-interval count (0 selects
+	// agg.DefaultStreamWindow). Size it to the source's
+	// out-of-orderness — e.g. a NetFlow active timeout.
+	Window int
+	// Buffer is the Send queue capacity; 0 selects DefaultLiveBuffer.
+	Buffer int
+	// Config returns a fresh pipeline configuration for this link —
+	// the same fresh-instances-per-link determinism contract as every
+	// other engine mode.
+	Config func() (core.Config, error)
+	// OnResult receives each closed interval's classification in order:
+	// the interval index, its left-edge wall time (from the
+	// accumulator's resolved anchor — the configured Start, or the
+	// first record when aligning automatically) and the accumulator's
+	// counters as of that close. It runs on the link's worker
+	// goroutine; an error fails the link. Required.
+	OnResult func(t int, at time.Time, res core.Result, stats agg.StreamStats) error
+}
+
+// LivePipeline is a long-lived per-link classification pipeline: a
+// private worker goroutine owns a StreamAccumulator and a
+// core.Pipeline, consuming records pushed via Send and firing OnResult
+// as intervals close. The single-consumer design is what carries the
+// engine's determinism contract into a resident daemon: all accumulator
+// and pipeline state is confined to the worker, so a LivePipeline fed a
+// record sequence produces exactly the results RunStreamLink would
+// produce from a source yielding the same sequence — regardless of how
+// many producer goroutines exist upstream of Send.
+//
+// Lifecycle: NewLivePipeline starts the worker; Send pushes records
+// (blocking when the buffer is full — backpressure, not drops); Close
+// flushes the accumulator (closing every interval through the last one
+// carrying bits, exactly like end-of-stream flush in run-to-completion
+// mode) and waits for the worker to exit. Send and Close must not be
+// called concurrently with each other; after a failure Send returns the
+// link's error and drops the record.
+type LivePipeline struct {
+	id string
+	ch chan agg.Record
+
+	done      chan struct{} // closed when the worker has exited
+	closeOnce sync.Once
+	closeErr  error
+
+	mu  sync.Mutex
+	err error
+
+	// Worker-owned; read by other goroutines only after done is closed
+	// (Stats, Dropped) — the channel close/receive pair orders those
+	// accesses.
+	acc     *agg.StreamAccumulator
+	dropped uint64
+}
+
+// NewLivePipeline validates the link, builds its private accumulator
+// and pipeline, and starts the worker.
+func NewLivePipeline(l LiveLink) (*LivePipeline, error) {
+	pipe, err := newPipeline(l.ID, l.Config)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := agg.NewStreamAccumulator(agg.StreamConfig{
+		Start:    l.Start,
+		Interval: l.Interval,
+		Window:   l.Window,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: link %q: %w", l.ID, err)
+	}
+	if l.OnResult == nil {
+		return nil, fmt.Errorf("engine: link %q: nil OnResult", l.ID)
+	}
+	buffer := l.Buffer
+	if buffer <= 0 {
+		buffer = DefaultLiveBuffer
+	}
+	p := &LivePipeline{
+		id:   l.ID,
+		ch:   make(chan agg.Record, buffer),
+		done: make(chan struct{}),
+		acc:  acc,
+	}
+	onResult := l.OnResult
+	acc.Emit = func(t int, snap *core.FlowSnapshot) error {
+		res, err := pipe.StepSnapshot(t, snap)
+		if err != nil {
+			return err
+		}
+		return onResult(t, acc.IntervalTime(t), res, acc.Stats())
+	}
+	go p.run()
+	return p, nil
+}
+
+// run is the worker: consume until the channel closes, then flush. On
+// a mid-stream failure it keeps draining (and dropping) so producers
+// blocked in Send are released rather than wedged forever.
+func (p *LivePipeline) run() {
+	defer close(p.done)
+	for rec := range p.ch {
+		if err := p.acc.Add(rec); err != nil {
+			p.setErr(fmt.Errorf("engine: link %q: %w", p.id, err))
+			// Drain to unblock producers. Everything still queued —
+			// including records a Send slipped in before observing the
+			// error — is discarded and counted, so the producer can
+			// reconcile its accounting after Close. (The triggering
+			// record itself reached the accumulator and is already in
+			// its Stats.)
+			for range p.ch {
+				p.dropped++
+			}
+			return
+		}
+	}
+	if err := p.acc.Flush(); err != nil {
+		p.setErr(fmt.Errorf("engine: link %q: flush: %w", p.id, err))
+	}
+}
+
+// Send pushes one record into the link, blocking when the buffer is
+// full. After the link has failed, Send drops the record and returns
+// the failure. Must not be called after (or concurrently with) Close.
+func (p *LivePipeline) Send(rec agg.Record) error {
+	if err := p.Err(); err != nil {
+		return err
+	}
+	p.ch <- rec
+	return nil
+}
+
+// Close flushes remaining open intervals, stops the worker and returns
+// the link's first error (nil for a clean run). Safe to call more than
+// once; later calls return the first call's result.
+func (p *LivePipeline) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.ch)
+		<-p.done
+		p.closeErr = p.Err()
+	})
+	return p.closeErr
+}
+
+// Err returns the link's first failure, nil while healthy. A failed
+// link stays failed: the pipeline's interval sequence is broken and a
+// fresh LivePipeline is the only way forward.
+func (p *LivePipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *LivePipeline) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns the accumulator's final counters. Valid only after
+// Close has returned; calling it earlier would race the worker.
+func (p *LivePipeline) Stats() agg.StreamStats {
+	select {
+	case <-p.done:
+		return p.acc.Stats()
+	default:
+		panic("engine: LivePipeline.Stats before Close")
+	}
+}
+
+// Dropped returns the number of records that were accepted by Send but
+// discarded before reaching the accumulator when the link failed
+// (everything queued behind the record that triggered the failure), so
+// a producer can reconcile its accounting: Stats().Records + Dropped()
+// equals the records accepted. Zero for a healthy link. Valid only
+// after Close has returned.
+func (p *LivePipeline) Dropped() uint64 {
+	select {
+	case <-p.done:
+		return p.dropped
+	default:
+		panic("engine: LivePipeline.Dropped before Close")
+	}
+}

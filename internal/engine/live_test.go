@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+// TestLivePipelineMatchesRunStreamLink: pushing a record sequence
+// through a long-lived LivePipeline must produce exactly the results
+// run-to-completion streaming produces from a source yielding the same
+// sequence — the determinism contract extended to the resident-daemon
+// shape. Run with -race: the producer goroutine here crosses the Send
+// boundary the way the daemon's UDP loop does.
+func TestLivePipelineMatchesRunStreamLink(t *testing.T) {
+	recs := seriesRecords(synthSeries(42, 150, 24))
+
+	want := RunStreamLink(StreamLink{
+		ID:       "live",
+		Source:   &sliceSource{recs: recs},
+		Start:    start,
+		Interval: 5 * time.Minute,
+		Config:   schemeConfig,
+	})
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	var got []core.Result
+	var lastStats agg.StreamStats
+	lp, err := NewLivePipeline(LiveLink{
+		ID:       "live",
+		Start:    start,
+		Interval: 5 * time.Minute,
+		Buffer:   8, // small buffer so Send exercises backpressure
+		Config:   schemeConfig,
+		OnResult: func(tt int, at time.Time, res core.Result, stats agg.StreamStats) error {
+			if tt != len(got) {
+				t.Errorf("result for interval %d, want %d (in order, gap-free)", tt, len(got))
+			}
+			got = append(got, res)
+			lastStats = stats
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		for _, rec := range recs {
+			if err := lp.Send(rec); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Results) {
+		t.Fatalf("live results diverge from run-to-completion streaming: %d vs %d intervals", len(got), len(want.Results))
+	}
+	st := lp.Stats()
+	if st.Records != uint64(len(recs)) || st.Late != 0 || st.FarFuture != 0 {
+		t.Errorf("final stats = %+v, want %d records, no drops", st, len(recs))
+	}
+	if lastStats.Closed != st.Closed {
+		t.Errorf("OnResult stats lag: last close saw %d closed, final %d", lastStats.Closed, st.Closed)
+	}
+}
+
+// TestLivePipelineFailureReleasesProducer: a mid-stream failure must
+// fail the link, release producers blocked in Send, and keep reporting
+// the first error.
+func TestLivePipelineFailureReleasesProducer(t *testing.T) {
+	boom := errors.New("boom")
+	fired := 0
+	lp, err := NewLivePipeline(LiveLink{
+		ID:       "flaky",
+		Start:    start,
+		Interval: time.Minute,
+		Window:   1,
+		Buffer:   1,
+		Config:   schemeConfig,
+		OnResult: func(tt int, at time.Time, res core.Result, stats agg.StreamStats) error {
+			fired++
+			return boom
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := seriesRecords(synthSeries(7, 64, 4))
+	var sendErr error
+	sent := 0
+	for _, rec := range recs {
+		if sendErr = lp.Send(rec); sendErr != nil {
+			break
+		}
+		sent++
+	}
+	// Whether or not a Send observed the failure in flight, Close must
+	// surface it.
+	if err := lp.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want boom", err)
+	}
+	// Every accepted record is accounted for: it reached the
+	// accumulator or was counted as dropped by the failure drain. (How
+	// the sent records split between the two depends on queue timing.)
+	if got := lp.Stats().Records + lp.Dropped(); got != uint64(sent) {
+		t.Errorf("accumulated %d + dropped %d != %d sent", lp.Stats().Records, lp.Dropped(), sent)
+	}
+	if sendErr != nil && !errors.Is(sendErr, boom) {
+		t.Errorf("Send = %v, want boom", sendErr)
+	}
+	if fired != 1 {
+		t.Errorf("OnResult fired %d times after failing, want 1", fired)
+	}
+	if err := lp.Close(); !errors.Is(err, boom) {
+		t.Errorf("second Close = %v, want boom", err)
+	}
+}
+
+func TestLivePipelineValidation(t *testing.T) {
+	ok := func(tt int, at time.Time, res core.Result, stats agg.StreamStats) error { return nil }
+	if _, err := NewLivePipeline(LiveLink{ID: "x", Interval: time.Minute, Config: schemeConfig}); err == nil {
+		t.Error("nil OnResult accepted")
+	}
+	if _, err := NewLivePipeline(LiveLink{ID: "x", Config: schemeConfig, OnResult: ok}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewLivePipeline(LiveLink{ID: "x", Interval: time.Minute, OnResult: ok}); err == nil {
+		t.Error("nil config factory accepted")
+	}
+}
+
+func TestLivePipelineStatsBeforeClose(t *testing.T) {
+	lp, err := NewLivePipeline(LiveLink{
+		ID: "x", Interval: time.Minute, Config: schemeConfig,
+		OnResult: func(int, time.Time, core.Result, agg.StreamStats) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Stats before Close did not panic")
+			}
+		}()
+		lp.Stats()
+	}()
+	if err := lp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := lp.Stats(); st.Records != 0 || st.Closed != 0 {
+		t.Errorf("empty link stats = %+v", st)
+	}
+}

@@ -49,7 +49,7 @@ func (c *Collector) AddDatagram(d *Datagram) {
 
 func (c *Collector) addRecord(h Header, r Record) {
 	c.Stats.Records++
-	rec, ok := attribute(c.table, h, r)
+	rec, ok := Attribute(c.table, h, r)
 	if !ok {
 		c.Stats.Unrouted++
 		return
@@ -61,9 +61,13 @@ func (c *Collector) addRecord(h Header, r Record) {
 	}
 }
 
-// attribute longest-prefix matches one v5 record and normalises it to
-// the unified agg.Record form (a point record for degenerate spans).
-func attribute(table *bgp.Table, h Header, r Record) (agg.Record, bool) {
+// Attribute longest-prefix matches one v5 record and normalises it to
+// the unified agg.Record form (a point record for degenerate spans),
+// reporting false for unrouted destinations. It is the single
+// record→flow attribution step shared by the batch Collector, the
+// streaming RecordSource and the serving daemon's UDP ingest, so every
+// ingest path classifies identical traffic identically.
+func Attribute(table *bgp.Table, h Header, r Record) (agg.Record, bool) {
 	route, ok := table.Lookup(r.DstAddr)
 	if !ok {
 		return agg.Record{}, false

@@ -12,10 +12,19 @@ package netflow
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net/netip"
 	"time"
 )
+
+// ErrCountMismatch reports a datagram whose header record count
+// disagrees with the payload length — a truncated export, a corrupted
+// count field, or trailing garbage after the last record. Decode wraps
+// it with the observed sizes; match with errors.Is. A collector should
+// drop the whole datagram (record boundaries cannot be trusted) and
+// count it as a decode error rather than guessing.
+var ErrCountMismatch = errors.New("netflow: header count disagrees with payload length")
 
 // Version is the only NetFlow version this package speaks.
 const Version = 5
@@ -141,8 +150,8 @@ func Decode(data []byte) (*Datagram, error) {
 	if n == 0 || n > MaxRecordsPerDatagram {
 		return nil, fmt.Errorf("netflow: record count %d out of range", n)
 	}
-	if want := HeaderLen + n*RecordLen; len(data) < want {
-		return nil, fmt.Errorf("netflow: %d bytes for %d records, want %d", len(data), n, want)
+	if want := HeaderLen + n*RecordLen; len(data) != want {
+		return nil, fmt.Errorf("%w: %d bytes for %d records, want %d", ErrCountMismatch, len(data), n, want)
 	}
 	d.Records = make([]Record, n)
 	for i := 0; i < n; i++ {

@@ -1,6 +1,7 @@
 package netflow
 
 import (
+	"errors"
 	"net/netip"
 	"testing"
 	"time"
@@ -102,6 +103,44 @@ func TestDecodeValidation(t *testing.T) {
 	bad2[3] = 5 // count 5, but only 1 record present
 	if _, err := Decode(bad2); err == nil {
 		t.Error("overclaimed count accepted")
+	}
+}
+
+func TestDecodeCountMismatch(t *testing.T) {
+	one, _ := (&Datagram{Header: Header{Count: 1}, Records: []Record{sampleRecord()}}).Encode(nil)
+	two, _ := (&Datagram{Header: Header{Count: 2}, Records: []Record{sampleRecord(), sampleRecord()}}).Encode(nil)
+	countOne := append([]byte(nil), two...)
+	countOne[3] = 1 // payload holds two records, header claims one
+
+	cases := []struct {
+		name     string
+		data     []byte
+		wantErr  bool
+		mismatch bool // errors.Is(err, ErrCountMismatch)
+	}{
+		{"exact single record", one, false, false},
+		{"exact two records", two, false, false},
+		{"truncated mid-record", one[:HeaderLen+10], true, true},
+		{"trailing garbage", append(append([]byte(nil), one...), 0xde, 0xad), true, true},
+		{"count claims two, one present", two[:HeaderLen+RecordLen], true, true},
+		{"payload holds two, count says one", countOne, true, true},
+		{"shorter than header", one[:HeaderLen-4], true, false}, // distinct short-datagram error
+	}
+	for _, tc := range cases {
+		d, err := Decode(tc.data)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: Decode error = %v, want error %v", tc.name, err, tc.wantErr)
+			continue
+		}
+		if err == nil {
+			if int(d.Header.Count) != len(d.Records) {
+				t.Errorf("%s: count %d != %d records", tc.name, d.Header.Count, len(d.Records))
+			}
+			continue
+		}
+		if got := errors.Is(err, ErrCountMismatch); got != tc.mismatch {
+			t.Errorf("%s: errors.Is(err, ErrCountMismatch) = %v, want %v (err: %v)", tc.name, got, tc.mismatch, err)
+		}
 	}
 }
 

@@ -52,7 +52,7 @@ func (s *RecordSource) Next() (agg.Record, error) {
 			h, r := s.cur.Header, s.cur.Records[s.next]
 			s.next++
 			s.Stats.Records++
-			rec, ok := attribute(s.table, h, r)
+			rec, ok := Attribute(s.table, h, r)
 			if !ok {
 				s.Stats.Unrouted++
 				continue

@@ -11,15 +11,17 @@ import (
 var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
 
 // Sparkline renders a one-line miniature chart of xs. Values are scaled
-// to the series' own [min, max]; NaNs render as spaces. An empty series
-// yields an empty string.
+// to the series' own [min, max]; non-finite values (NaN, ±Inf) render
+// as spaces — an Inf must not stretch the scale to where every finite
+// value collapses onto one glyph. An empty series yields an empty
+// string.
 func Sparkline(xs []float64) string {
 	if len(xs) == 0 {
 		return ""
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, x := range xs {
-		if math.IsNaN(x) {
+		if !isFinite(x) {
 			continue
 		}
 		if x < lo {
@@ -29,13 +31,13 @@ func Sparkline(xs []float64) string {
 			hi = x
 		}
 	}
-	if math.IsInf(lo, 1) { // all NaN
+	if math.IsInf(lo, 1) { // no finite values
 		return strings.Repeat(" ", len(xs))
 	}
 	span := hi - lo
 	var sb strings.Builder
 	for _, x := range xs {
-		if math.IsNaN(x) {
+		if !isFinite(x) {
 			sb.WriteByte(' ')
 			continue
 		}
@@ -208,7 +210,13 @@ func Chart(w io.Writer, cfg ChartConfig, series ...Series) error {
 	return nil
 }
 
+// transform maps a raw value to plot space: non-finite values become
+// NaN (skipped by every consumer — Inf must not infect the y range),
+// and LogY takes log10, with zeros and negatives also mapped to NaN.
 func transform(v float64, logY bool) float64 {
+	if !isFinite(v) {
+		return math.NaN()
+	}
 	if !logY {
 		return v
 	}
@@ -216,4 +224,9 @@ func transform(v float64, logY bool) float64 {
 		return math.NaN()
 	}
 	return math.Log10(v)
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair. Samples carry labels as an
+// ordered slice — the writer renders them in the order given, so a
+// caller emitting the same label order every scrape produces
+// byte-stable output.
+type Label struct {
+	Name, Value string
+}
+
+// MetricsWriter renders metrics in the Prometheus text exposition
+// format (version 0.0.4), the lingua franca of pull-based monitoring.
+// It is deliberately minimal — families and samples are written in call
+// order, label values are escaped per the format — so a daemon can
+// expose counters and gauges without importing a client library.
+//
+// Errors are sticky: the first write error is retained and every later
+// call is a no-op, letting a handler render the whole page and check
+// Err once.
+type MetricsWriter struct {
+	w       io.Writer
+	err     error
+	started map[string]bool
+}
+
+// NewMetricsWriter returns a writer rendering to w.
+func NewMetricsWriter(w io.Writer) *MetricsWriter {
+	return &MetricsWriter{w: w, started: make(map[string]bool)}
+}
+
+// Family emits the # HELP and # TYPE preamble for a metric family.
+// typ is "counter", "gauge", "histogram", "summary" or "untyped".
+// Emitting the same family twice is an error (the format forbids
+// repeated metadata).
+func (m *MetricsWriter) Family(name, help, typ string) {
+	if m.err != nil {
+		return
+	}
+	if m.started[name] {
+		m.err = fmt.Errorf("report: metric family %q emitted twice", name)
+		return
+	}
+	m.started[name] = true
+	_, m.err = fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample line, "name{labels} value". Call after the
+// sample's Family; samples of one family must be contiguous.
+func (m *MetricsWriter) Sample(name string, labels []Label, v float64) {
+	if m.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatSample(v))
+	sb.WriteByte('\n')
+	_, m.err = io.WriteString(m.w, sb.String())
+}
+
+// Err returns the first error any call hit, nil if all writes landed.
+func (m *MetricsWriter) Err() error { return m.err }
+
+// formatSample renders a sample value: integral values without an
+// exponent (counters stay readable), everything else in Go's shortest
+// round-trip form, which the Prometheus parser accepts (including NaN
+// and ±Inf spellings).
+func formatSample(v float64) string {
+	// The int64 conversion is only defined in range; 2^53 bounds where
+	// float64 holds exact integers anyway.
+	if v >= -1<<53 && v <= 1<<53 && v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string {
+	return labelEscaper.Replace(s)
+}
+
+// escapeHelp escapes help text: backslash and newline (quotes are legal
+// there).
+func escapeHelp(s string) string {
+	return helpEscaper.Replace(s)
+}
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMetricsWriterRendering(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetricsWriter(&buf)
+	m.Family("daemon_datagrams_total", "Datagrams received.", "counter")
+	m.Sample("daemon_datagrams_total", nil, 42)
+	m.Family("daemon_link_load_bps", "Per-link load.", "gauge")
+	m.Sample("daemon_link_load_bps", []Label{{"link", "10.0.0.1@0"}}, 1.5e6)
+	m.Sample("daemon_link_load_bps", []Label{{"link", "10.0.0.2@1"}, {"scheme", "load+latent"}}, 0.25)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP daemon_datagrams_total Datagrams received.
+# TYPE daemon_datagrams_total counter
+daemon_datagrams_total 42
+# HELP daemon_link_load_bps Per-link load.
+# TYPE daemon_link_load_bps gauge
+daemon_link_load_bps{link="10.0.0.1@0"} 1500000
+daemon_link_load_bps{link="10.0.0.2@1",scheme="load+latent"} 0.25
+`
+	if got := buf.String(); got != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMetricsWriterEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetricsWriter(&buf)
+	m.Family("m", "help with \\ and\nnewline", "gauge")
+	m.Sample("m", []Label{{"l", "quote\" slash\\ nl\n"}}, 1)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `help with \\ and\nnewline`) {
+		t.Errorf("help not escaped: %q", out)
+	}
+	if !strings.Contains(out, `l="quote\" slash\\ nl\n"`) {
+		t.Errorf("label not escaped: %q", out)
+	}
+	if strings.Count(out, "\n") != 3 { // HELP, TYPE, sample — no raw newlines leaked
+		t.Errorf("raw newline leaked into output: %q", out)
+	}
+}
+
+func TestMetricsWriterDuplicateFamily(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetricsWriter(&buf)
+	m.Family("m", "h", "counter")
+	m.Family("m", "h", "counter")
+	if m.Err() == nil {
+		t.Error("duplicate family accepted")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+func TestMetricsWriterStickyError(t *testing.T) {
+	m := NewMetricsWriter(failWriter{})
+	m.Family("m", "h", "counter")
+	err := m.Err()
+	if err == nil {
+		t.Fatal("write error not surfaced")
+	}
+	m.Sample("m", nil, 1) // must not panic or overwrite the error
+	if m.Err() != err {
+		t.Error("first error not sticky")
+	}
+}
+
+func TestFormatSample(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{-7, "-7"},
+		{1 << 53, "9007199254740992"},
+		{0.25, "0.25"},
+		{1.5e6, "1500000"},
+		{1e300, "1e+300"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	}
+	for _, tc := range cases {
+		if got := formatSample(tc.v); got != tc.want {
+			t.Errorf("formatSample(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if got := formatSample(math.NaN()); got != "NaN" {
+		t.Errorf("formatSample(NaN) = %q", got)
+	}
+}

@@ -95,6 +95,27 @@ func TestSparklineConstantAndNaN(t *testing.T) {
 	}
 }
 
+func TestSparklineEdgeCases(t *testing.T) {
+	// Single point: constant series, one glyph, no divide-by-zero.
+	if s := Sparkline([]float64{3.5}); utf8.RuneCountInString(s) != 1 {
+		t.Errorf("single point = %q, want one glyph", s)
+	}
+	// ±Inf renders as space and must not stretch the scale: the finite
+	// values still span the full glyph range.
+	s := Sparkline([]float64{math.Inf(1), 0, 10, math.Inf(-1)})
+	runes := []rune(s)
+	if len(runes) != 4 || runes[0] != ' ' || runes[3] != ' ' {
+		t.Errorf("Inf not rendered as space: %q", s)
+	}
+	if runes[1] != '▁' || runes[2] != '█' {
+		t.Errorf("finite values not scaled to their own range: %q", s)
+	}
+	// All non-finite: all spaces.
+	if s := Sparkline([]float64{math.Inf(1), math.NaN()}); s != "  " {
+		t.Errorf("all-non-finite = %q", s)
+	}
+}
+
 func TestChartBasics(t *testing.T) {
 	var buf bytes.Buffer
 	err := Chart(&buf, ChartConfig{Width: 40, Height: 8, Title: "demo", XLabel: "time"},
@@ -144,6 +165,58 @@ func TestChartEmptySeries(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Chart(&buf, ChartConfig{}, Series{Label: "none"}); err != nil {
 		t.Fatalf("empty series: %v", err)
+	}
+	buf.Reset()
+	// No series at all: an empty grid with the fallback 0..1 axis.
+	if err := Chart(&buf, ChartConfig{Width: 10, Height: 3}); err != nil {
+		t.Fatalf("no series: %v", err)
+	}
+	if !strings.Contains(buf.String(), "|") {
+		t.Error("no-series chart lost its plot rows")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, ChartConfig{Width: 10, Height: 4},
+		Series{Label: "one", Values: []float64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("single point not plotted:\n%s", buf.String())
+	}
+}
+
+func TestChartNaNInf(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, ChartConfig{Width: 8, Height: 4},
+		Series{Label: "noisy", Values: []float64{1, math.NaN(), math.Inf(1), 2, math.Inf(-1), 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Finite values still plot, and the axis range is taken from them
+	// alone — an Inf leaking into the scale would print an Inf label.
+	if !strings.Contains(out, "*") {
+		t.Errorf("finite values not plotted:\n%s", out)
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("non-finite leaked into the axis:\n%s", out)
+	}
+}
+
+func TestChartAllNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	err := Chart(&buf, ChartConfig{Width: 8, Height: 4},
+		Series{Label: "void", Values: []float64{math.NaN(), math.Inf(1), math.Inf(-1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			t.Errorf("non-finite values plotted:\n%s", buf.String())
+		}
 	}
 }
 

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netflow"
+	"repro/internal/scheme"
+)
+
+// DefaultInterval is the paper's measurement interval Δ.
+const DefaultInterval = 5 * time.Minute
+
+// DefaultReadBuffer is the UDP socket receive-buffer request: large
+// enough to ride out an exporter's burst while a pipeline worker is
+// closing an interval.
+const DefaultReadBuffer = 1 << 22
+
+// drainGrace is how long DrainIngest keeps reading an idle socket
+// before concluding the kernel buffer is empty.
+const drainGrace = 100 * time.Millisecond
+
+// Config assembles a Daemon.
+type Config struct {
+	// UDPAddr is the NetFlow v5 listen address, e.g. ":2055". Required.
+	UDPAddr string
+	// HTTPAddr is the query/metrics API listen address. Required.
+	HTTPAddr string
+	// Table routes record destinations to BGP prefixes. Required.
+	Table *bgp.Table
+	// Scheme is the classification scheme every link runs. Required.
+	Scheme *scheme.Spec
+	// Interval is the measurement interval Δ; 0 selects
+	// DefaultInterval.
+	Interval time.Duration
+	// Window is the per-link accumulator's open-interval count; 0
+	// derives it from the scheme via engine.StreamWindow.
+	Window int
+	// Start anchors interval 0 for every link. The zero value aligns
+	// each link's interval 0 to its own first record — the usual live
+	// deployment; a fixed Start makes intervals comparable across links
+	// (and reproducible in tests).
+	Start time.Time
+	// History is the per-link summary ring capacity; 0 selects
+	// DefaultHistory.
+	History int
+	// Buffer is the per-link record queue capacity; 0 selects
+	// engine.DefaultLiveBuffer.
+	Buffer int
+	// ReadBuffer is the UDP receive-buffer size to request; 0 selects
+	// DefaultReadBuffer.
+	ReadBuffer int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// liveLink pairs a link's pipeline with its store entry. Only the
+// ingest loop touches the map holding these; the state inside is
+// concurrency-safe.
+type liveLink struct {
+	state *LinkState
+	lp    *engine.LivePipeline
+}
+
+// Daemon is the live monitoring process: a UDP NetFlow v5 collector
+// demultiplexing datagrams into per-link classification pipelines, a
+// sharded state store, and an HTTP query/metrics API. See the package
+// documentation for the lifecycle.
+type Daemon struct {
+	cfg   Config
+	store *Store
+
+	udp     *net.UDPConn
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	// links is owned by the ingest loop; DrainIngest reads it only
+	// after the loop has exited (ordered by loopDone).
+	links    map[string]*liveLink
+	loopDone chan struct{}
+	httpDone chan struct{}
+	httpErr  error
+
+	draining atomic.Bool
+	started  time.Time
+
+	// Daemon-wide ingest counters. Decode errors are counted here (a
+	// malformed datagram cannot be attributed to a link), as are
+	// datagrams/records before demultiplexing.
+	datagrams    atomic.Uint64
+	records      atomic.Uint64
+	decodeErrors atomic.Uint64
+
+	drainOnce sync.Once
+	drainErr  error
+	shutOnce  sync.Once
+	shutErr   error
+}
+
+// NewDaemon validates cfg and binds both sockets; the daemon is not
+// serving until Start.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("serve: NewDaemon: Table is required")
+	}
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("serve: NewDaemon: Scheme is required")
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: NewDaemon: %w", err)
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("serve: NewDaemon: non-positive interval %v", cfg.Interval)
+	}
+	cfg.Window = engine.StreamWindow(cfg.Scheme, cfg.Window)
+	if cfg.History == 0 {
+		cfg.History = DefaultHistory
+	}
+	if cfg.ReadBuffer == 0 {
+		cfg.ReadBuffer = DefaultReadBuffer
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	uaddr, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: resolving UDP address: %w", err)
+	}
+	udp, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listening on UDP: %w", err)
+	}
+	// Best effort: some kernels clamp the request, which only narrows
+	// the burst tolerance.
+	_ = udp.SetReadBuffer(cfg.ReadBuffer)
+
+	ln, err := net.Listen("tcp", cfg.HTTPAddr)
+	if err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("serve: listening on HTTP: %w", err)
+	}
+
+	d := &Daemon{
+		cfg:      cfg,
+		store:    NewStore(),
+		udp:      udp,
+		httpLn:   ln,
+		links:    make(map[string]*liveLink),
+		loopDone: make(chan struct{}),
+		httpDone: make(chan struct{}),
+	}
+	d.httpSrv = &http.Server{
+		Handler:           d.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return d, nil
+}
+
+// Store exposes the daemon's state store (read-only use; handlers and
+// tests).
+func (d *Daemon) Store() *Store { return d.store }
+
+// UDPAddr returns the bound NetFlow listen address.
+func (d *Daemon) UDPAddr() net.Addr { return d.udp.LocalAddr() }
+
+// HTTPAddr returns the bound API listen address.
+func (d *Daemon) HTTPAddr() net.Addr { return d.httpLn.Addr() }
+
+// Start launches the ingest loop and the HTTP server.
+func (d *Daemon) Start() {
+	d.started = time.Now()
+	go d.ingestLoop()
+	go func() {
+		defer close(d.httpDone)
+		if err := d.httpSrv.Serve(d.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			d.httpErr = err
+			d.cfg.Logf("serve: http: %v", err)
+		}
+	}()
+	d.cfg.Logf("serve: listening — NetFlow v5 on %v, API on %v, scheme %s, interval %v, window %d",
+		d.UDPAddr(), d.HTTPAddr(), d.cfg.Scheme, d.cfg.Interval, d.cfg.Window)
+}
+
+// Run is the blocking convenience wrapper: Start, serve until ctx is
+// cancelled, then Shutdown with the given grace period.
+func (d *Daemon) Run(ctx context.Context, grace time.Duration) error {
+	d.Start()
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return d.Shutdown(sctx)
+}
+
+// linkID names the link a datagram belongs to: the exporter's source
+// address plus the v5 engine ID, "192.0.2.1@0" — one router exporting
+// from several slots shows up as several links, as it should (each slot
+// is its own flow cache and sequence space).
+func linkID(addr netip.Addr, engineID uint8) string {
+	return addr.Unmap().String() + "@" + strconv.Itoa(int(engineID))
+}
+
+// link returns the live pipeline for id, creating it on first sight.
+// Called only from the ingest loop.
+func (d *Daemon) link(id string) (*liveLink, error) {
+	if ll, ok := d.links[id]; ok {
+		return ll, nil
+	}
+	state := d.store.GetOrCreate(id, d.cfg.History)
+	lp, err := engine.NewLivePipeline(engine.LiveLink{
+		ID:       id,
+		Start:    d.cfg.Start,
+		Interval: d.cfg.Interval,
+		Window:   d.cfg.Window,
+		Buffer:   d.cfg.Buffer,
+		Config:   d.cfg.Scheme.Factory(),
+		OnResult: func(t int, at time.Time, res core.Result, stats agg.StreamStats) error {
+			state.RecordResult(t, at, res, stats)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ll := &liveLink{state: state, lp: lp}
+	d.links[id] = ll
+	d.cfg.Logf("serve: new link %s", id)
+	return ll, nil
+}
+
+// ingestLoop is the UDP read loop: read, decode, demultiplex, attribute,
+// push. One goroutine reads the socket; per-link pipeline workers do
+// the classification, so a slow interval close on one link backpressures
+// only that link's queue.
+func (d *Daemon) ingestLoop() {
+	defer close(d.loopDone)
+	buf := make([]byte, 1<<16)
+	for {
+		n, ap, err := d.udp.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if d.draining.Load() {
+					return // kernel buffer drained
+				}
+				continue
+			}
+			d.cfg.Logf("serve: udp read: %v", err)
+			continue
+		}
+		d.datagrams.Add(1)
+		dg, err := netflow.Decode(buf[:n])
+		if err != nil {
+			d.decodeErrors.Add(1)
+			d.cfg.Logf("serve: %d-byte datagram from %v: %v", n, ap, err)
+			continue
+		}
+		d.records.Add(uint64(len(dg.Records)))
+		id := linkID(ap.Addr(), dg.Header.EngineID)
+		ll, err := d.link(id)
+		if err != nil {
+			// Pipeline construction failed (bad scheme parameters reach
+			// Validate earlier, so this is exceptional); account the
+			// datagram against a store entry carrying the error.
+			state := d.store.GetOrCreate(id, d.cfg.History)
+			state.Fail(err)
+			state.ObserveDatagram(len(dg.Records), 0, 0, len(dg.Records))
+			continue
+		}
+		var routed, unrouted, dropped int
+		failed := ll.state.Failed()
+		for i := range dg.Records {
+			rec, ok := netflow.Attribute(d.cfg.Table, dg.Header, dg.Records[i])
+			if !ok {
+				unrouted++
+				continue
+			}
+			if failed {
+				dropped++
+				continue
+			}
+			if err := ll.lp.Send(rec); err != nil {
+				ll.state.Fail(err)
+				d.cfg.Logf("serve: link %s failed: %v", id, err)
+				failed = true
+				dropped++
+				continue
+			}
+			routed++
+		}
+		ll.state.ObserveDatagram(len(dg.Records), routed, unrouted, dropped)
+		if d.draining.Load() {
+			// Re-arm the drain deadline after each processed datagram:
+			// the read only times out once the kernel buffer is truly
+			// empty, however long the backlog took to work through.
+			_ = d.udp.SetReadDeadline(time.Now().Add(drainGrace))
+		}
+	}
+}
+
+// DrainIngest performs the ingest half of a graceful shutdown: stop
+// accepting new datagrams once the kernel buffer is empty, close every
+// link's remaining open intervals (final flush through each pipeline),
+// and record the final accumulator counters in the store. The HTTP API
+// keeps serving — after DrainIngest the store holds the complete run,
+// queryable until Shutdown. Safe to call more than once.
+func (d *Daemon) DrainIngest(ctx context.Context) error {
+	d.drainOnce.Do(func() {
+		d.draining.Store(true)
+		// A deadline slightly in the future lets the loop consume
+		// everything already buffered, then time out and exit.
+		_ = d.udp.SetReadDeadline(time.Now().Add(drainGrace))
+		select {
+		case <-d.loopDone:
+		case <-ctx.Done():
+			// Forced: abandon buffered datagrams.
+			d.udp.Close()
+			<-d.loopDone
+		}
+		_ = d.udp.Close()
+
+		// The loop has exited; d.links is safely readable here. Close
+		// pipelines in ID order for deterministic logs.
+		for _, id := range d.store.IDs() {
+			ll, ok := d.links[id]
+			if !ok {
+				continue
+			}
+			if err := ll.lp.Close(); err != nil {
+				ll.state.Fail(err)
+				if d.drainErr == nil {
+					d.drainErr = err
+				}
+			}
+			ll.state.SetStreamStats(ll.lp.Stats())
+			// Records that were queued when the pipeline failed were
+			// discarded unclassified: move them from Routed to Dropped
+			// so the final counters say what actually happened.
+			ll.state.ReclassifyDropped(ll.lp.Dropped())
+		}
+		d.cfg.Logf("serve: ingest drained — %d datagrams, %d records, %d decode errors, %d links",
+			d.datagrams.Load(), d.records.Load(), d.decodeErrors.Load(), d.store.Len())
+	})
+	return d.drainErr
+}
+
+// Shutdown gracefully stops the daemon: DrainIngest (drain the socket,
+// close intervals, flush final snapshots into the store), then stop the
+// HTTP server. Safe to call more than once.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.shutOnce.Do(func() {
+		d.shutErr = d.DrainIngest(ctx)
+		if err := d.httpSrv.Shutdown(ctx); err != nil && d.shutErr == nil {
+			d.shutErr = err
+		}
+		<-d.httpDone
+		if d.httpErr != nil && d.shutErr == nil {
+			d.shutErr = d.httpErr
+		}
+	})
+	return d.shutErr
+}

@@ -1,0 +1,33 @@
+// Package serve is the live monitoring subsystem: a resident daemon
+// that ingests NetFlow v5 over UDP, classifies elephants per link as
+// measurement intervals close, and answers "who are the elephants right
+// now" over HTTP — the deployment the paper implies, where the
+// two-feature classification runs continuously at a POP rather than
+// over a finite trace.
+//
+// Data flows through the daemon in one direction:
+//
+//	UDP socket → decode → demux by exporter (source IP @ engine ID)
+//	  → attribute records against the BGP table
+//	  → per-link engine.LivePipeline (StreamAccumulator → core.Pipeline)
+//	  → sharded Store (current ElephantSet, interval-summary ring,
+//	    ingest counters)
+//	  → HTTP API (/links, /links/{id}/elephants, /links/{id}/history,
+//	    /healthz, /metrics)
+//
+// One goroutine owns the socket; each link's pipeline runs on its own
+// worker with a bounded record queue, so ingest and classification of
+// different links never serialise on each other, and the engine's
+// determinism contract (single consumer, fresh pipeline state per link)
+// holds for however long the daemon lives. Memory per link is the
+// accumulator window plus the fixed-capacity history ring, independent
+// of uptime.
+//
+// Shutdown is graceful and two-phase: DrainIngest consumes what the
+// kernel has buffered, closes every link's open intervals (the same
+// flush end-of-stream batch runs perform) and records final counters in
+// the store — the API keeps serving the completed run — then Shutdown
+// stops the HTTP server. cmd/elephantd is the thin binary over this
+// package; cmd/nfreplay feeds it synthetic traffic for smoke tests and
+// demos.
+package serve

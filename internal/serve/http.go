@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// handler builds the daemon's API mux:
+//
+//	GET /healthz                  liveness + daemon-wide counters
+//	GET /links                    all known links, summarised, sorted
+//	GET /links/{id}/elephants     the current elephant set
+//	GET /links/{id}/history       recent interval summaries (?n=, ?flows=1)
+//	GET /metrics                  Prometheus text exposition
+func (d *Daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /links", d.handleLinks)
+	mux.HandleFunc("GET /links/{id}/elephants", d.handleElephants)
+	mux.HandleFunc("GET /links/{id}/history", d.handleHistory)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	return mux
+}
+
+// writeJSON renders one response; encoding errors after the header is
+// out are logged, not recoverable.
+func (d *Daemon) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		d.cfg.Logf("serve: encoding response: %v", err)
+	}
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Scheme        string  `json:"scheme"`
+	IntervalSecs  float64 `json:"interval_seconds"`
+	Links         int     `json:"links"`
+	Datagrams     uint64  `json:"datagrams"`
+	Records       uint64  `json:"records"`
+	DecodeErrors  uint64  `json:"decode_errors"`
+	Draining      bool    `json:"draining"`
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	d.writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(d.started).Seconds(),
+		Scheme:        d.cfg.Scheme.String(),
+		IntervalSecs:  d.cfg.Interval.Seconds(),
+		Links:         d.store.Len(),
+		Datagrams:     d.datagrams.Load(),
+		Records:       d.records.Load(),
+		DecodeErrors:  d.decodeErrors.Load(),
+		Draining:      d.draining.Load(),
+	})
+}
+
+func (d *Daemon) handleLinks(w http.ResponseWriter, r *http.Request) {
+	d.writeJSON(w, http.StatusOK, d.store.Summaries())
+}
+
+// linkState resolves the {id} path value, answering 404 on a miss.
+func (d *Daemon) linkState(w http.ResponseWriter, r *http.Request) *LinkState {
+	id := r.PathValue("id")
+	ls := d.store.Get(id)
+	if ls == nil {
+		d.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown link " + strconv.Quote(id)})
+	}
+	return ls
+}
+
+// Elephants is the /links/{id}/elephants response body: the elephant
+// set of the most recent closed interval. Interval is -1 until the
+// link's first interval closes.
+type Elephants struct {
+	Link         string    `json:"link"`
+	Interval     int       `json:"interval"`
+	Start        time.Time `json:"start"`
+	ThresholdBps float64   `json:"threshold_bps"`
+	Count        int       `json:"count"`
+	Flows        []string  `json:"flows"`
+}
+
+func (d *Daemon) handleElephants(w http.ResponseWriter, r *http.Request) {
+	ls := d.linkState(w, r)
+	if ls == nil {
+		return
+	}
+	sum, set, ok := ls.Current()
+	resp := Elephants{Link: ls.ID(), Interval: -1, Flows: []string{}}
+	if ok {
+		resp.Interval = sum.Interval
+		resp.Start = sum.Start
+		resp.ThresholdBps = sum.ThresholdBps
+		resp.Count = set.Len()
+		resp.Flows = make([]string, 0, set.Len())
+		for _, p := range set.Flows() {
+			resp.Flows = append(resp.Flows, p.String())
+		}
+	}
+	d.writeJSON(w, http.StatusOK, resp)
+}
+
+// HistoryPage is the /links/{id}/history response body: up to ?n= (all
+// retained when unset) most recent interval summaries, oldest first,
+// with per-interval elephant sets when ?flows=1.
+type HistoryPage struct {
+	Link     string            `json:"link"`
+	Capacity int               `json:"capacity"`
+	Entries  []IntervalSummary `json:"entries"`
+}
+
+func (d *Daemon) handleHistory(w http.ResponseWriter, r *http.Request) {
+	ls := d.linkState(w, r)
+	if ls == nil {
+		return
+	}
+	n := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			d.writeJSON(w, http.StatusBadRequest, errorBody{Error: "n must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	includeFlows := r.URL.Query().Get("flows") == "1"
+	d.writeJSON(w, http.StatusOK, HistoryPage{
+		Link:     ls.ID(),
+		Capacity: d.cfg.History,
+		Entries:  ls.History(n, includeFlows),
+	})
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/report"
+)
+
+// handleMetrics renders the daemon's counters in the Prometheus text
+// exposition format via report.MetricsWriter. Links are emitted in
+// sorted ID order, so consecutive scrapes of a quiet daemon are
+// byte-identical.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	m := report.NewMetricsWriter(w)
+	m.Family("elephantd_datagrams_total", "UDP datagrams received.", "counter")
+	m.Sample("elephantd_datagrams_total", nil, float64(d.datagrams.Load()))
+	m.Family("elephantd_records_total", "NetFlow records carried by well-formed datagrams.", "counter")
+	m.Sample("elephantd_records_total", nil, float64(d.records.Load()))
+	m.Family("elephantd_decode_errors_total", "Datagrams rejected by the NetFlow v5 decoder.", "counter")
+	m.Sample("elephantd_decode_errors_total", nil, float64(d.decodeErrors.Load()))
+	m.Family("elephantd_links", "Links currently known to the state store.", "gauge")
+	m.Sample("elephantd_links", nil, float64(d.store.Len()))
+
+	rows := d.store.Summaries()
+
+	// Per-link counters: each family contiguous over all links, as the
+	// exposition format requires.
+	counter := func(name, help string, v func(LinkSummary) float64) {
+		m.Family(name, help, "counter")
+		for _, row := range rows {
+			m.Sample(name, []report.Label{{Name: "link", Value: row.ID}}, v(row))
+		}
+	}
+	gauge := func(name, help string, v func(LinkSummary) float64) {
+		m.Family(name, help, "gauge")
+		for _, row := range rows {
+			m.Sample(name, []report.Label{{Name: "link", Value: row.ID}}, v(row))
+		}
+	}
+
+	counter("elephantd_link_datagrams_total", "Datagrams demultiplexed to the link.",
+		func(s LinkSummary) float64 { return float64(s.Ingest.Datagrams) })
+	counter("elephantd_link_records_total", "Flow records demultiplexed to the link.",
+		func(s LinkSummary) float64 { return float64(s.Ingest.Records) })
+	counter("elephantd_link_routed_total", "Records attributed to a BGP prefix and classified.",
+		func(s LinkSummary) float64 { return float64(s.Ingest.Routed) })
+	counter("elephantd_link_unrouted_total", "Records with no matching route, skipped.",
+		func(s LinkSummary) float64 { return float64(s.Ingest.Unrouted) })
+	counter("elephantd_link_dropped_total", "Routed records discarded because the link's pipeline failed.",
+		func(s LinkSummary) float64 { return float64(s.Ingest.Dropped) })
+	counter("elephantd_link_late_records_total", "Records whose bits fell entirely behind the closed interval edge.",
+		func(s LinkSummary) float64 { return float64(s.Stream.Late) })
+	counter("elephantd_link_far_future_total", "Records dropped for advancing the window implausibly far.",
+		func(s LinkSummary) float64 { return float64(s.Stream.FarFuture) })
+	counter("elephantd_link_intervals_closed_total", "Measurement intervals closed and classified.",
+		func(s LinkSummary) float64 { return float64(s.Stream.Closed) })
+	counter("elephantd_link_evicted_flows_total", "Flow rows released by closing intervals.",
+		func(s LinkSummary) float64 { return float64(s.Stream.EvictedFlows) })
+
+	gauge("elephantd_link_failed", "1 when the link's pipeline has failed, else 0.",
+		func(s LinkSummary) float64 {
+			if s.Error != "" {
+				return 1
+			}
+			return 0
+		})
+	gauge("elephantd_link_elephants", "Elephant count of the last closed interval.",
+		func(s LinkSummary) float64 {
+			if s.Last == nil {
+				return 0
+			}
+			return float64(s.Last.Elephants)
+		})
+	gauge("elephantd_link_active_flows", "Active flow count of the last closed interval.",
+		func(s LinkSummary) float64 {
+			if s.Last == nil {
+				return 0
+			}
+			return float64(s.Last.ActiveFlows)
+		})
+	gauge("elephantd_link_load_bps", "Total load of the last closed interval (bit/s).",
+		func(s LinkSummary) float64 {
+			if s.Last == nil {
+				return 0
+			}
+			return s.Last.TotalLoadBps
+		})
+	gauge("elephantd_link_elephant_load_fraction", "Fraction of load carried by elephants in the last closed interval.",
+		func(s LinkSummary) float64 {
+			if s.Last == nil {
+				return 0
+			}
+			return s.Last.LoadFraction
+		})
+	gauge("elephantd_link_threshold_bps", "Smoothed elephant threshold of the last closed interval (bit/s).",
+		func(s LinkSummary) float64 {
+			if s.Last == nil {
+				return 0
+			}
+			return s.Last.ThresholdBps
+		})
+
+	if err := m.Err(); err != nil {
+		d.cfg.Logf("serve: rendering metrics: %v", err)
+	}
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/scheme"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func resultWith(elephants ...netip.Prefix) core.Result {
+	return core.Result{
+		Elephants:   core.NewElephantSet(elephants...),
+		TotalLoad:   1e6,
+		ActiveFlows: 10,
+		Threshold:   5e5,
+	}
+}
+
+func TestLinkStateHistoryRing(t *testing.T) {
+	ls := newLinkState("l", 4)
+	t0 := time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		ls.RecordResult(i, t0.Add(time.Duration(i)*time.Minute),
+			resultWith(pfx(fmt.Sprintf("10.0.%d.0/24", i))), agg.StreamStats{Closed: i + 1})
+	}
+	hist := ls.History(0, true)
+	if len(hist) != 4 {
+		t.Fatalf("history length = %d, want ring capacity 4", len(hist))
+	}
+	for i, e := range hist {
+		wantT := 6 + i // oldest retained is interval 6
+		if e.Interval != wantT {
+			t.Errorf("entry %d: interval %d, want %d", i, e.Interval, wantT)
+		}
+		if want := fmt.Sprintf("[10.0.%d.0/24]", wantT); fmt.Sprint(e.Flows) != want {
+			t.Errorf("entry %d: flows %v, want %v", i, e.Flows, want)
+		}
+	}
+	// n narrows to the most recent entries; flows omitted when not asked.
+	tail := ls.History(2, false)
+	if len(tail) != 2 || tail[1].Interval != 9 || tail[0].Interval != 8 {
+		t.Errorf("History(2) = %+v", tail)
+	}
+	if tail[0].Flows != nil {
+		t.Error("flows included without being requested")
+	}
+	// Each interval replaces the whole set: one promotion, one demotion.
+	if tail[1].Promoted != 1 || tail[1].Demoted != 1 {
+		t.Errorf("churn = +%d/-%d, want +1/-1", tail[1].Promoted, tail[1].Demoted)
+	}
+	sum, set, ok := ls.Current()
+	if !ok || sum.Interval != 9 || !set.Contains(pfx("10.0.9.0/24")) {
+		t.Errorf("Current() = %+v, %v, %v", sum, set, ok)
+	}
+}
+
+func TestChurnCounts(t *testing.T) {
+	a := core.NewElephantSet(pfx("10.0.0.0/24"), pfx("10.0.1.0/24"), pfx("10.0.2.0/24"))
+	b := core.NewElephantSet(pfx("10.0.1.0/24"), pfx("10.0.3.0/24"))
+	promoted, demoted := churn(a, b)
+	if promoted != 1 || demoted != 2 {
+		t.Errorf("churn = +%d/-%d, want +1/-2", promoted, demoted)
+	}
+	if p, d := churn(core.ElephantSet{}, a); p != 3 || d != 0 {
+		t.Errorf("churn from empty = +%d/-%d", p, d)
+	}
+}
+
+func TestStoreShardsAndConcurrency(t *testing.T) {
+	s := NewStore()
+	const links = 64
+	var wg sync.WaitGroup
+	for i := 0; i < links; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ls := s.GetOrCreate(fmt.Sprintf("link-%02d", i), 8)
+			ls.ObserveDatagram(3, 2, 1, 0)
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != links {
+		t.Fatalf("Len = %d, want %d", s.Len(), links)
+	}
+	ids := s.IDs()
+	if len(ids) != links || ids[0] != "link-00" || ids[links-1] != fmt.Sprintf("link-%02d", links-1) {
+		t.Errorf("IDs not complete/sorted: %v", ids)
+	}
+	// GetOrCreate must be idempotent: counters accumulate on one state.
+	ls := s.GetOrCreate("link-00", 8)
+	ls.ObserveDatagram(3, 2, 1, 0)
+	if got := s.Get("link-00").Summary().Ingest; got.Datagrams != 2 || got.Records != 6 {
+		t.Errorf("ingest after two datagrams = %+v", got)
+	}
+	if s.Get("nope") != nil {
+		t.Error("unknown link returned state")
+	}
+}
+
+func TestLinkIDFormat(t *testing.T) {
+	cases := []struct {
+		addr   string
+		engine uint8
+		want   string
+	}{
+		{"10.0.0.1", 0, "10.0.0.1@0"},
+		{"::ffff:10.0.0.1", 3, "10.0.0.1@3"}, // 4-in-6 unmapped
+		{"2001:db8::1", 7, "2001:db8::1@7"},
+	}
+	for _, tc := range cases {
+		if got := linkID(netip.MustParseAddr(tc.addr), tc.engine); got != tc.want {
+			t.Errorf("linkID(%s, %d) = %q, want %q", tc.addr, tc.engine, got, tc.want)
+		}
+	}
+}
+
+// newTestDaemon binds a daemon on loopback ephemeral ports with a tiny
+// synthetic table.
+func newTestDaemon(t *testing.T) *Daemon {
+	t.Helper()
+	table, err := bgp.Generate(bgp.GenConfig{Routes: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(Config{
+		UDPAddr:  "127.0.0.1:0",
+		HTTPAddr: "127.0.0.1:0",
+		Table:    table,
+		Scheme:   scheme.MustParse("load"),
+		Interval: time.Minute,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+	return d
+}
+
+func TestHTTPEndpointsEmptyDaemon(t *testing.T) {
+	d := newTestDaemon(t)
+	base := "http://" + d.HTTPAddr().String()
+
+	var h Health
+	getJSON(t, base+"/healthz", &h)
+	if h.Status != "ok" || h.Links != 0 {
+		t.Errorf("healthz = %+v", h)
+	}
+	var links []LinkSummary
+	getJSON(t, base+"/links", &links)
+	if len(links) != 0 {
+		t.Errorf("links = %+v, want empty", links)
+	}
+	// Unknown link: 404 on both per-link endpoints.
+	for _, path := range []string{"/links/nope@0/elephants", "/links/nope@0/history"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %s, want 404", path, resp.Status)
+		}
+	}
+	if !strings.Contains(getBody(t, base+"/metrics"), "elephantd_links 0\n") {
+		t.Error("metrics missing elephantd_links 0")
+	}
+}
+
+func TestDecodeErrorCounted(t *testing.T) {
+	d := newTestDaemon(t)
+	conn, err := net.Dial("udp", d.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0, 5, 0, 1, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d.HTTPAddr().String()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var h Health
+		getJSON(t, base+"/healthz", &h)
+		if h.DecodeErrors == 1 && h.Datagrams == 1 {
+			if h.Links != 0 {
+				t.Errorf("undecodable datagram created a link: %+v", h)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("decode error never counted: %+v", h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHistoryBadQuery(t *testing.T) {
+	d := newTestDaemon(t)
+	// Create a link by recording directly into the store.
+	ls := d.Store().GetOrCreate("x@0", 4)
+	ls.RecordResult(0, time.Now(), resultWith(pfx("10.0.0.0/24")), agg.StreamStats{Closed: 1})
+	base := "http://" + d.HTTPAddr().String()
+	resp, err := http.Get(base + "/links/x@0/history?n=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n = %s, want 400", resp.Status)
+	}
+	var hist HistoryPage
+	getJSON(t, base+"/links/x@0/history?n=1&flows=1", &hist)
+	if len(hist.Entries) != 1 || fmt.Sprint(hist.Entries[0].Flows) != "[10.0.0.0/24]" {
+		t.Errorf("history = %+v", hist)
+	}
+}
