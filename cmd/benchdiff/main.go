@@ -1,0 +1,194 @@
+// Command benchdiff compares a `go test -bench` run against a committed
+// JSON baseline and fails on ns/op regressions beyond a tolerance — the
+// guard that keeps the hot-path numbers in BENCH_baseline.json honest.
+//
+// Capture (or refresh) the baseline:
+//
+//	go test -bench . -benchmem -run '^$' ./... | go run ./cmd/benchdiff -write -baseline BENCH_baseline.json
+//
+// Compare a fresh run (exits 1 when any benchmark regresses more than
+// -tolerance in ns/op):
+//
+//	go test -bench . -benchmem -run '^$' ./... | go run ./cmd/benchdiff -baseline BENCH_baseline.json
+//
+// Benchmarks present on only one side are reported but never fail the
+// comparison, so partial runs (-bench SomeName) work, and baselines
+// recorded on different hardware are expected to be compared with a
+// generous tolerance or regenerated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's baseline entry.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed BENCH_baseline.json document.
+type Baseline struct {
+	// Note documents how the numbers were captured.
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		in           = flag.String("in", "-", "bench output to read (`-` for stdin)")
+		write        = flag.Bool("write", false, "write the parsed run as the new baseline instead of comparing")
+		tolerance    = flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression before failing")
+		note         = flag.String("note", "go test -bench . -benchmem -run '^$' ./...", "capture note stored with -write")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	run, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(run) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *write {
+		sort.Slice(run, func(i, j int) bool { return run[i].Name < run[j].Name })
+		doc := Baseline{Note: *note, Benchmarks: run}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(run), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
+	if compare(base, run, *tolerance) > 0 {
+		os.Exit(1)
+	}
+}
+
+// compare prints a per-benchmark report and returns the number of
+// ns/op regressions beyond the tolerance.
+func compare(base Baseline, run []Benchmark, tolerance float64) int {
+	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	sort.Slice(run, func(i, j int) bool { return run[i].Name < run[j].Name })
+	regressions := 0
+	seen := make(map[string]bool, len(run))
+	for _, b := range run {
+		seen[b.Name] = true
+		ref, ok := baseByName[b.Name]
+		if !ok {
+			fmt.Printf("NEW       %-60s %14.0f ns/op\n", b.Name, b.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if ref.NsPerOp > 0 {
+			delta = b.NsPerOp/ref.NsPerOp - 1
+		}
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressions++
+		} else if delta < -tolerance {
+			status = "improved"
+		}
+		fmt.Printf("%-9s %-60s %14.0f ns/op  baseline %14.0f  (%+.1f%%)", status, b.Name, b.NsPerOp, ref.NsPerOp, 100*delta)
+		if b.AllocsPerOp > ref.AllocsPerOp {
+			fmt.Printf("  allocs %.0f -> %.0f", ref.AllocsPerOp, b.AllocsPerOp)
+		}
+		fmt.Println()
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Printf("MISSING   %-60s (in baseline, not in this run)\n", b.Name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, 100*tolerance)
+	}
+	return regressions
+}
+
+// parseBench extracts name/ns-op/allocs-op triples from `go test -bench`
+// text output. The -GOMAXPROCS suffix is stripped so baselines transfer
+// across machines with different core counts.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  123.4 ns/op  [metrics...]  12 B/op  3 allocs/op
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, NsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if b.NsPerOp >= 0 {
+			out = append(out, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

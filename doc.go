@@ -38,6 +38,23 @@
 // to batch classification on the same records; streaming_test.go pins
 // that contract on all three substrates.
 //
+// Flow identity is interned: each pipeline owns a core.FlowTable
+// mapping every prefix it classifies to a dense uint32 ID, and the
+// whole interval hot path — accumulator ring slots, the latent-heat
+// classifier's per-flow windows (incrementally summed, O(1) per flow),
+// the elephant-state tracker — runs on flat ID-indexed columns instead
+// of prefix-keyed maps. Snapshots carry the ID column from producer to
+// classifier, so steady-state classification performs a single hash
+// per record at ingest and none per flow per interval. Classifier
+// eviction recycles IDs through a quarantined free list sized to the
+// accumulator's open window, keeping resident-daemon memory bounded by
+// the live flow set; equivalence of the ID path with the prefix-keyed
+// semantics is pinned by dual-implementation tests in internal/core
+// and the eviction/recycling stream≡batch test in internal/engine.
+// BENCH_baseline.json records the bench suite's reference numbers;
+// cmd/benchdiff compares fresh runs against it and fails on >30%
+// ns/op regressions (wired as a non-blocking CI report).
+//
 // The streaming stack also runs resident: internal/serve is a live
 // monitoring daemon (cmd/elephantd) that collects NetFlow v5 datagrams
 // on a UDP socket, demultiplexes them by exporter into long-lived

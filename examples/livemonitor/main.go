@@ -205,10 +205,15 @@ func runLocal() {
 	// derived from the scheme (the latent-heat lookback, floored at
 	// agg.DefaultStreamWindow), so ingestion holds no more history than
 	// classification needs — the same rule cmd/elephants -stream uses.
+	// Sharing the pipeline's flow table makes emitted snapshots carry
+	// dense flow IDs the classifier indexes directly (omitting it also
+	// works — the pipeline re-interns — but then every flow pays a hash
+	// per interval).
 	acc, err := agg.NewStreamAccumulator(agg.StreamConfig{
 		Start:    start,
 		Interval: 5 * time.Minute,
 		Window:   engine.StreamWindow(sp, 0),
+		Table:    pipe.Table(),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -177,6 +177,45 @@ func (s *Series) Snapshot(t int, dst *core.FlowSnapshot) *core.FlowSnapshot {
 	return dst
 }
 
+// InternRows interns every flow row into tbl and returns the row→ID
+// column (reusing dst's storage), aligned with Flows(). Interning once
+// per link — instead of once per flow per interval — is what lets
+// SnapshotIDs emit dense-ID snapshots with zero hashing on the
+// per-interval path. The table is pinned: the returned column must
+// keep resolving for the whole run, so classifier evictions must not
+// recycle IDs out from under it. The table is single-goroutine:
+// callers sharing one series across several pipelines build one row→ID
+// column per pipeline against that pipeline's own table.
+func (s *Series) InternRows(tbl *core.FlowTable, dst []uint32) []uint32 {
+	tbl.Pin()
+	dst = dst[:0]
+	for _, p := range s.keys {
+		dst = append(dst, tbl.Intern(p))
+	}
+	return dst
+}
+
+// SnapshotIDs is Snapshot with a dense-ID column attached from a
+// row→ID mapping previously built by InternRows against tbl: identical
+// keys, bandwidths and float summation order, plus ids the classifier
+// can index its flow columns by directly.
+func (s *Series) SnapshotIDs(t int, dst *core.FlowSnapshot, tbl *core.FlowTable, rowIDs []uint32) *core.FlowSnapshot {
+	if len(rowIDs) != len(s.keys) {
+		panic(fmt.Sprintf("agg: SnapshotIDs: %d row IDs for %d flows (stale InternRows?)", len(rowIDs), len(s.keys)))
+	}
+	if dst == nil {
+		dst = core.NewFlowSnapshot(len(s.keys))
+	}
+	dst.Reset()
+	dst.SetIDTable(tbl)
+	for _, i := range s.sortedRows() {
+		if bw := s.rows[i][t]; bw > 0 {
+			dst.AppendID(s.keys[i], rowIDs[i], bw)
+		}
+	}
+	return dst
+}
+
 // IntervalTime returns the left edge of interval t.
 func (s *Series) IntervalTime(t int) time.Time {
 	return s.Start.Add(time.Duration(t) * s.Interval)

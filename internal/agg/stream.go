@@ -4,8 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net/netip"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/core"
@@ -43,6 +42,13 @@ type StreamConfig struct {
 	// intervals (the batch path's equivalent is one OutOfRange count).
 	// Defaults to DefaultStreamMaxGap.
 	MaxGap int
+	// Table is the flow identity table prefixes are interned against —
+	// pass the consuming pipeline's table (core.Pipeline.Table) so
+	// emitted snapshots carry IDs the classifier can index directly.
+	// Nil allocates a private table. The accumulator raises the table's
+	// quarantine to at least Window, so an ID released downstream can
+	// never be re-bound while an open slot still references it.
+	Table *core.FlowTable
 }
 
 // StreamStats counts streaming attribution outcomes.
@@ -70,15 +76,54 @@ type StreamStats struct {
 	EvictedFlows uint64
 }
 
-// streamSlot is one open interval of the ring: a flow→bandwidth column
-// plus its running total, both maintained with arithmetic identical to
-// Series.AddBits so the emitted snapshots match Series.Snapshot bit for
-// bit. The map is cleared (capacity retained) when the slot's interval
-// closes, which both evicts cold flows and keeps steady-state
-// allocation at zero.
+// streamSlot is one open interval of the ring: an ID-indexed bandwidth
+// column plus the list of IDs dirtied this interval, maintained with
+// arithmetic identical to Series.AddBits so the emitted snapshots match
+// Series.Snapshot bit for bit. A generation tag per cell (seen) marks
+// which cells belong to the current interval, so recycling a slot for
+// interval g+Window is O(1): bump the generation and truncate the dirty
+// list — stale cells are simply never read. Closing an interval sorts
+// only the dirty IDs into prefix order instead of re-sorting every key
+// of a map, and steady-state accumulation never hashes nor allocates.
 type streamSlot struct {
-	flows map[netip.Prefix]float64
-	total float64
+	col    []float64 // id -> accumulated bandwidth, valid iff seen[id] == gen
+	seen   []uint32  // id -> generation that last touched the cell
+	dirty  []uint32  // IDs touched in the current interval
+	gen    uint32    // current generation, starts at 1
+	total  float64
+	active int // flows with positive bandwidth, maintained incrementally
+}
+
+// touch accumulates bandwidth into one cell, first claiming it for the
+// current generation, and keeps the slot's active-flow counter exact
+// across sign transitions (mirroring Series.noteTransition).
+func (sl *streamSlot) touch(id uint32, bw float64) {
+	var before float64
+	if sl.seen[id] == sl.gen {
+		before = sl.col[id]
+		sl.col[id] = before + bw
+	} else {
+		sl.seen[id] = sl.gen
+		sl.dirty = append(sl.dirty, id)
+		sl.col[id] = bw
+	}
+	sl.total += bw
+	after := before + bw
+	switch {
+	case before <= 0 && after > 0:
+		sl.active++
+	case before > 0 && after <= 0:
+		sl.active--
+	}
+}
+
+// grow widens the slot's columns to cover the table's ID space.
+func (sl *streamSlot) grow(n int) {
+	if n <= len(sl.col) {
+		return
+	}
+	sl.col = append(sl.col, make([]float64, n-len(sl.col))...)
+	sl.seen = append(sl.seen, make([]uint32, n-len(sl.seen))...)
 }
 
 // StreamAccumulator is the bounded-memory streaming twin of Series: it
@@ -104,12 +149,13 @@ type StreamAccumulator struct {
 	start time.Time // resolved left edge of interval 0
 	began bool      // start is resolved (first record seen or explicit Start)
 
-	base       int // oldest open interval (global index)
-	maxTouched int // highest interval that received bits; -1 before any
+	base       int       // oldest open interval (global index)
+	clip       time.Time // left edge of interval base, cached off the Add path
+	maxTouched int       // highest interval that received bits; -1 before any
+	table      *core.FlowTable
 	slots      []streamSlot
 
 	snap  *core.FlowSnapshot // reused emission buffer
-	keys  prefixSlice        // reused sort scratch for emission
 	stats StreamStats
 }
 
@@ -130,16 +176,31 @@ func NewStreamAccumulator(cfg StreamConfig) (*StreamAccumulator, error) {
 	if cfg.MaxGap < 1 {
 		return nil, fmt.Errorf("agg: NewStreamAccumulator: max gap %d < 1", cfg.MaxGap)
 	}
+	if cfg.Table == nil {
+		cfg.Table = core.NewFlowTable()
+	}
+	// A released ID must survive long enough for every open slot that
+	// might hold its bits to close, or those bits would be emitted under
+	// a recycled identity.
+	cfg.Table.EnsureQuarantine(cfg.Window)
 	a := &StreamAccumulator{
 		cfg:        cfg,
 		start:      cfg.Start,
+		clip:       cfg.Start,
 		began:      !cfg.Start.IsZero(),
 		maxTouched: -1,
+		table:      cfg.Table,
 		slots:      make([]streamSlot, cfg.Window),
 		snap:       core.NewFlowSnapshot(0),
 	}
+	for i := range a.slots {
+		a.slots[i].gen = 1
+	}
 	return a, nil
 }
+
+// Table returns the flow identity table the accumulator interns into.
+func (a *StreamAccumulator) Table() *core.FlowTable { return a.table }
 
 // Start returns the resolved left edge of interval 0 — the configured
 // Start, or the first record's Time when aligning automatically (zero
@@ -191,15 +252,12 @@ func (a *StreamAccumulator) slot(g int) *streamSlot { return &a.slots[g%a.cfg.Wi
 
 // addBits mirrors Series.AddBits: the same bits→bandwidth conversion
 // and the same per-cell accumulation order, which is what keeps the
-// streaming and batch paths bit-identical.
-func (a *StreamAccumulator) addBits(p netip.Prefix, g int, bits float64) {
+// streaming and batch paths bit-identical. The flow is already interned
+// — accumulation itself is pure column arithmetic, no hashing.
+func (a *StreamAccumulator) addBits(id uint32, g int, bits float64) {
 	sl := a.slot(g)
-	if sl.flows == nil {
-		sl.flows = make(map[netip.Prefix]float64)
-	}
-	bw := bits / a.cfg.Interval.Seconds()
-	sl.flows[p] += bw
-	sl.total += bw
+	sl.grow(a.table.Cap())
+	sl.touch(id, bits/a.cfg.Interval.Seconds())
 	if g > a.maxTouched {
 		a.maxTouched = g
 	}
@@ -217,18 +275,14 @@ func (a *StreamAccumulator) TotalBandwidth(t int) float64 {
 
 // ActiveFlows returns the number of flows with positive bandwidth
 // accumulated so far in open interval t — the streaming counterpart of
-// Series.ActiveFlows, defined only while t is open.
+// Series.ActiveFlows, defined only while t is open. It is O(1): the
+// per-slot counter is maintained incrementally across cell updates,
+// like batch Series does, not by scanning the flow column.
 func (a *StreamAccumulator) ActiveFlows(t int) int {
 	if t < a.base || t >= a.base+a.cfg.Window {
 		panic(fmt.Sprintf("agg: ActiveFlows: interval %d outside open window [%d,%d)", t, a.base, a.base+a.cfg.Window))
 	}
-	n := 0
-	for _, bw := range a.slot(t).flows {
-		if bw > 0 {
-			n++
-		}
-	}
-	return n
+	return a.slot(t).active
 }
 
 // Add accumulates one record, first closing intervals as far as the
@@ -241,6 +295,7 @@ func (a *StreamAccumulator) Add(rec Record) error {
 	if !a.began {
 		a.began = true
 		a.start = rec.Time
+		a.clip = rec.Time
 	}
 	// The last instant that actually carries bits: span records spread
 	// over [Time, End), so a span ending exactly on an interval boundary
@@ -277,9 +332,34 @@ func (a *StreamAccumulator) Add(rec Record) error {
 			return err
 		}
 	}
-	clip := a.IntervalTime(a.base)
+	if end < a.base {
+		// Every bit-carrying interval is behind the closed edge; drop
+		// without interning a flow identity the pipeline will never see.
+		a.stats.Late++
+		a.stats.LateBits += rec.Bits
+		return nil
+	}
+	if rec.Bits <= 0 {
+		// A record that cannot contribute positive bandwidth must not
+		// intern a flow identity: such a flow would never surface in a
+		// snapshot, so the classifier would never evict it and its table
+		// entry (and ring-column slot) would leak for the life of a
+		// resident daemon — a remotely triggerable grow-forever on
+		// spoofable zero-octet NetFlow records. The record still counts
+		// and still advances the flush/far-future horizon, exactly as a
+		// zero-bit cell write would have.
+		if end > a.maxTouched {
+			a.maxTouched = end
+		}
+		a.stats.InWindow++
+		return nil
+	}
+	// One intern per record, shared by every interval the span touches —
+	// the only hash on the accumulation path.
+	id := a.table.Intern(rec.Prefix)
+	clip := a.clip
 	landed := spreadRecord(rec, a.start, a.cfg.Interval, clip, a.openIntervalOf, func(t int, bits float64) {
-		a.addBits(rec.Prefix, t, bits)
+		a.addBits(id, t, bits)
 	})
 	if landed {
 		a.stats.InWindow++
@@ -307,30 +387,52 @@ func (a *StreamAccumulator) advanceTo(newBase int) error {
 // closeOldest emits the oldest open interval as a sorted snapshot and
 // recycles its slot. Emission order and values match Series.Snapshot:
 // positive-bandwidth flows in core.ComparePrefix order, appended into a
-// reused snapshot. The keys must be sorted BEFORE appending (rather
-// than appending in map order and calling snap.Sort): Append folds each
-// bandwidth into the snapshot's running total, and that float sum is
-// only bit-identical to the batch path's if the addition order is the
-// same sorted order Series.Snapshot uses.
+// reused snapshot. Only the interval's dirty IDs are sorted — the cost
+// scales with the flows active in that interval, not with every flow
+// the link has ever seen — and the IDs must be sorted into prefix order
+// BEFORE appending (rather than appending unordered and calling
+// snap.Sort): Append folds each bandwidth into the snapshot's running
+// total, and that float sum is only bit-identical to the batch path's
+// if the addition order is the same sorted order Series.Snapshot uses.
 func (a *StreamAccumulator) closeOldest() error {
 	g := a.base
 	sl := a.slot(g)
-	a.keys = a.keys[:0]
-	for p := range sl.flows {
-		a.keys = append(a.keys, p)
+	pf := a.table.Prefixes()
+	// Rank-based ordering (integer compares) when the table's rank
+	// column is fresh or the interval is busy enough to amortise a
+	// rebuild; direct prefix compares when a huge table just gained a
+	// binding and this interval touches only a handful of flows. All
+	// paths produce the same ComparePrefix order.
+	if a.table.RanksFresh() || len(sl.dirty)*8 >= a.table.Len() {
+		ranks := a.table.Ranks()
+		slices.SortFunc(sl.dirty, func(x, y uint32) int {
+			return int(ranks[x]) - int(ranks[y])
+		})
+	} else {
+		slices.SortFunc(sl.dirty, func(x, y uint32) int {
+			return core.ComparePrefix(pf[x], pf[y])
+		})
 	}
-	sort.Sort(&a.keys)
 	a.snap.Reset()
-	for _, p := range a.keys {
-		a.snap.Append(p, sl.flows[p])
+	a.snap.SetIDTable(a.table)
+	for _, id := range sl.dirty {
+		a.snap.AppendID(pf[id], id, sl.col[id])
 	}
 	a.stats.Closed++
-	a.stats.EvictedFlows += uint64(len(sl.flows))
-	// Recycle the slot for interval g+Window: clear keeps the map's
-	// capacity, so steady-state accumulation does not allocate.
-	clear(sl.flows)
+	a.stats.EvictedFlows += uint64(len(sl.dirty))
+	// Recycle the slot for interval g+Window: bumping the generation
+	// invalidates every cell at once, so steady-state accumulation
+	// neither clears columns nor allocates.
+	sl.dirty = sl.dirty[:0]
+	sl.gen++
+	if sl.gen == 0 { // generation wrap: stale tags could collide
+		clear(sl.seen)
+		sl.gen = 1
+	}
 	sl.total = 0
+	sl.active = 0
 	a.base++
+	a.clip = a.clip.Add(a.cfg.Interval)
 	if a.Emit != nil {
 		return a.Emit(g, a.snap)
 	}
@@ -360,12 +462,3 @@ func Stream(src RecordSource, acc *StreamAccumulator) error {
 		}
 	}
 }
-
-// prefixSlice sorts prefixes in core.ComparePrefix order via a pointer
-// receiver, so the emission path sorts without per-interval closure
-// allocations.
-type prefixSlice []netip.Prefix
-
-func (s *prefixSlice) Len() int           { return len(*s) }
-func (s *prefixSlice) Less(i, j int) bool { return core.ComparePrefix((*s)[i], (*s)[j]) < 0 }
-func (s *prefixSlice) Swap(i, j int)      { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }

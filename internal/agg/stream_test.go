@@ -405,8 +405,8 @@ func TestStreamEvictionBoundsMemory(t *testing.T) {
 		}
 	}
 	open := 0
-	for _, sl := range acc.slots {
-		open += len(sl.flows)
+	for i := range acc.slots {
+		open += len(acc.slots[i].dirty)
 	}
 	if open > 2 {
 		t.Errorf("%d flow rows held open, want <= window", open)
@@ -464,5 +464,89 @@ func TestCollectMatchesAggregatorArithmetic(t *testing.T) {
 	}
 	if b.AddRecord(Record{Prefix: pfxA, Time: start.Add(2 * iv), Bits: 1}) {
 		t.Error("out-of-window record accepted")
+	}
+}
+
+// TestStreamActiveFlowsIncremental is the regression pin for the O(1)
+// ActiveFlows counter: accumulating more bits into an existing flow
+// must not double-count it, zero-bit records must not count at all, and
+// span records must count once per touched interval — across interval
+// closes recycling the slot.
+func TestStreamActiveFlowsIncremental(t *testing.T) {
+	iv := time.Minute
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.ActiveFlows(0); got != 0 {
+		t.Fatalf("empty interval ActiveFlows = %d", got)
+	}
+	acc.Add(Record{Prefix: pfxA, Time: start, Bits: 100})
+	acc.Add(Record{Prefix: pfxA, Time: start.Add(time.Second), Bits: 100}) // same flow again
+	if got := acc.ActiveFlows(0); got != 1 {
+		t.Fatalf("re-accumulated flow counted %d times", got)
+	}
+	acc.Add(Record{Prefix: pfxB, Time: start, Bits: 0}) // zero bits: touched, not active
+	if got := acc.ActiveFlows(0); got != 1 {
+		t.Fatalf("zero-bit flow counted: ActiveFlows = %d", got)
+	}
+	acc.Add(Record{Prefix: pfxB, Time: start, Bits: 50})
+	if got := acc.ActiveFlows(0); got != 2 {
+		t.Fatalf("second flow not counted: ActiveFlows = %d", got)
+	}
+	// A span over intervals 1 and 2 counts once in each.
+	acc.Add(Record{Prefix: pfxA, Time: start.Add(iv + 30*time.Second), Span: iv, Bits: 600})
+	if a1, a2 := acc.ActiveFlows(1), acc.ActiveFlows(2); a1 != 1 || a2 != 1 {
+		t.Fatalf("span record ActiveFlows = %d,%d, want 1,1", a1, a2)
+	}
+	// Closing interval 0 recycles its slot as interval 3: the counter
+	// must restart from zero.
+	acc.Add(Record{Prefix: pfxB, Time: start.Add(3 * iv), Bits: 8})
+	if got := acc.ActiveFlows(3); got != 1 {
+		t.Fatalf("recycled slot ActiveFlows = %d, want 1", got)
+	}
+	if got := acc.ActiveFlows(1); got != 1 {
+		t.Fatalf("older open interval disturbed: ActiveFlows = %d", got)
+	}
+}
+
+// TestStreamEmitsIDColumns: an accumulator sharing a table emits
+// snapshots whose ID column resolves every row through that table; a
+// table-less accumulator still emits complete ID columns against its
+// private table.
+func TestStreamEmitsIDColumns(t *testing.T) {
+	iv := time.Minute
+	recs := synthRecords(3, 6, 20, iv)
+	for _, shared := range []bool{true, false} {
+		cfg := StreamConfig{Start: start, Interval: iv, Window: 2}
+		if shared {
+			cfg.Table = core.NewFlowTable()
+		}
+		acc, err := NewStreamAccumulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared && acc.Table() != cfg.Table {
+			t.Fatal("accumulator did not adopt the shared table")
+		}
+		acc.Emit = func(tt int, snap *core.FlowSnapshot) error {
+			if snap.Len() > 0 && !snap.HasIDs() {
+				t.Fatalf("interval %d: emitted snapshot lacks ID column", tt)
+			}
+			for i := 0; i < snap.Len(); i++ {
+				if got := acc.Table().PrefixOf(snap.ID(i)); got != snap.Key(i) {
+					t.Fatalf("interval %d row %d: id %d resolves to %v, want %v", tt, i, snap.ID(i), got, snap.Key(i))
+				}
+			}
+			return nil
+		}
+		for _, rec := range recs {
+			if err := acc.Add(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := acc.Flush(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

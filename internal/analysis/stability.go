@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 )
@@ -74,13 +74,9 @@ func RankCorrelation(a, b map[netip.Prefix]float64) (float64, int) {
 	if n < 2 {
 		return 0, n
 	}
-	// Deterministic order for reproducibility.
-	sort.Slice(common, func(i, j int) bool {
-		if c := common[i].Addr().Compare(common[j].Addr()); c != 0 {
-			return c < 0
-		}
-		return common[i].Bits() < common[j].Bits()
-	})
+	// Deterministic order for reproducibility — the system-wide flow
+	// order, not a local re-implementation of it.
+	slices.SortFunc(common, core.ComparePrefix)
 	var concordant, discordant int
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {

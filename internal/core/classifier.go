@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 )
 
 // Class is a flow's classification state: the underlying two-state
@@ -78,30 +78,64 @@ func (SingleFeatureClassifier) Classify(snap *FlowSnapshot, thresholdHat float64
 // as x_j(i) = 0, so a mouse must overshoot the accumulated threshold
 // deficit before it is promoted — this is what filters one-interval
 // bursts.
+//
+// Per-flow state lives in flat columns indexed by the dense IDs of a
+// FlowTable, not in a prefix-keyed map: the per-interval cost of a flow
+// is a handful of slice loads instead of hash lookups, the window sum
+// is maintained incrementally (subtract the slot falling out of the
+// window, add the new one) instead of re-summed over W slots, and the
+// idle pass sweeps only the flows currently holding state instead of
+// iterating a map. The pipeline binds its table via BindTable; driven
+// standalone, the classifier owns a private table and interns snapshot
+// keys itself.
+//
+// Equivalence note: the incremental window sum associates float
+// additions differently than re-summing the ring each interval, so for
+// generic (non-representable) bandwidths the sum can differ from the
+// historical implementation in the last ulps — the classification
+// DECISION is equivalent unless a flow's latent heat sits within ~1
+// ulp of zero, and the sum is exact whenever bandwidths and thresholds
+// are integer-representable (the dual-implementation test asserts
+// bit-equality there). A per-flow nonzero-slot counter snaps the sum
+// back to exactly 0 when the window fully drains, so no residue can
+// misclassify an idle flow or block its eviction.
 type LatentHeatClassifier struct {
 	// Window is W, the number of timeslots summed. Must be >= 1.
 	Window int
-
-	t       int // intervals processed
-	history []float64
-	// flows maps each known flow to its ring buffer of historical
-	// bandwidths for the last Window slots.
-	flows map[netip.Prefix]*flowHistory
 	// EvictAfter drops a flow's state after this many consecutive idle
 	// intervals with non-positive latent heat, bounding memory on
 	// long runs. Zero selects 4*Window.
 	EvictAfter int
 
+	t int // intervals processed
+
+	// thrHist is the ring of the last Window thresholds; thresholdSum
+	// re-sums it in chronological order (W terms once per interval, not
+	// per flow), which keeps the float arithmetic identical to the
+	// historical slice-of-thresholds implementation.
+	thrHist []float64
+
+	table    *FlowTable
+	ownTable bool // created lazily here, so Classify advances it too
+
+	// Flow columns, indexed by table ID. hist is the flattened ring of
+	// per-flow bandwidth windows: flow id's slot s lives at
+	// hist[id*Window+s]. winSum is the incrementally maintained window
+	// bandwidth sum; nzSlots counts the ring's nonzero slots so winSum
+	// snaps back to exactly 0 when a flow's window fully drains (no
+	// float residue can leak into classification or block eviction).
+	hist     []float64
+	winSum   []float64
+	nzSlots  []int32
+	idleRuns []int32
+	lastSeen []int32
+	live     []bool
+	liveIDs  []uint32 // iteration order for the idle sweep
+
 	// scratch buffers reused across Classify calls; the returned
 	// Verdict aliases them.
 	idx     []int
 	offline []netip.Prefix
-}
-
-type flowHistory struct {
-	bw       []float64 // ring buffer, len == Window
-	idleRuns int
-	lastSeen int
 }
 
 // NewLatentHeatClassifier returns a classifier with the given window.
@@ -110,25 +144,39 @@ func NewLatentHeatClassifier(window int) (*LatentHeatClassifier, error) {
 		return nil, fmt.Errorf("core: latent-heat window %d < 1", window)
 	}
 	return &LatentHeatClassifier{
-		Window: window,
-		flows:  make(map[netip.Prefix]*flowHistory),
+		Window:  window,
+		thrHist: make([]float64, window),
 	}, nil
 }
 
 // Name implements Classifier.
 func (c *LatentHeatClassifier) Name() string { return "latent-heat" }
 
+// BindTable attaches the pipeline's flow table. Must be called before
+// the first Classify; the table's owner drives its quarantine clock.
+// Snapshot ID columns handed to Classify must come from this table.
+func (c *LatentHeatClassifier) BindTable(tb *FlowTable) {
+	c.table = tb
+	c.ownTable = false
+}
+
 // thresholdSum returns Σ θ̂ over the last min(t, Window) slots including
-// the current one.
+// the current one, summed oldest-first.
 func (c *LatentHeatClassifier) thresholdSum() float64 {
 	var s float64
-	n := len(c.history)
-	w := c.Window
-	if n < w {
-		w = n
+	if c.t < c.Window {
+		for i := 0; i < c.t; i++ {
+			s += c.thrHist[i]
+		}
+		return s
 	}
-	for i := n - w; i < n; i++ {
-		s += c.history[i]
+	start := c.t % c.Window // oldest slot in the ring
+	for k := 0; k < c.Window; k++ {
+		i := start + k
+		if i >= c.Window {
+			i -= c.Window
+		}
+		s += c.thrHist[i]
 	}
 	return s
 }
@@ -136,15 +184,46 @@ func (c *LatentHeatClassifier) thresholdSum() float64 {
 // LatentHeat returns the current latent heat of flow p, and whether the
 // flow is known. Valid after at least one Classify call.
 func (c *LatentHeatClassifier) LatentHeat(p netip.Prefix) (float64, bool) {
-	fh, ok := c.flows[p]
-	if !ok {
+	if c.table == nil {
 		return 0, false
 	}
-	var bwSum float64
-	for _, b := range fh.bw {
-		bwSum += b
+	id, ok := c.table.Lookup(p)
+	if !ok || int(id) >= len(c.live) || !c.live[id] {
+		return 0, false
 	}
-	return bwSum - c.thresholdSum(), true
+	return c.winSum[id] - c.thresholdSum(), true
+}
+
+// ensureFlow grows the flow columns to cover id.
+func (c *LatentHeatClassifier) ensureFlow(id uint32) {
+	if int(id) < len(c.live) {
+		return
+	}
+	n := int(id) + 1
+	c.hist = append(c.hist, make([]float64, n*c.Window-len(c.hist))...)
+	c.winSum = append(c.winSum, make([]float64, n-len(c.winSum))...)
+	c.nzSlots = append(c.nzSlots, make([]int32, n-len(c.nzSlots))...)
+	c.idleRuns = append(c.idleRuns, make([]int32, n-len(c.idleRuns))...)
+	c.lastSeen = append(c.lastSeen, make([]int32, n-len(c.lastSeen))...)
+	c.live = append(c.live, make([]bool, n-len(c.live))...)
+}
+
+// evict clears a flow's columns and hands its ID back to the table's
+// quarantine. The zeroed state is what makes ID recycling safe inside
+// the classifier: a future flow admitted under this ID starts from the
+// same all-zero history a brand-new map entry used to get.
+func (c *LatentHeatClassifier) evict(id uint32) {
+	base := int(id) * c.Window
+	ring := c.hist[base : base+c.Window]
+	for i := range ring {
+		ring[i] = 0
+	}
+	c.winSum[id] = 0
+	c.nzSlots[id] = 0
+	c.idleRuns[id] = 0
+	c.lastSeen[id] = 0
+	c.live[id] = false
+	c.table.Release(id)
 }
 
 // Classify implements Classifier.
@@ -153,27 +232,41 @@ func (c *LatentHeatClassifier) Classify(snap *FlowSnapshot, thresholdHat float64
 	if evictAfter == 0 {
 		evictAfter = 4 * c.Window
 	}
-	// Record θ̂(t); keep only the last Window values.
-	c.history = append(c.history, thresholdHat)
-	if len(c.history) > c.Window {
-		c.history = c.history[len(c.history)-c.Window:]
+	if c.table == nil {
+		c.table = NewFlowTable()
+		c.ownTable = true
+	}
+	// Standalone use: intern the snapshot's keys against the private
+	// table (FillIDs also re-interns columns stamped by a foreign
+	// table). Pipeline-driven snapshots already carry this table's IDs.
+	if !snap.HasIDs() || snap.IDTable() != c.table {
+		c.table.FillIDs(snap)
 	}
 	slot := c.t % c.Window
+	c.thrHist[slot] = thresholdHat // θ̂(t) enters the window
 	c.t++
 
 	// Update or admit the interval's active flows. Snapshot entries are
 	// strictly positive, so lastSeen doubles as the "seen this interval"
 	// marker for the idle pass below.
+	seen := int32(c.t)
 	for i := 0; i < snap.Len(); i++ {
-		p, bw := snap.Key(i), snap.Bandwidth(i)
-		fh, ok := c.flows[p]
-		if !ok {
-			fh = &flowHistory{bw: make([]float64, c.Window)}
-			c.flows[p] = fh
+		id, bw := snap.ID(i), snap.Bandwidth(i)
+		c.ensureFlow(id)
+		if !c.live[id] {
+			c.live[id] = true
+			c.liveIDs = append(c.liveIDs, id)
 		}
-		fh.bw[slot] = bw
-		fh.idleRuns = 0
-		fh.lastSeen = c.t
+		cell := &c.hist[int(id)*c.Window+slot]
+		if old := *cell; old != 0 {
+			c.winSum[id] += bw - old
+		} else {
+			c.nzSlots[id]++
+			c.winSum[id] += bw
+		}
+		*cell = bw
+		c.idleRuns[id] = 0
+		c.lastSeen[id] = seen
 	}
 
 	thrSum := c.thresholdSum()
@@ -181,38 +274,48 @@ func (c *LatentHeatClassifier) Classify(snap *FlowSnapshot, thresholdHat float64
 	c.offline = c.offline[:0]
 	// Active flows, in snapshot (hence sorted) order.
 	for i := 0; i < snap.Len(); i++ {
-		fh := c.flows[snap.Key(i)]
-		var bwSum float64
-		for _, b := range fh.bw {
-			bwSum += b
-		}
-		if bwSum-thrSum > 0 {
+		if c.winSum[snap.ID(i)]-thrSum > 0 {
 			c.idx = append(c.idx, i)
 		}
 	}
 	// Idle flows: zero this interval's slot, then either keep them as
-	// elephants on accumulated heat or age them toward eviction.
-	for p, fh := range c.flows {
-		if fh.lastSeen == c.t {
+	// elephants on accumulated heat or age them toward eviction. The
+	// sweep covers exactly the flows holding state (liveIDs), compacting
+	// out evictions in place.
+	w := 0
+	for _, id := range c.liveIDs {
+		if c.lastSeen[id] == seen {
+			c.liveIDs[w] = id
+			w++
 			continue
 		}
-		fh.bw[slot] = 0
-		fh.idleRuns++
-		var bwSum float64
-		for _, b := range fh.bw {
-			bwSum += b
+		cell := &c.hist[int(id)*c.Window+slot]
+		if old := *cell; old != 0 {
+			*cell = 0
+			c.nzSlots[id]--
+			if c.nzSlots[id] == 0 {
+				c.winSum[id] = 0
+			} else {
+				c.winSum[id] -= old
+			}
 		}
-		if bwSum-thrSum > 0 {
-			c.offline = append(c.offline, p)
-		} else if fh.idleRuns >= evictAfter {
-			delete(c.flows, p)
+		c.idleRuns[id]++
+		if c.winSum[id]-thrSum > 0 {
+			c.offline = append(c.offline, c.table.PrefixOf(id))
+		} else if int(c.idleRuns[id]) >= evictAfter {
+			c.evict(id)
+			continue
 		}
+		c.liveIDs[w] = id
+		w++
 	}
-	sort.Slice(c.offline, func(i, j int) bool {
-		return ComparePrefix(c.offline[i], c.offline[j]) < 0
-	})
+	c.liveIDs = c.liveIDs[:w]
+	slices.SortFunc(c.offline, ComparePrefix)
+	if c.ownTable {
+		c.table.Advance()
+	}
 	return Verdict{Indices: c.idx, Offline: c.offline}
 }
 
 // TrackedFlows reports how many flows currently hold history state.
-func (c *LatentHeatClassifier) TrackedFlows() int { return len(c.flows) }
+func (c *LatentHeatClassifier) TrackedFlows() int { return len(c.liveIDs) }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"slices"
+)
+
+// DefaultQuarantine is the default number of Advance ticks a released ID
+// stays resolvable (and un-reusable) before it is recycled. It must be
+// at least the widest open-interval window of any producer sharing the
+// table, so a recycled ID can never alias bits already accumulated for
+// its previous prefix; 16 covers agg.DefaultStreamWindow (12) with
+// headroom. Producers with wider windows raise it via EnsureQuarantine.
+const DefaultQuarantine = 16
+
+// Lifecycle states of an ID slot.
+const (
+	flowLive    uint8 = iota // interned, resolvable, in use
+	flowPending              // released, still resolvable, awaiting recycle
+	flowFree                 // on the free list, prefix cleared
+)
+
+// FlowTable interns flow prefixes into dense uint32 IDs — the flow
+// identity layer of the hot path. One table is owned per pipeline (per
+// link): every component that keeps per-flow state across intervals
+// (stream accumulator slots, latent-heat history, tracker runs) indexes
+// flat columns by the table's IDs instead of hashing 24-byte
+// netip.Prefix keys per record and per flow per interval.
+//
+// An ID is stable from Intern until Release plus a quarantine of
+// Quarantine Advance ticks (one tick per closed interval, driven by the
+// table's owner). During quarantine the mapping stays intact: Lookup
+// and PrefixOf still resolve it, and re-interning the same prefix
+// resurrects the ID instead of allocating a new one. Only after the
+// quarantine expires is the mapping dropped and the ID pushed onto the
+// free list for reuse by a different prefix. The quarantine is what
+// makes classifier-driven eviction safe while an accumulator with open
+// intervals shares the table: a released flow's bits already spread
+// into open slots are still attributed to the right prefix when those
+// slots close, because the ID cannot be re-bound before every slot that
+// might reference it has been emitted.
+//
+// A FlowTable is single-goroutine, like the pipeline that owns it.
+type FlowTable struct {
+	ids      map[netip.Prefix]uint32
+	prefixes []netip.Prefix // id -> prefix; zero value for free slots
+	state    []uint8        // id -> lifecycle state
+	relTick  []uint64       // id -> tick of the latest Release
+	free     []uint32       // recyclable IDs (quarantine expired)
+
+	pending     []pendingRelease // FIFO by tick
+	pendingHead int
+	tick        uint64
+	quarantine  uint64
+	pinned      bool
+
+	// Lazily rebuilt prefix-rank column: ranks[id] is the position of
+	// the ID's prefix in ComparePrefix order over all bound IDs, so
+	// sorting an interval's dirty IDs into emission order costs integer
+	// compares instead of 24-byte prefix compares. bindGen is bumped on
+	// every id<->prefix (re)binding; a stale rank column is rebuilt on
+	// demand.
+	ranks   []int32
+	rankIDs []uint32 // rebuild scratch
+	bindGen uint64
+	rankGen uint64
+}
+
+type pendingRelease struct {
+	id   uint32
+	tick uint64
+}
+
+// NewFlowTable returns an empty table with the default quarantine.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{
+		ids:        make(map[netip.Prefix]uint32),
+		quarantine: DefaultQuarantine,
+	}
+}
+
+// Len reports the number of interned mappings (live plus quarantined).
+func (tb *FlowTable) Len() int { return len(tb.ids) }
+
+// Cap reports the ID space size: every ID ever handed out is below Cap,
+// so Cap is the length ID-indexed columns must be grown to.
+func (tb *FlowTable) Cap() int { return len(tb.prefixes) }
+
+// Quarantine returns the current quarantine length in Advance ticks.
+func (tb *FlowTable) Quarantine() uint64 { return tb.quarantine }
+
+// EnsureQuarantine raises the quarantine to at least q ticks (it never
+// lowers it): producers call it with their open-interval window when
+// they attach to a shared table.
+func (tb *FlowTable) EnsureQuarantine(q int) {
+	if q > 0 && uint64(q) > tb.quarantine {
+		tb.quarantine = uint64(q)
+	}
+}
+
+// Intern returns the prefix's dense ID, assigning one on first sight.
+// Re-interning a quarantined prefix resurrects its old ID, so a flow
+// that falls idle, is evicted and returns within the quarantine keeps a
+// single identity.
+func (tb *FlowTable) Intern(p netip.Prefix) uint32 {
+	if id, ok := tb.ids[p]; ok {
+		if tb.state[id] == flowPending {
+			tb.state[id] = flowLive
+		}
+		return id
+	}
+	var id uint32
+	if n := len(tb.free); n > 0 {
+		id = tb.free[n-1]
+		tb.free = tb.free[:n-1]
+		tb.prefixes[id] = p
+		tb.state[id] = flowLive
+	} else {
+		id = uint32(len(tb.prefixes))
+		tb.prefixes = append(tb.prefixes, p)
+		tb.state = append(tb.state, flowLive)
+		tb.relTick = append(tb.relTick, 0)
+	}
+	tb.ids[p] = id
+	tb.bindGen++ // a new binding invalidates the rank column
+	return id
+}
+
+// Ranks returns the prefix-rank column: ranks[id] orders bound IDs by
+// ComparePrefix of their prefixes (free IDs hold garbage). The column
+// is rebuilt — O(n log n) over the bound IDs — only when a binding
+// changed since the last call; with a stable flow population it is a
+// plain slice read. RanksFresh reports whether Ranks would rebuild,
+// letting callers with few IDs to order skip the rebuild entirely.
+func (tb *FlowTable) Ranks() []int32 {
+	if tb.rankGen != tb.bindGen {
+		tb.rankIDs = tb.rankIDs[:0]
+		for id := range tb.state {
+			if tb.state[id] != flowFree {
+				tb.rankIDs = append(tb.rankIDs, uint32(id))
+			}
+		}
+		slices.SortFunc(tb.rankIDs, func(a, b uint32) int {
+			return ComparePrefix(tb.prefixes[a], tb.prefixes[b])
+		})
+		if n := len(tb.prefixes); len(tb.ranks) < n {
+			tb.ranks = append(tb.ranks, make([]int32, n-len(tb.ranks))...)
+		}
+		for r, id := range tb.rankIDs {
+			tb.ranks[id] = int32(r)
+		}
+		tb.rankGen = tb.bindGen
+	}
+	return tb.ranks
+}
+
+// RanksFresh reports whether the rank column is up to date with every
+// binding (i.e. Ranks will not rebuild).
+func (tb *FlowTable) RanksFresh() bool { return tb.rankGen == tb.bindGen }
+
+// Lookup returns the prefix's ID without interning.
+func (tb *FlowTable) Lookup(p netip.Prefix) (uint32, bool) {
+	id, ok := tb.ids[p]
+	return id, ok
+}
+
+// PrefixOf returns the prefix bound to id. The zero Prefix is returned
+// for recycled (free) IDs.
+func (tb *FlowTable) PrefixOf(id uint32) netip.Prefix { return tb.prefixes[id] }
+
+// Prefixes exposes the id->prefix column for hot loops that resolve
+// many IDs (e.g. sorting an interval's dirty IDs into prefix order).
+// Shared storage; do not modify, and do not hold across Intern calls.
+func (tb *FlowTable) Prefixes() []netip.Prefix { return tb.prefixes }
+
+// Pin freezes the ID space: Release becomes a no-op, so every mapping
+// stays resolvable for the table's lifetime and IDs are never
+// recycled. Callers that cache ID columns outside the table — the
+// batch engine's row→ID column over a whole series — pin the table,
+// because a cached ID must keep resolving to its prefix even after the
+// classifier evicts the flow's state. Pinning cannot be undone.
+func (tb *FlowTable) Pin() { tb.pinned = true }
+
+// Release begins recycling an ID: the mapping stays resolvable for
+// Quarantine more Advance ticks, then the ID returns to the free list.
+// Releasing an already-pending ID restarts its quarantine. On a pinned
+// table Release is a no-op. Releasing a free ID is a programming error
+// and panics.
+func (tb *FlowTable) Release(id uint32) {
+	if int(id) >= len(tb.state) || tb.state[id] == flowFree {
+		panic(fmt.Sprintf("core: FlowTable.Release of non-interned id %d", id))
+	}
+	if tb.pinned {
+		return
+	}
+	tb.state[id] = flowPending
+	tb.relTick[id] = tb.tick
+	tb.pending = append(tb.pending, pendingRelease{id: id, tick: tb.tick})
+}
+
+// Advance ticks the quarantine clock — the table's owner calls it once
+// per closed interval — and finalises releases whose quarantine has
+// expired: their mapping is dropped and the ID becomes reusable.
+func (tb *FlowTable) Advance() {
+	tb.tick++
+	for tb.pendingHead < len(tb.pending) {
+		e := tb.pending[tb.pendingHead]
+		if e.tick+tb.quarantine > tb.tick {
+			break
+		}
+		tb.pendingHead++
+		// The entry is stale if the ID was resurrected (live again) or
+		// re-released later (a newer pending entry owns it).
+		if tb.state[e.id] == flowPending && tb.relTick[e.id] == e.tick {
+			delete(tb.ids, tb.prefixes[e.id])
+			tb.prefixes[e.id] = netip.Prefix{}
+			tb.state[e.id] = flowFree
+			tb.free = append(tb.free, e.id)
+		}
+	}
+	if tb.pendingHead > 64 && tb.pendingHead*2 >= len(tb.pending) {
+		n := copy(tb.pending, tb.pending[tb.pendingHead:])
+		tb.pending = tb.pending[:n]
+		tb.pendingHead = 0
+	}
+}
+
+// FillIDs interns every key of a snapshot and attaches the ID column —
+// the bridge for producers that assemble snapshots without a table
+// (batch Series emission, tests). A column already stamped as coming
+// from this table is left untouched; a foreign or unstamped column is
+// dropped and re-interned, so consumers can never index another
+// table's IDs into their flow state.
+func (tb *FlowTable) FillIDs(s *FlowSnapshot) {
+	if s.HasIDs() && s.idTable == tb {
+		return
+	}
+	s.ids = s.ids[:0]
+	for _, p := range s.keys {
+		s.ids = append(s.ids, tb.Intern(p))
+	}
+	s.idTable = tb
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestFlowTableInternLookup(t *testing.T) {
+	tb := NewFlowTable()
+	a, b := pfx(1), pfx(2)
+	ida := tb.Intern(a)
+	idb := tb.Intern(b)
+	if ida == idb {
+		t.Fatalf("distinct prefixes share id %d", ida)
+	}
+	if got := tb.Intern(a); got != ida {
+		t.Errorf("re-intern changed id: %d -> %d", ida, got)
+	}
+	if id, ok := tb.Lookup(a); !ok || id != ida {
+		t.Errorf("Lookup(a) = %d,%v", id, ok)
+	}
+	if _, ok := tb.Lookup(pfx(9)); ok {
+		t.Error("Lookup of never-interned prefix succeeded")
+	}
+	if tb.PrefixOf(ida) != a || tb.PrefixOf(idb) != b {
+		t.Error("PrefixOf does not invert Intern")
+	}
+	if tb.Len() != 2 || tb.Cap() < 2 {
+		t.Errorf("Len=%d Cap=%d", tb.Len(), tb.Cap())
+	}
+}
+
+func TestFlowTableQuarantineRecycle(t *testing.T) {
+	tb := NewFlowTable()
+	tb.quarantine = 3 // in-package: shorten the default for the test
+	a, b := pfx(1), pfx(2)
+	ida := tb.Intern(a)
+
+	tb.Release(ida)
+	// During quarantine the mapping must stay fully resolvable.
+	if id, ok := tb.Lookup(a); !ok || id != ida {
+		t.Fatalf("quarantined mapping lost: %d,%v", id, ok)
+	}
+	if tb.PrefixOf(ida) != a {
+		t.Fatal("quarantined PrefixOf lost")
+	}
+	tb.Advance()
+	tb.Advance()
+	// Still quarantined: a new prefix must NOT get the released ID.
+	if idb := tb.Intern(b); idb == ida {
+		t.Fatal("released ID re-bound inside its quarantine")
+	}
+	tb.Advance() // quarantine (3) expires here
+	if _, ok := tb.Lookup(a); ok {
+		t.Fatal("mapping survived quarantine expiry")
+	}
+	if idc := tb.Intern(pfx(3)); idc != ida {
+		t.Errorf("expired ID %d not recycled (got %d)", ida, idc)
+	}
+	if tb.PrefixOf(ida) != pfx(3) {
+		t.Error("recycled ID resolves to stale prefix")
+	}
+}
+
+func TestFlowTableResurrection(t *testing.T) {
+	tb := NewFlowTable()
+	tb.quarantine = 4 // in-package: shorten the default for the test
+	a := pfx(7)
+	ida := tb.Intern(a)
+	tb.Release(ida)
+	tb.Advance()
+	// Re-intern during quarantine: same identity, release cancelled.
+	if got := tb.Intern(a); got != ida {
+		t.Fatalf("resurrection allocated new id %d (want %d)", got, ida)
+	}
+	for i := 0; i < 10; i++ {
+		tb.Advance()
+	}
+	// The stale pending entry must not have freed the resurrected ID.
+	if id, ok := tb.Lookup(a); !ok || id != ida {
+		t.Fatalf("resurrected mapping dropped by stale pending entry: %d,%v", id, ok)
+	}
+	// Re-release after resurrection starts a fresh quarantine.
+	tb.Release(ida)
+	tb.Advance()
+	if _, ok := tb.Lookup(a); !ok {
+		t.Fatal("fresh quarantine expired after one tick")
+	}
+	for i := 0; i < 4; i++ {
+		tb.Advance()
+	}
+	if _, ok := tb.Lookup(a); ok {
+		t.Fatal("re-release never expired")
+	}
+}
+
+func TestFlowTablePinned(t *testing.T) {
+	tb := NewFlowTable()
+	tb.quarantine = 1 // in-package: shorten the default for the test
+	a := pfx(1)
+	ida := tb.Intern(a)
+	tb.Pin()
+	tb.Release(ida) // must be a no-op
+	for i := 0; i < 8; i++ {
+		tb.Advance()
+	}
+	if id, ok := tb.Lookup(a); !ok || id != ida {
+		t.Fatalf("pinned mapping recycled: %d,%v", id, ok)
+	}
+	if tb.PrefixOf(ida) != a {
+		t.Fatal("pinned PrefixOf lost")
+	}
+	// Releasing again (e.g. the classifier evicting a re-admitted flow)
+	// must stay harmless.
+	tb.Release(ida)
+}
+
+func TestFlowTableRanks(t *testing.T) {
+	tb := NewFlowTable()
+	// Intern out of prefix order so rank != id.
+	order := []int{5, 1, 9, 3, 7}
+	ids := make([]uint32, len(order))
+	for i, n := range order {
+		ids[i] = tb.Intern(pfx(n))
+	}
+	if tb.RanksFresh() {
+		t.Error("ranks reported fresh before first build")
+	}
+	ranks := tb.Ranks()
+	if !tb.RanksFresh() {
+		t.Error("ranks stale right after rebuild")
+	}
+	// pfx(n) order is by n: 1 < 3 < 5 < 7 < 9.
+	wantRank := map[int]int32{1: 0, 3: 1, 5: 2, 7: 3, 9: 4}
+	for i, n := range order {
+		if ranks[ids[i]] != wantRank[n] {
+			t.Errorf("rank of pfx(%d) = %d, want %d", n, ranks[ids[i]], wantRank[n])
+		}
+	}
+	tb.Intern(pfx(2)) // new binding invalidates
+	if tb.RanksFresh() {
+		t.Error("ranks fresh after new binding")
+	}
+	ranks = tb.Ranks()
+	if id2, _ := tb.Lookup(pfx(2)); ranks[id2] != 1 {
+		t.Errorf("rank of inserted pfx(2) = %d, want 1", ranks[id2])
+	}
+}
+
+func TestFillIDs(t *testing.T) {
+	tb := NewFlowTable()
+	s := NewFlowSnapshot(4)
+	for i := 0; i < 4; i++ {
+		s.Append(pfx(i), float64(i+1))
+	}
+	if s.HasIDs() {
+		t.Fatal("plain snapshot claims IDs")
+	}
+	tb.FillIDs(s)
+	if !s.HasIDs() {
+		t.Fatal("FillIDs did not attach a complete column")
+	}
+	for i := 0; i < s.Len(); i++ {
+		if tb.PrefixOf(s.ID(i)) != s.Key(i) {
+			t.Errorf("row %d: id %d resolves to %v, want %v", i, s.ID(i), tb.PrefixOf(s.ID(i)), s.Key(i))
+		}
+	}
+	// Idempotent: a second fill must not re-intern or grow the column.
+	n := tb.Len()
+	tb.FillIDs(s)
+	if tb.Len() != n || len(s.IDs()) != s.Len() {
+		t.Error("second FillIDs changed state")
+	}
+}
+
+// FuzzFlowTable drives random intern/release/advance sequences and
+// checks the structural invariants the hot path relies on: no
+// operation panics, Intern is a bijection over the bound IDs (two
+// resolvable prefixes never share an ID, and every resolvable mapping
+// round-trips through PrefixOf), and recycling can never leave a
+// recycled ID aliased by two live prefixes.
+func FuzzFlowTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0x40, 0x80, 0, 0x41, 0x80, 0x80, 0x80, 0})
+	f.Add([]byte{5, 5, 0x45, 0x80, 0x45, 5, 0x80})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tb := NewFlowTable()
+		tb.quarantine = 2 // short quarantine: more recycling per op budget
+		pool := make([]netip.Prefix, 16)
+		for i := range pool {
+			pool[i] = pfx(i)
+		}
+		for _, op := range ops {
+			switch {
+			case op&0x80 != 0:
+				tb.Advance()
+			case op&0x40 != 0:
+				if id, ok := tb.Lookup(pool[op&0x0f]); ok {
+					tb.Release(id)
+				}
+			default:
+				id := tb.Intern(pool[op&0x0f])
+				if got := tb.PrefixOf(id); got != pool[op&0x0f] {
+					t.Fatalf("Intern(%v) -> id %d -> PrefixOf %v", pool[op&0x0f], id, got)
+				}
+			}
+			// Bijection over resolvable mappings.
+			rev := make(map[uint32]netip.Prefix)
+			for _, p := range pool {
+				id, ok := tb.Lookup(p)
+				if !ok {
+					continue
+				}
+				if other, dup := rev[id]; dup {
+					t.Fatalf("id %d aliased by %v and %v", id, other, p)
+				}
+				rev[id] = p
+				if tb.PrefixOf(id) != p {
+					t.Fatalf("mapping %v -> %d does not round-trip (PrefixOf = %v)", p, id, tb.PrefixOf(id))
+				}
+			}
+			if tb.Len() != len(rev) {
+				t.Fatalf("Len %d != %d resolvable mappings", tb.Len(), len(rev))
+			}
+			if tb.Cap() < tb.Len() {
+				t.Fatalf("Cap %d < Len %d", tb.Cap(), tb.Len())
+			}
+		}
+	})
+}
+
+// TestStepReintersForeignIDColumn is the regression pin for a producer
+// wired to its own private table (instead of sharing the pipeline's):
+// the emitted ID column is stamped with the foreign table, so the
+// pipeline must re-intern against its own table — indexing foreign IDs
+// used to panic (or worse, silently read another flow's history).
+func TestStepReintersForeignIDColumn(t *testing.T) {
+	det, err := NewConstantLoadDetector(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := NewLatentHeatClassifier(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewPipeline(Config{Detector: det, Alpha: 0.5, Classifier: lh, MinFlows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := NewFlowTable()
+	// IDs deliberately disjoint from anything pipe's empty table holds.
+	for i := 100; i < 164; i++ {
+		foreign.Intern(pfx(i))
+	}
+	for step := 0; step < 6; step++ {
+		s := NewFlowSnapshot(8)
+		s.SetIDTable(foreign)
+		for i := 0; i < 8; i++ {
+			s.AppendID(pfx(i), foreign.Intern(pfx(i)), 1e4*float64(i+1))
+		}
+		res, err := pipe.Step(s)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if s.IDTable() != pipe.Table() {
+			t.Fatalf("step %d: foreign ID column not re-interned", step)
+		}
+		if res.ActiveFlows != 8 {
+			t.Fatalf("step %d: ActiveFlows = %d", step, res.ActiveFlows)
+		}
+	}
+	// The classifier's state must be keyed by the pipeline's table: the
+	// steady heavy flows are elephants, resolvable by prefix.
+	if lh.TrackedFlows() != 8 {
+		t.Fatalf("tracked %d flows, want 8", lh.TrackedFlows())
+	}
+	if _, ok := lh.LatentHeat(pfx(7)); !ok {
+		t.Fatal("heaviest flow unknown to the classifier after re-interning")
+	}
+}

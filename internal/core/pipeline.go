@@ -69,10 +69,26 @@ type Pipeline struct {
 	cfg  Config
 	ewma *stats.EWMA
 	t    int
+	// table is the pipeline's flow identity table: every prefix this
+	// link classifies is interned into a dense uint32 ID exactly once,
+	// and ID-aware classifiers index their per-flow columns by it.
+	// Producers that feed the pipeline (the engine's stream
+	// accumulators) share it so emitted snapshots carry IDs already.
+	table *FlowTable
+	// needIDs records whether the classifier consumes the ID column;
+	// snapshots arriving without one are filled from the table.
+	needIDs bool
 	// scratch reuses its backing array across intervals: it carries a
 	// copy of the bandwidth column for the detector, which may reorder
 	// its input in place.
 	scratch []float64
+}
+
+// TableBinder is implemented by classifiers that keep per-flow state in
+// dense-ID-indexed columns (LatentHeatClassifier). NewPipeline binds
+// its flow table to such classifiers once at construction.
+type TableBinder interface {
+	BindTable(*FlowTable)
 }
 
 // NewPipeline validates cfg and returns a ready pipeline.
@@ -89,8 +105,19 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if cfg.MinFlows == 0 {
 		cfg.MinFlows = 16
 	}
-	return &Pipeline{cfg: cfg, ewma: stats.NewEWMA(cfg.Alpha)}, nil
+	p := &Pipeline{cfg: cfg, ewma: stats.NewEWMA(cfg.Alpha), table: NewFlowTable()}
+	if tb, ok := cfg.Classifier.(TableBinder); ok {
+		tb.BindTable(p.table)
+		p.needIDs = true
+	}
+	return p, nil
 }
+
+// Table returns the pipeline's flow identity table. Producers feeding
+// this pipeline (stream accumulators) attach to it so that emitted
+// snapshots carry dense IDs and the classify path never hashes a
+// prefix; the table is single-goroutine, owned by whoever drives Step.
+func (p *Pipeline) Table() *FlowTable { return p.table }
 
 // StepSnapshot is the push-style entry point for streaming producers
 // (an agg.StreamAccumulator's Emit hook, or any source that closes
@@ -156,6 +183,24 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 		res.Threshold = p.ewma.Value()
 	}
 
+	// ID-aware classifiers index their flow columns by the snapshot's
+	// dense IDs; batch producers emit plain prefix snapshots, so intern
+	// here (one table hit per active flow — the only hash on the whole
+	// classify path). Stream producers sharing p.table emit IDs already;
+	// a column stamped by a different table (a producer wired to its own
+	// private table) is re-interned rather than trusted.
+	if p.needIDs {
+		if !snap.HasIDs() || snap.IDTable() != p.table {
+			p.table.FillIDs(snap)
+		} else if DebugInvariants {
+			for i := 0; i < snap.Len(); i++ {
+				if p.table.PrefixOf(snap.ID(i)) != snap.Key(i) {
+					return res, fmt.Errorf("core: interval %d: snapshot ID %d does not resolve to %v in the pipeline's table", p.t, snap.ID(i), snap.Key(i))
+				}
+			}
+		}
+	}
+
 	v := p.cfg.Classifier.Classify(snap, res.Threshold)
 	if DebugInvariants {
 		if err := checkVerdict(snap, v); err != nil {
@@ -167,8 +212,14 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 	}
 	res.Elephants = mergeElephants(snap, v)
 
-	// Phase 2: fold θ(t) into the EWMA governing interval t+1.
+	// Phase 2: fold θ(t) into the EWMA governing interval t+1, and tick
+	// the table's quarantine clock — released IDs become reusable only
+	// after enough intervals have closed that no open accumulator slot
+	// can still reference them.
 	p.ewma.Update(res.RawThreshold)
+	if p.needIDs {
+		p.table.Advance()
+	}
 	p.t++
 	return res, nil
 }

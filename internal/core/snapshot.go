@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/netip"
+	"slices"
 	"sort"
 )
 
@@ -32,11 +33,18 @@ func ComparePrefix(a, b netip.Prefix) int {
 // engine workers do exactly that). Consumers must not retain the
 // snapshot or its column slices across intervals; anything that outlives
 // the interval (e.g. Result.Elephants) is copied out by Pipeline.Step.
+// A snapshot may additionally carry a dense-ID column (AppendID, or
+// FlowTable.FillIDs) aligned with the prefix column: ids[i] is the
+// FlowTable ID of keys[i]. The column is all-or-nothing — HasIDs
+// reports whether every row has one — and IDs are only meaningful
+// against the single table the producing pipeline owns.
 type FlowSnapshot struct {
-	keys   []netip.Prefix
-	bw     []float64
-	total  float64
-	sorted bool
+	keys    []netip.Prefix
+	bw      []float64
+	ids     []uint32
+	idTable *FlowTable // table the ID column was interned against
+	total   float64
+	sorted  bool
 }
 
 // NewFlowSnapshot returns an empty snapshot with room for capacity
@@ -53,6 +61,8 @@ func NewFlowSnapshot(capacity int) *FlowSnapshot {
 func (s *FlowSnapshot) Reset() {
 	s.keys = s.keys[:0]
 	s.bw = s.bw[:0]
+	s.ids = s.ids[:0]
+	s.idTable = nil
 	s.total = 0
 	s.sorted = true
 }
@@ -72,6 +82,47 @@ func (s *FlowSnapshot) Append(p netip.Prefix, bw float64) {
 	s.bw = append(s.bw, bw)
 	s.total += bw
 }
+
+// AppendID adds one flow together with its dense FlowTable ID —
+// producers that hold a table (the stream accumulator) use it so the
+// classifier can index its per-flow columns without a single hash
+// lookup. The same bandwidth and ordering rules as Append apply.
+func (s *FlowSnapshot) AppendID(p netip.Prefix, id uint32, bw float64) {
+	if bw <= 0 {
+		return
+	}
+	s.Append(p, bw)
+	s.ids = append(s.ids, id)
+}
+
+// HasIDs reports whether every row carries a dense ID: true when the
+// snapshot was filled exclusively through AppendID (or FillIDs), false
+// after any plain Append.
+func (s *FlowSnapshot) HasIDs() bool { return len(s.ids) == len(s.keys) }
+
+// SetIDTable stamps the table the ID column was interned against.
+// Producers filling via AppendID set it (FillIDs does it itself);
+// consumers use IDTable to reject — and re-intern — columns that came
+// from a different pipeline's table instead of indexing foreign IDs.
+func (s *FlowSnapshot) SetIDTable(tb *FlowTable) { s.idTable = tb }
+
+// IDTable returns the table the ID column belongs to (nil when the
+// producer did not stamp one).
+func (s *FlowSnapshot) IDTable() *FlowTable { return s.idTable }
+
+// ClearIDs drops the ID column (keeping keys and bandwidths), so a
+// consumer holding a different table can re-intern via FillIDs.
+func (s *FlowSnapshot) ClearIDs() {
+	s.ids = s.ids[:0]
+	s.idTable = nil
+}
+
+// ID returns the i-th flow's dense ID; meaningful only when HasIDs.
+func (s *FlowSnapshot) ID(i int) uint32 { return s.ids[i] }
+
+// IDs exposes the ID column (nil or short of Len when HasIDs is
+// false). Shared storage; do not modify.
+func (s *FlowSnapshot) IDs() []uint32 { return s.ids }
 
 // Len reports the number of active flows in the snapshot.
 func (s *FlowSnapshot) Len() int { return len(s.keys) }
@@ -107,20 +158,29 @@ func (s *FlowSnapshot) Sort() {
 	if s.sorted {
 		return
 	}
+	withIDs := s.HasIDs()
 	sort.Sort((*snapshotSorter)(s))
 	w := 0
 	for i := 1; i < len(s.keys); i++ {
 		if s.keys[i] == s.keys[w] {
+			// Duplicates of one prefix interned against one table carry
+			// equal IDs, so keeping the first suffices for the ID column.
 			s.bw[w] += s.bw[i]
 		} else {
 			w++
 			s.keys[w] = s.keys[i]
 			s.bw[w] = s.bw[i]
+			if withIDs {
+				s.ids[w] = s.ids[i]
+			}
 		}
 	}
 	if len(s.keys) > 0 {
 		s.keys = s.keys[:w+1]
 		s.bw = s.bw[:w+1]
+		if withIDs {
+			s.ids = s.ids[:w+1]
+		}
 	}
 	s.sorted = true
 }
@@ -145,6 +205,9 @@ func (s *snapshotSorter) Less(i, j int) bool {
 func (s *snapshotSorter) Swap(i, j int) {
 	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 	s.bw[i], s.bw[j] = s.bw[j], s.bw[i]
+	if len(s.ids) == len(s.keys) {
+		s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	}
 }
 
 // Lookup binary-searches the prefix column and returns the flow's index.
@@ -192,7 +255,7 @@ func NewElephantSet(flows ...netip.Prefix) ElephantSet {
 	}
 	fs := make([]netip.Prefix, len(flows))
 	copy(fs, flows)
-	sort.Slice(fs, func(i, j int) bool { return ComparePrefix(fs[i], fs[j]) < 0 })
+	slices.SortFunc(fs, ComparePrefix)
 	out := fs[:1]
 	for _, p := range fs[1:] {
 		if p != out[len(out)-1] {

@@ -181,3 +181,50 @@ func TestComparePrefix(t *testing.T) {
 		t.Error("address ordering broken")
 	}
 }
+
+func TestSnapshotIDColumn(t *testing.T) {
+	s := NewFlowSnapshot(4)
+	s.AppendID(pfx(0), 7, 10)
+	s.AppendID(pfx(1), 3, 20)
+	s.AppendID(pfx(2), 9, 0) // dropped like Append
+	if !s.HasIDs() || s.Len() != 2 {
+		t.Fatalf("HasIDs=%v Len=%d", s.HasIDs(), s.Len())
+	}
+	if s.ID(0) != 7 || s.ID(1) != 3 {
+		t.Errorf("ids = %v", s.IDs())
+	}
+	// A plain Append breaks the all-or-nothing column.
+	s.Append(pfx(3), 5)
+	if s.HasIDs() {
+		t.Error("mixed appends still claim a complete ID column")
+	}
+	s.Reset()
+	if !s.HasIDs() || s.Len() != 0 {
+		t.Error("reset snapshot must be trivially ID-complete")
+	}
+}
+
+func TestSnapshotSortCarriesIDs(t *testing.T) {
+	s := NewFlowSnapshot(4)
+	// Out of order, with a duplicate prefix (same table => same ID).
+	s.AppendID(pfx(2), 12, 30)
+	s.AppendID(pfx(0), 10, 10)
+	s.AppendID(pfx(2), 12, 5)
+	s.AppendID(pfx(1), 11, 20)
+	if s.IsSorted() {
+		t.Fatal("out-of-order snapshot claims sorted")
+	}
+	s.Sort()
+	if !s.HasIDs() {
+		t.Fatal("Sort dropped the ID column")
+	}
+	wantKeys := []netip.Prefix{pfx(0), pfx(1), pfx(2)}
+	wantIDs := []uint32{10, 11, 12}
+	wantBW := []float64{10, 20, 35}
+	for i := range wantKeys {
+		if s.Key(i) != wantKeys[i] || s.ID(i) != wantIDs[i] || s.Bandwidth(i) != wantBW[i] {
+			t.Fatalf("row %d = %v/%d/%v, want %v/%d/%v",
+				i, s.Key(i), s.ID(i), s.Bandwidth(i), wantKeys[i], wantIDs[i], wantBW[i])
+		}
+	}
+}

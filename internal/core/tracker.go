@@ -2,7 +2,7 @@ package core
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
 )
 
 // Tracker maintains the per-flow two-state process I_j(t) online: feed
@@ -11,53 +11,88 @@ import (
 // the quantities package analysis derives after the fact, but available
 // streaming for a live deployment (e.g. to expose as metrics or to gate
 // reroutes on a minimum dwell time).
+//
+// Flow state lives in flat columns indexed by a private FlowTable's
+// dense IDs (one intern per member per interval), and the per-interval
+// demotion pass sweeps only the flows currently in the elephant state
+// instead of every flow ever tracked. IDs are never recycled: holding
+// statistics are cumulative over the tracker's lifetime, exactly like
+// the prefix-keyed map of earlier revisions.
 type Tracker struct {
 	t     int
-	flows map[netip.Prefix]*flowTrack
+	table *FlowTable
+
+	// Columns indexed by table ID.
+	elephant   []bool
+	curRun     []int32 // length of the current elephant run
+	runsCount  []int32 // completed runs
+	runsTotal  []int64 // sum of completed run lengths
+	lastChange []int32 // interval of the last transition
+
+	seen        []int32  // sweep marker: interval the flow was last a member
+	elephantIDs []uint32 // flows currently in the elephant state
+	scratch     []uint32 // per-Observe member IDs, interned once
 
 	// Promotions and Demotions count state transitions across all flows.
 	Promotions, Demotions int
 }
 
-type flowTrack struct {
-	elephant   bool
-	curRun     int   // length of the current elephant run
-	runs       []int // completed run lengths
-	lastChange int   // interval of the last transition
-}
-
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{flows: make(map[netip.Prefix]*flowTrack)}
+	return &Tracker{table: NewFlowTable()}
+}
+
+// ensureFlow grows the columns to cover id.
+func (tr *Tracker) ensureFlow(id uint32) {
+	if int(id) < len(tr.elephant) {
+		return
+	}
+	n := int(id) + 1
+	tr.elephant = append(tr.elephant, make([]bool, n-len(tr.elephant))...)
+	tr.curRun = append(tr.curRun, make([]int32, n-len(tr.curRun))...)
+	tr.runsCount = append(tr.runsCount, make([]int32, n-len(tr.runsCount))...)
+	tr.runsTotal = append(tr.runsTotal, make([]int64, n-len(tr.runsTotal))...)
+	tr.lastChange = append(tr.lastChange, make([]int32, n-len(tr.lastChange))...)
+	tr.seen = append(tr.seen, make([]int32, n-len(tr.seen))...)
 }
 
 // Observe folds one interval's elephant set in. Flows absent from the
 // set (including never-seen flows) are mice for the interval. Calls must
 // be made in interval order.
 func (tr *Tracker) Observe(elephants ElephantSet) {
-	// Demote tracked elephants that left the set.
-	for p, ft := range tr.flows {
-		if ft.elephant && !elephants.Contains(p) {
-			ft.elephant = false
-			ft.runs = append(ft.runs, ft.curRun)
-			ft.curRun = 0
-			ft.lastChange = tr.t
-			tr.Demotions++
-		}
-	}
-	// Promote or extend members.
+	epoch := int32(tr.t + 1)
+	tr.scratch = tr.scratch[:0]
 	for _, p := range elephants.Flows() {
-		ft, ok := tr.flows[p]
-		if !ok {
-			ft = &flowTrack{}
-			tr.flows[p] = ft
+		id := tr.table.Intern(p)
+		tr.ensureFlow(id)
+		tr.seen[id] = epoch
+		tr.scratch = append(tr.scratch, id)
+	}
+	// Demote tracked elephants that left the set, compacting in place.
+	w := 0
+	for _, id := range tr.elephantIDs {
+		if tr.seen[id] == epoch {
+			tr.elephantIDs[w] = id
+			w++
+			continue
 		}
-		if !ft.elephant {
-			ft.elephant = true
-			ft.lastChange = tr.t
+		tr.elephant[id] = false
+		tr.runsCount[id]++
+		tr.runsTotal[id] += int64(tr.curRun[id])
+		tr.curRun[id] = 0
+		tr.lastChange[id] = int32(tr.t)
+		tr.Demotions++
+	}
+	tr.elephantIDs = tr.elephantIDs[:w]
+	// Promote or extend members.
+	for _, id := range tr.scratch {
+		if !tr.elephant[id] {
+			tr.elephant[id] = true
+			tr.lastChange[id] = int32(tr.t)
+			tr.elephantIDs = append(tr.elephantIDs, id)
 			tr.Promotions++
 		}
-		ft.curRun++
+		tr.curRun[id]++
 	}
 	tr.t++
 }
@@ -67,7 +102,7 @@ func (tr *Tracker) Intervals() int { return tr.t }
 
 // State returns the flow's current class.
 func (tr *Tracker) State(p netip.Prefix) Class {
-	if ft, ok := tr.flows[p]; ok && ft.elephant {
+	if id, ok := tr.table.Lookup(p); ok && tr.elephant[id] {
 		return Elephant
 	}
 	return Mouse
@@ -76,8 +111,8 @@ func (tr *Tracker) State(p netip.Prefix) Class {
 // CurrentRun returns the length (in intervals) of the flow's ongoing
 // elephant run; zero for mice.
 func (tr *Tracker) CurrentRun(p netip.Prefix) int {
-	if ft, ok := tr.flows[p]; ok {
-		return ft.curRun
+	if id, ok := tr.table.Lookup(p); ok {
+		return int(tr.curRun[id])
 	}
 	return 0
 }
@@ -98,33 +133,25 @@ type HoldingStat struct {
 // Holdings returns per-flow holding statistics for every flow that ever
 // entered the elephant state, sorted by flow for deterministic output.
 func (tr *Tracker) Holdings() []HoldingStat {
-	out := make([]HoldingStat, 0, len(tr.flows))
-	for p, ft := range tr.flows {
-		runs := len(ft.runs)
-		total := 0
-		for _, r := range ft.runs {
-			total += r
-		}
-		if ft.curRun > 0 {
+	out := make([]HoldingStat, 0, len(tr.elephantIDs))
+	for id := range tr.elephant {
+		runs := int(tr.runsCount[id])
+		total := tr.runsTotal[id]
+		if tr.curRun[id] > 0 {
 			runs++
-			total += ft.curRun
+			total += int64(tr.curRun[id])
 		}
 		if runs == 0 {
 			continue
 		}
 		out = append(out, HoldingStat{
-			Flow:        p,
+			Flow:        tr.table.PrefixOf(uint32(id)),
 			Visits:      runs,
 			MeanHolding: float64(total) / float64(runs),
-			Elephant:    ft.elephant,
+			Elephant:    tr.elephant[id],
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if c := out[i].Flow.Addr().Compare(out[j].Flow.Addr()); c != 0 {
-			return c < 0
-		}
-		return out[i].Flow.Bits() < out[j].Flow.Bits()
-	})
+	slices.SortFunc(out, func(a, b HoldingStat) int { return ComparePrefix(a.Flow, b.Flow) })
 	return out
 }
 
@@ -146,7 +173,12 @@ func (tr *Tracker) MeanHolding() float64 {
 func (tr *Tracker) Reset() {
 	tr.t = 0
 	tr.Promotions, tr.Demotions = 0, 0
-	for p := range tr.flows {
-		delete(tr.flows, p)
-	}
+	tr.table = NewFlowTable()
+	tr.elephant = tr.elephant[:0]
+	tr.curRun = tr.curRun[:0]
+	tr.runsCount = tr.runsCount[:0]
+	tr.runsTotal = tr.runsTotal[:0]
+	tr.lastChange = tr.lastChange[:0]
+	tr.seen = tr.seen[:0]
+	tr.elephantIDs = tr.elephantIDs[:0]
 }

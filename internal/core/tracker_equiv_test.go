@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+)
+
+// refTracker is the pre-refactor prefix-keyed Tracker, kept as the
+// behavioural reference for the ID-indexed columnar implementation.
+type refTracker struct {
+	t                     int
+	flows                 map[netip.Prefix]*refFlowTrack
+	Promotions, Demotions int
+}
+
+type refFlowTrack struct {
+	elephant   bool
+	curRun     int
+	runs       []int
+	lastChange int
+}
+
+func newRefTracker() *refTracker {
+	return &refTracker{flows: make(map[netip.Prefix]*refFlowTrack)}
+}
+
+func (tr *refTracker) Observe(elephants ElephantSet) {
+	for p, ft := range tr.flows {
+		if ft.elephant && !elephants.Contains(p) {
+			ft.elephant = false
+			ft.runs = append(ft.runs, ft.curRun)
+			ft.curRun = 0
+			ft.lastChange = tr.t
+			tr.Demotions++
+		}
+	}
+	for _, p := range elephants.Flows() {
+		ft, ok := tr.flows[p]
+		if !ok {
+			ft = &refFlowTrack{}
+			tr.flows[p] = ft
+		}
+		if !ft.elephant {
+			ft.elephant = true
+			ft.lastChange = tr.t
+			tr.Promotions++
+		}
+		ft.curRun++
+	}
+	tr.t++
+}
+
+func (tr *refTracker) holdings() []HoldingStat {
+	out := make([]HoldingStat, 0, len(tr.flows))
+	for p, ft := range tr.flows {
+		runs := len(ft.runs)
+		total := 0
+		for _, r := range ft.runs {
+			total += r
+		}
+		if ft.curRun > 0 {
+			runs++
+			total += ft.curRun
+		}
+		if runs == 0 {
+			continue
+		}
+		out = append(out, HoldingStat{
+			Flow:        p,
+			Visits:      runs,
+			MeanHolding: float64(total) / float64(runs),
+			Elephant:    ft.elephant,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return ComparePrefix(out[i].Flow, out[j].Flow) < 0 })
+	return out
+}
+
+// TestTrackerEquivalence drives the ID-indexed tracker and the
+// prefix-keyed reference through identical random elephant-set
+// sequences and requires identical transition counters, per-flow state
+// and holding statistics at every interval.
+func TestTrackerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pool := make([]netip.Prefix, 50)
+	for i := range pool {
+		pool[i] = pfx(i)
+	}
+	got := NewTracker()
+	want := newRefTracker()
+	for step := 0; step < 300; step++ {
+		var members []netip.Prefix
+		for i, p := range pool {
+			// Persistent flows with churn; a few flows never promoted.
+			if i >= 45 {
+				continue
+			}
+			if rng.Float64() < 0.4 {
+				members = append(members, p)
+			}
+		}
+		set := NewElephantSet(members...)
+		got.Observe(set)
+		want.Observe(set)
+		if got.Promotions != want.Promotions || got.Demotions != want.Demotions {
+			t.Fatalf("interval %d: transitions %d/%d, reference %d/%d",
+				step, got.Promotions, got.Demotions, want.Promotions, want.Demotions)
+		}
+		for _, p := range pool {
+			wantClass := Mouse
+			wantRun := 0
+			if ft, ok := want.flows[p]; ok {
+				if ft.elephant {
+					wantClass = Elephant
+				}
+				wantRun = ft.curRun
+			}
+			if got.State(p) != wantClass {
+				t.Fatalf("interval %d: State(%v) = %v, reference %v", step, p, got.State(p), wantClass)
+			}
+			if got.CurrentRun(p) != wantRun {
+				t.Fatalf("interval %d: CurrentRun(%v) = %d, reference %d", step, p, got.CurrentRun(p), wantRun)
+			}
+		}
+		if step%50 == 0 {
+			gh, wh := got.Holdings(), want.holdings()
+			if len(gh) != len(wh) {
+				t.Fatalf("interval %d: %d holding stats, reference %d", step, len(gh), len(wh))
+			}
+			for i := range gh {
+				if gh[i] != wh[i] {
+					t.Fatalf("interval %d: holdings[%d] = %+v, reference %+v", step, i, gh[i], wh[i])
+				}
+			}
+			if got.MeanHolding() != want.meanHolding() {
+				t.Fatalf("interval %d: MeanHolding %v, reference %v", step, got.MeanHolding(), want.meanHolding())
+			}
+		}
+	}
+	if got.Intervals() != want.t {
+		t.Fatalf("Intervals = %d, reference %d", got.Intervals(), want.t)
+	}
+}
+
+func (tr *refTracker) meanHolding() float64 {
+	hs := tr.holdings()
+	if len(hs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range hs {
+		sum += h.MeanHolding
+	}
+	return sum / float64(len(hs))
+}
+
+// TestTrackerObserveSteadyStateAllocs: with a stable flow population,
+// Observe must not allocate per interval.
+func TestTrackerObserveSteadyStateAllocs(t *testing.T) {
+	tr := NewTracker()
+	var members []netip.Prefix
+	for i := 0; i < 200; i++ {
+		members = append(members, pfx(i))
+	}
+	even := NewElephantSet(members[:100]...)
+	odd := NewElephantSet(members[100:]...)
+	for i := 0; i < 8; i++ {
+		tr.Observe(even)
+		tr.Observe(odd)
+	}
+	if avg := testing.AllocsPerRun(100, func() { tr.Observe(even); tr.Observe(odd) }); avg != 0 {
+		t.Fatalf("steady-state Observe allocates %v times per call pair, want 0", avg)
+	}
+}

@@ -206,9 +206,13 @@ func runLink(l Link, snap *core.FlowSnapshot) LinkResult {
 		lr.Err = err
 		return lr
 	}
+	// Intern the link's flows into the pipeline's identity table once;
+	// every interval then emits a dense-ID snapshot without hashing a
+	// single prefix on the classify path.
+	rowIDs := l.Series.InternRows(pipe.Table(), nil)
 	results := make([]core.Result, 0, l.Series.Intervals)
 	for t := 0; t < l.Series.Intervals; t++ {
-		snap = l.Series.Snapshot(t, snap)
+		snap = l.Series.SnapshotIDs(t, snap, pipe.Table(), rowIDs)
 		// The index-driven batch loop and the streaming emit hook share
 		// the same pipeline entry point.
 		res, err := pipe.StepSnapshot(t, snap)
@@ -240,6 +244,9 @@ func RunStreamLink(l StreamLink) LinkResult {
 		Start:    l.Start,
 		Interval: l.Interval,
 		Window:   l.Window,
+		// Share the pipeline's flow identity table: emitted snapshots
+		// carry dense IDs, so the classifier never hashes a prefix.
+		Table: pipe.Table(),
 	})
 	if err != nil {
 		lr.Err = fmt.Errorf("engine: link %q: %w", l.ID, err)

@@ -94,6 +94,10 @@ func NewLivePipeline(l LiveLink) (*LivePipeline, error) {
 		Start:    l.Start,
 		Interval: l.Interval,
 		Window:   l.Window,
+		// Share the pipeline's flow identity table (both live on the
+		// worker goroutine): emitted snapshots carry dense IDs, so the
+		// resident classify path never hashes a prefix.
+		Table: pipe.Table(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: link %q: %w", l.ID, err)

@@ -21,7 +21,11 @@
 // determinism contract (single consumer, fresh pipeline state per link)
 // holds for however long the daemon lives. Memory per link is the
 // accumulator window plus the fixed-capacity history ring, independent
-// of uptime.
+// of uptime: each link's pipeline owns a core.FlowTable interning its
+// prefixes into dense IDs, the whole per-interval path runs on
+// ID-indexed columns (one hash per decoded record, none per flow per
+// interval), and classifier eviction recycles the IDs of long-idle
+// flows, bounding the identity table by the live flow set.
 //
 // Shutdown is graceful and two-phase: DrainIngest consumes what the
 // kernel has buffered, closes every link's open intervals (the same
