@@ -17,6 +17,11 @@
 // Flags:
 //
 //	-udp addr       NetFlow v5 listen address (default ":2055")
+//	-readers N      UDP ingest reader goroutines (default min(GOMAXPROCS, 8));
+//	                each reader owns a SO_REUSEPORT socket where the
+//	                platform supports it (the kernel then hashes each
+//	                exporter to a fixed reader, preserving per-link
+//	                record order), otherwise all readers share one socket
 //	-http addr      HTTP API listen address (default ":8055")
 //	-table path     BGP table file attributing records to prefixes;
 //	                mutually exclusive with -gen-routes
@@ -61,6 +66,7 @@ import (
 func main() {
 	var (
 		udpAddr    = flag.String("udp", ":2055", "NetFlow v5 listen address")
+		readers    = flag.Int("readers", serve.DefaultReaders(), "UDP ingest reader goroutines (SO_REUSEPORT sharded where supported)")
 		httpAddr   = flag.String("http", ":8055", "HTTP API listen address")
 		tablePath  = flag.String("table", "", "BGP table path (or use -gen-routes)")
 		genRoutes  = flag.Int("gen-routes", 0, "synthesize a BGP table with this many routes instead of -table")
@@ -96,6 +102,7 @@ func main() {
 		HTTPAddr: *httpAddr,
 		Table:    table,
 		Scheme:   sp,
+		Readers:  *readers,
 		Interval: *interval,
 		Window:   *window,
 		History:  *history,

@@ -62,8 +62,12 @@ func main() {
 	runLocal()
 }
 
-// linkSummary, intervalSummary and elephantsPage mirror the daemon's
-// JSON shapes (only the fields the dashboard renders).
+// linksPage, linkSummary, intervalSummary and elephantsPage mirror the
+// daemon's JSON shapes (only the fields the dashboard renders).
+type linksPage struct {
+	Links []linkSummary `json:"links"`
+}
+
 type linkSummary struct {
 	ID    string `json:"id"`
 	Error string `json:"error"`
@@ -90,10 +94,11 @@ type elephantsPage struct {
 
 // monitorDaemon renders one dashboard pass over a running elephantd.
 func monitorDaemon(base string) error {
-	var links []linkSummary
-	if err := getJSON(base+"/links", &links); err != nil {
+	var page linksPage
+	if err := getJSON(base+"/links", &page); err != nil {
 		return err
 	}
+	links := page.Links
 	if len(links) == 0 {
 		fmt.Println("daemon knows no links yet — point an exporter (e.g. cmd/nfreplay) at its UDP port")
 		return nil

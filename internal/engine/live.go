@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agg"
@@ -72,6 +73,12 @@ type LivePipeline struct {
 	done      chan struct{} // closed when the worker has exited
 	closeOnce sync.Once
 	closeErr  error
+
+	// failed is the Send hot path's view of err: readers in a sharded
+	// ingest front-end check one atomic load per record instead of
+	// taking mu, so a healthy link's Send never contends on anything
+	// but the channel itself.
+	failed atomic.Bool
 
 	mu  sync.Mutex
 	err error
@@ -156,11 +163,27 @@ func (p *LivePipeline) run() {
 // full. After the link has failed, Send drops the record and returns
 // the failure. Must not be called after (or concurrently with) Close.
 func (p *LivePipeline) Send(rec agg.Record) error {
-	if err := p.Err(); err != nil {
-		return err
+	if p.failed.Load() {
+		return p.Err()
 	}
 	p.ch <- rec
 	return nil
+}
+
+// SendBatch pushes the records of one decoded datagram in order,
+// checking for link failure once per batch instead of once per record.
+// It returns how many records were enqueued; on failure the remainder
+// was dropped and err reports why, so the caller can account
+// sent/dropped exactly. Same concurrency contract as Send.
+func (p *LivePipeline) SendBatch(recs []agg.Record) (sent int, err error) {
+	if p.failed.Load() {
+		return 0, p.Err()
+	}
+	for _, rec := range recs {
+		p.ch <- rec
+		sent++
+	}
+	return sent, nil
 }
 
 // Close flushes remaining open intervals, stops the worker and returns
@@ -190,6 +213,7 @@ func (p *LivePipeline) setErr(err error) {
 		p.err = err
 	}
 	p.mu.Unlock()
+	p.failed.Store(true)
 }
 
 // Stats returns the accumulator's final counters. Valid only after

@@ -78,6 +78,99 @@ func TestLivePipelineMatchesRunStreamLink(t *testing.T) {
 	}
 }
 
+// TestLivePipelineSendBatch: delivering the record sequence in
+// datagram-sized batches through SendBatch must be indistinguishable
+// from per-record Send — same results, full count, no drops — and a
+// batch sent after failure must report zero enqueued.
+func TestLivePipelineSendBatch(t *testing.T) {
+	recs := seriesRecords(synthSeries(43, 120, 18))
+
+	want := RunStreamLink(StreamLink{
+		ID:       "batchsend",
+		Source:   &sliceSource{recs: recs},
+		Start:    start,
+		Interval: 5 * time.Minute,
+		Config:   schemeConfig,
+	})
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	var got []core.Result
+	lp, err := NewLivePipeline(LiveLink{
+		ID:       "batchsend",
+		Start:    start,
+		Interval: 5 * time.Minute,
+		Buffer:   8,
+		Config:   schemeConfig,
+		OnResult: func(tt int, at time.Time, res core.Result, stats agg.StreamStats) error {
+			got = append(got, res)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 30 // one full v5 datagram
+	for i := 0; i < len(recs); i += batch {
+		end := min(i+batch, len(recs))
+		sent, err := lp.SendBatch(recs[i:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sent != end-i {
+			t.Fatalf("SendBatch enqueued %d of %d", sent, end-i)
+		}
+	}
+	if err := lp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Results) {
+		t.Fatalf("batched sends diverge from streaming: %d vs %d intervals", len(got), len(want.Results))
+	}
+	if st := lp.Stats(); st.Records != uint64(len(recs)) || st.Late != 0 {
+		t.Errorf("final stats = %+v, want %d records, no drops", st, len(recs))
+	}
+
+	// A failed link refuses whole batches up front: once SendBatch
+	// observes the failure it enqueues nothing, and every record it did
+	// accept is reconcilable as accumulated-or-dropped.
+	boom := errors.New("boom")
+	fl, err := NewLivePipeline(LiveLink{
+		ID:       "batchfail",
+		Start:    start,
+		Interval: time.Minute,
+		Window:   1,
+		Buffer:   1,
+		Config:   schemeConfig,
+		OnResult: func(int, time.Time, core.Result, agg.StreamStats) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frecs := seriesRecords(synthSeries(7, 64, 4))
+	accepted := 0
+	var sendErr error
+	for i := 0; i < len(frecs) && sendErr == nil; i += batch {
+		end := min(i+batch, len(frecs))
+		var n int
+		n, sendErr = fl.SendBatch(frecs[i:end])
+		accepted += n
+		if sendErr != nil && n != 0 {
+			t.Errorf("failed SendBatch enqueued %d records, want 0", n)
+		}
+	}
+	if err := fl.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want boom", err)
+	}
+	if sendErr != nil && !errors.Is(sendErr, boom) {
+		t.Errorf("SendBatch = %v, want boom", sendErr)
+	}
+	if got := fl.Stats().Records + fl.Dropped(); got != uint64(accepted) {
+		t.Errorf("accumulated %d + dropped %d != %d accepted", fl.Stats().Records, fl.Dropped(), accepted)
+	}
+}
+
 // TestLivePipelineFailureReleasesProducer: a mid-stream failure must
 // fail the link, release producers blocked in Send, and keep reporting
 // the first error.

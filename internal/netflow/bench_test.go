@@ -45,6 +45,33 @@ func BenchmarkDecode30(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeReuse is the daemon ingest readers' steady state: one
+// Datagram scratch decoded into over and over. Must stay 0 allocs/op —
+// the read→decode half of the zero-alloc ingest contract.
+func BenchmarkDecodeReuse(b *testing.B) {
+	recs := make([]Record, MaxRecordsPerDatagram)
+	for i := range recs {
+		recs[i] = sampleRecord()
+	}
+	d := &Datagram{Header: Header{Count: uint16(len(recs))}, Records: recs}
+	raw, err := d.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	var scratch Datagram
+	if err := DecodeInto(raw, &scratch); err != nil { // grow Records once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(raw, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkExporterAddPacket(b *testing.B) {
 	e := NewExporter(ExporterConfig{}, func(*Datagram) error { return nil })
 	// 512 concurrent flows cycling.

@@ -131,13 +131,25 @@ func (d *Datagram) Encode(buf []byte) ([]byte, error) {
 // Decode parses one v5 datagram. The returned Datagram does not alias
 // data.
 func Decode(data []byte) (*Datagram, error) {
+	var d Datagram
+	if err := DecodeInto(data, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// DecodeInto parses one v5 datagram into d, reusing d.Records' capacity
+// so a caller decoding a socket's datagrams one after another (the
+// daemon's ingest readers) allocates nothing in steady state. On error d
+// is left in an unspecified state; on success d.Records does not alias
+// data. The fast path of Decode.
+func DecodeInto(data []byte, d *Datagram) error {
 	if len(data) < HeaderLen {
-		return nil, fmt.Errorf("netflow: datagram of %d bytes shorter than header", len(data))
+		return fmt.Errorf("netflow: datagram of %d bytes shorter than header", len(data))
 	}
 	if v := binary.BigEndian.Uint16(data[0:2]); v != Version {
-		return nil, fmt.Errorf("netflow: version %d, want %d", v, Version)
+		return fmt.Errorf("netflow: version %d, want %d", v, Version)
 	}
-	var d Datagram
 	d.Header.Count = binary.BigEndian.Uint16(data[2:4])
 	d.Header.SysUptime = binary.BigEndian.Uint32(data[4:8])
 	d.Header.UnixSecs = binary.BigEndian.Uint32(data[8:12])
@@ -148,12 +160,16 @@ func Decode(data []byte) (*Datagram, error) {
 	d.Header.SamplingInterval = binary.BigEndian.Uint16(data[22:24])
 	n := int(d.Header.Count)
 	if n == 0 || n > MaxRecordsPerDatagram {
-		return nil, fmt.Errorf("netflow: record count %d out of range", n)
+		return fmt.Errorf("netflow: record count %d out of range", n)
 	}
 	if want := HeaderLen + n*RecordLen; len(data) != want {
-		return nil, fmt.Errorf("%w: %d bytes for %d records, want %d", ErrCountMismatch, len(data), n, want)
+		return fmt.Errorf("%w: %d bytes for %d records, want %d", ErrCountMismatch, len(data), n, want)
 	}
-	d.Records = make([]Record, n)
+	if cap(d.Records) < n {
+		d.Records = make([]Record, n)
+	} else {
+		d.Records = d.Records[:n]
+	}
 	for i := 0; i < n; i++ {
 		b := data[HeaderLen+i*RecordLen:]
 		r := &d.Records[i]
@@ -176,7 +192,7 @@ func Decode(data []byte) (*Datagram, error) {
 		r.SrcMask = b[44]
 		r.DstMask = b[45]
 	}
-	return &d, nil
+	return nil
 }
 
 // Timestamps converts the record's uptime-relative First/Last into wall

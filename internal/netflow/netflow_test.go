@@ -61,6 +61,50 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 	}
 }
 
+// TestDecodeIntoReuse pins the scratch-reuse contract: a Datagram that
+// just held a large datagram decodes a smaller one without stale
+// records, allocating nothing once the records slice has grown.
+func TestDecodeIntoReuse(t *testing.T) {
+	big := &Datagram{Header: Header{Count: 5}, Records: []Record{
+		sampleRecord(), sampleRecord(), sampleRecord(), sampleRecord(), sampleRecord(),
+	}}
+	small := &Datagram{Header: Header{Count: 1, FlowSequence: 9}, Records: []Record{sampleRecord()}}
+	small.Records[0].DstAddr = netip.MustParseAddr("198.51.100.7")
+	bigRaw, err := big.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallRaw, err := small.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch Datagram
+	if err := DecodeInto(bigRaw, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	bigCap := cap(scratch.Records)
+	if err := DecodeInto(smallRaw, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if len(scratch.Records) != 1 || scratch.Records[0] != small.Records[0] {
+		t.Errorf("reused decode = %d records, first %+v", len(scratch.Records), scratch.Records[0])
+	}
+	if scratch.Header != small.Header {
+		t.Errorf("reused header = %+v, want %+v", scratch.Header, small.Header)
+	}
+	if cap(scratch.Records) != bigCap {
+		t.Errorf("records capacity shrank %d -> %d; reuse lost", bigCap, cap(scratch.Records))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeInto(bigRaw, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state DecodeInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func TestEncodeValidation(t *testing.T) {
 	d := &Datagram{Header: Header{Count: 0}}
 	if _, err := d.Encode(nil); err == nil {

@@ -7,16 +7,15 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/agg"
 	"repro/internal/bgp"
-	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/netflow"
 	"repro/internal/scheme"
 )
 
@@ -28,9 +27,27 @@ const DefaultInterval = 5 * time.Minute
 // closing an interval.
 const DefaultReadBuffer = 1 << 22
 
+// MaxReaders caps the ingest shard count: past one socket per core the
+// extra readers only add scheduling overhead.
+const MaxReaders = 64
+
 // drainGrace is how long DrainIngest keeps reading an idle socket
 // before concluding the kernel buffer is empty.
 const drainGrace = 100 * time.Millisecond
+
+// DefaultReaders is the reader-count heuristic cmd/elephantd defaults
+// to: one reader per core up to 8 — past that the classification
+// pipelines want the cores more than the sockets do.
+func DefaultReaders() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // Config assembles a Daemon.
 type Config struct {
@@ -42,6 +59,11 @@ type Config struct {
 	Table *bgp.Table
 	// Scheme is the classification scheme every link runs. Required.
 	Scheme *scheme.Spec
+	// Readers is the number of ingest reader goroutines; 0 selects 1.
+	// When the platform supports SO_REUSEPORT each reader owns its own
+	// socket (kernel-hashed exporter sharding); otherwise all readers
+	// share one socket.
+	Readers int
 	// Interval is the measurement interval Δ; 0 selects
 	// DefaultInterval.
 	Interval time.Duration
@@ -59,49 +81,53 @@ type Config struct {
 	// Buffer is the per-link record queue capacity; 0 selects
 	// engine.DefaultLiveBuffer.
 	Buffer int
-	// ReadBuffer is the UDP receive-buffer size to request; 0 selects
-	// DefaultReadBuffer.
+	// ReadBuffer is the UDP receive-buffer size to request per socket;
+	// 0 selects DefaultReadBuffer. The granted (post-clamp) size is
+	// reported per reader via /links and /metrics.
 	ReadBuffer int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
 
-// liveLink pairs a link's pipeline with its store entry. Only the
-// ingest loop touches the map holding these; the state inside is
-// concurrency-safe.
+// liveLink pairs a link's pipeline with its store entry. The link map
+// holding these is copy-on-write (see linkMap in ingest.go); the state
+// inside is concurrency-safe.
 type liveLink struct {
+	id    string
 	state *LinkState
 	lp    *engine.LivePipeline
 }
 
-// Daemon is the live monitoring process: a UDP NetFlow v5 collector
-// demultiplexing datagrams into per-link classification pipelines, a
-// sharded state store, and an HTTP query/metrics API. See the package
-// documentation for the lifecycle.
+// Daemon is the live monitoring process: a sharded UDP NetFlow v5
+// collector demultiplexing datagrams into per-link classification
+// pipelines, a sharded state store, and an HTTP query/metrics API. See
+// the package documentation for the lifecycle.
 type Daemon struct {
 	cfg   Config
 	store *Store
 
-	udp     *net.UDPConn
+	conns     []*net.UDPConn // ingest sockets; len 1 in fan-out mode
+	reuseport bool           // true when each reader owns a REUSEPORT socket
+	readers   []*reader
+	readerWG  sync.WaitGroup
+
 	httpLn  net.Listener
 	httpSrv *http.Server
 
-	// links is owned by the ingest loop; DrainIngest reads it only
-	// after the loop has exited (ordered by loopDone).
-	links    map[string]*liveLink
-	loopDone chan struct{}
+	// links is the copy-on-write exporter→pipeline index; readers load
+	// it lock-free, createLink publishes new versions under linkMu.
+	links    atomic.Pointer[linkMap]
+	linkMu   sync.Mutex
+	loopDone chan struct{} // closed when every reader has exited
 	httpDone chan struct{}
 	httpErr  error
 
 	draining atomic.Bool
 	started  time.Time
 
-	// Daemon-wide ingest counters. Decode errors are counted here (a
-	// malformed datagram cannot be attributed to a link), as are
-	// datagrams/records before demultiplexing.
-	datagrams    atomic.Uint64
-	records      atomic.Uint64
-	decodeErrors atomic.Uint64
+	// Decode-error log rate limiting (see logDecodeError).
+	decodeLogLast       atomic.Int64
+	decodeLogSuppressed atomic.Uint64
 
 	drainOnce sync.Once
 	drainErr  error
@@ -109,7 +135,7 @@ type Daemon struct {
 	shutErr   error
 }
 
-// NewDaemon validates cfg and binds both sockets; the daemon is not
+// NewDaemon validates cfg and binds the sockets; the daemon is not
 // serving until Start.
 func NewDaemon(cfg Config) (*Daemon, error) {
 	if cfg.Table == nil {
@@ -127,6 +153,12 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	if cfg.Interval <= 0 {
 		return nil, fmt.Errorf("serve: NewDaemon: non-positive interval %v", cfg.Interval)
 	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 1
+	}
+	if cfg.Readers > MaxReaders {
+		cfg.Readers = MaxReaders
+	}
 	cfg.Window = engine.StreamWindow(cfg.Scheme, cfg.Window)
 	if cfg.History == 0 {
 		cfg.History = DefaultHistory
@@ -138,32 +170,37 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 
-	uaddr, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
+	conns, reuseport, err := listenUDP(cfg.UDPAddr, cfg.Readers, cfg.ReadBuffer)
 	if err != nil {
-		return nil, fmt.Errorf("serve: resolving UDP address: %w", err)
+		return nil, err
 	}
-	udp, err := net.ListenUDP("udp", uaddr)
-	if err != nil {
-		return nil, fmt.Errorf("serve: listening on UDP: %w", err)
-	}
-	// Best effort: some kernels clamp the request, which only narrows
-	// the burst tolerance.
-	_ = udp.SetReadBuffer(cfg.ReadBuffer)
 
 	ln, err := net.Listen("tcp", cfg.HTTPAddr)
 	if err != nil {
-		udp.Close()
+		for _, c := range conns {
+			c.Close()
+		}
 		return nil, fmt.Errorf("serve: listening on HTTP: %w", err)
 	}
 
 	d := &Daemon{
-		cfg:      cfg,
-		store:    NewStore(),
-		udp:      udp,
-		httpLn:   ln,
-		links:    make(map[string]*liveLink),
-		loopDone: make(chan struct{}),
-		httpDone: make(chan struct{}),
+		cfg:       cfg,
+		store:     NewStore(),
+		conns:     conns,
+		reuseport: reuseport,
+		httpLn:    ln,
+		loopDone:  make(chan struct{}),
+		httpDone:  make(chan struct{}),
+	}
+	empty := make(linkMap)
+	d.links.Store(&empty)
+	rcvbufs := make([]int, len(conns))
+	for i, c := range conns {
+		rcvbufs[i] = effectiveReadBuffer(c)
+	}
+	d.readers = make([]*reader, cfg.Readers)
+	for i := range d.readers {
+		d.readers[i] = newReader(i, conns[i%len(conns)], rcvbufs[i%len(conns)])
 	}
 	d.httpSrv = &http.Server{
 		Handler:           d.handler(),
@@ -176,16 +213,31 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 // tests).
 func (d *Daemon) Store() *Store { return d.store }
 
-// UDPAddr returns the bound NetFlow listen address.
-func (d *Daemon) UDPAddr() net.Addr { return d.udp.LocalAddr() }
+// UDPAddr returns the bound NetFlow listen address (shared by every
+// reader socket).
+func (d *Daemon) UDPAddr() net.Addr { return d.conns[0].LocalAddr() }
 
 // HTTPAddr returns the bound API listen address.
 func (d *Daemon) HTTPAddr() net.Addr { return d.httpLn.Addr() }
 
-// Start launches the ingest loop and the HTTP server.
+// Readers reports the ingest reader count.
+func (d *Daemon) Readers() int { return len(d.readers) }
+
+// ReusePort reports whether each reader owns a SO_REUSEPORT socket
+// (false means the single-socket fan-out fallback).
+func (d *Daemon) ReusePort() bool { return d.reuseport }
+
+// Start launches the ingest readers and the HTTP server.
 func (d *Daemon) Start() {
 	d.started = time.Now()
-	go d.ingestLoop()
+	d.readerWG.Add(len(d.readers))
+	for _, r := range d.readers {
+		go d.readLoop(r)
+	}
+	go func() {
+		d.readerWG.Wait()
+		close(d.loopDone)
+	}()
 	go func() {
 		defer close(d.httpDone)
 		if err := d.httpSrv.Serve(d.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -193,8 +245,12 @@ func (d *Daemon) Start() {
 			d.cfg.Logf("serve: http: %v", err)
 		}
 	}()
-	d.cfg.Logf("serve: listening — NetFlow v5 on %v, API on %v, scheme %s, interval %v, window %d",
-		d.UDPAddr(), d.HTTPAddr(), d.cfg.Scheme, d.cfg.Interval, d.cfg.Window)
+	mode := "reuseport"
+	if !d.reuseport {
+		mode = "shared-socket"
+	}
+	d.cfg.Logf("serve: listening — NetFlow v5 on %v (%d readers, %s), API on %v, scheme %s, interval %v, window %d",
+		d.UDPAddr(), len(d.readers), mode, d.HTTPAddr(), d.cfg.Scheme, d.cfg.Interval, d.cfg.Window)
 }
 
 // Run is the blocking convenience wrapper: Start, serve until ctx is
@@ -215,135 +271,42 @@ func linkID(addr netip.Addr, engineID uint8) string {
 	return addr.Unmap().String() + "@" + strconv.Itoa(int(engineID))
 }
 
-// link returns the live pipeline for id, creating it on first sight.
-// Called only from the ingest loop.
-func (d *Daemon) link(id string) (*liveLink, error) {
-	if ll, ok := d.links[id]; ok {
-		return ll, nil
-	}
-	state := d.store.GetOrCreate(id, d.cfg.History)
-	lp, err := engine.NewLivePipeline(engine.LiveLink{
-		ID:       id,
-		Start:    d.cfg.Start,
-		Interval: d.cfg.Interval,
-		Window:   d.cfg.Window,
-		Buffer:   d.cfg.Buffer,
-		Config:   d.cfg.Scheme.Factory(),
-		OnResult: func(t int, at time.Time, res core.Result, stats agg.StreamStats) error {
-			state.RecordResult(t, at, res, stats)
-			return nil
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	ll := &liveLink{state: state, lp: lp}
-	d.links[id] = ll
-	d.cfg.Logf("serve: new link %s", id)
-	return ll, nil
-}
-
-// ingestLoop is the UDP read loop: read, decode, demultiplex, attribute,
-// push. One goroutine reads the socket; per-link pipeline workers do
-// the classification, so a slow interval close on one link backpressures
-// only that link's queue.
-func (d *Daemon) ingestLoop() {
-	defer close(d.loopDone)
-	buf := make([]byte, 1<<16)
-	for {
-		n, ap, err := d.udp.ReadFromUDPAddrPort(buf)
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				if d.draining.Load() {
-					return // kernel buffer drained
-				}
-				continue
-			}
-			d.cfg.Logf("serve: udp read: %v", err)
-			continue
-		}
-		d.datagrams.Add(1)
-		dg, err := netflow.Decode(buf[:n])
-		if err != nil {
-			d.decodeErrors.Add(1)
-			d.cfg.Logf("serve: %d-byte datagram from %v: %v", n, ap, err)
-			continue
-		}
-		d.records.Add(uint64(len(dg.Records)))
-		id := linkID(ap.Addr(), dg.Header.EngineID)
-		ll, err := d.link(id)
-		if err != nil {
-			// Pipeline construction failed (bad scheme parameters reach
-			// Validate earlier, so this is exceptional); account the
-			// datagram against a store entry carrying the error.
-			state := d.store.GetOrCreate(id, d.cfg.History)
-			state.Fail(err)
-			state.ObserveDatagram(len(dg.Records), 0, 0, len(dg.Records))
-			continue
-		}
-		var routed, unrouted, dropped int
-		failed := ll.state.Failed()
-		for i := range dg.Records {
-			rec, ok := netflow.Attribute(d.cfg.Table, dg.Header, dg.Records[i])
-			if !ok {
-				unrouted++
-				continue
-			}
-			if failed {
-				dropped++
-				continue
-			}
-			if err := ll.lp.Send(rec); err != nil {
-				ll.state.Fail(err)
-				d.cfg.Logf("serve: link %s failed: %v", id, err)
-				failed = true
-				dropped++
-				continue
-			}
-			routed++
-		}
-		ll.state.ObserveDatagram(len(dg.Records), routed, unrouted, dropped)
-		if d.draining.Load() {
-			// Re-arm the drain deadline after each processed datagram:
-			// the read only times out once the kernel buffer is truly
-			// empty, however long the backlog took to work through.
-			_ = d.udp.SetReadDeadline(time.Now().Add(drainGrace))
-		}
-	}
-}
-
 // DrainIngest performs the ingest half of a graceful shutdown: stop
-// accepting new datagrams once the kernel buffer is empty, close every
-// link's remaining open intervals (final flush through each pipeline),
-// and record the final accumulator counters in the store. The HTTP API
-// keeps serving — after DrainIngest the store holds the complete run,
-// queryable until Shutdown. Safe to call more than once.
+// accepting new datagrams once every socket's kernel buffer is empty,
+// close every link's remaining open intervals (final flush through each
+// pipeline), and record the final accumulator counters in the store.
+// The HTTP API keeps serving — after DrainIngest the store holds the
+// complete run, queryable until Shutdown. Safe to call more than once.
 func (d *Daemon) DrainIngest(ctx context.Context) error {
 	d.drainOnce.Do(func() {
 		d.draining.Store(true)
-		// A deadline slightly in the future lets the loop consume
+		// A deadline slightly in the future lets each reader consume
 		// everything already buffered, then time out and exit.
-		_ = d.udp.SetReadDeadline(time.Now().Add(drainGrace))
+		for _, c := range d.conns {
+			_ = c.SetReadDeadline(time.Now().Add(drainGrace))
+		}
 		select {
 		case <-d.loopDone:
 		case <-ctx.Done():
 			// Forced: abandon buffered datagrams.
-			d.udp.Close()
+			for _, c := range d.conns {
+				c.Close()
+			}
 			<-d.loopDone
 		}
-		_ = d.udp.Close()
+		for _, c := range d.conns {
+			_ = c.Close()
+		}
 
-		// The loop has exited; d.links is safely readable here. Close
+		// The readers have exited; the link map is quiescent. Close
 		// pipelines in ID order for deterministic logs.
-		for _, id := range d.store.IDs() {
-			ll, ok := d.links[id]
-			if !ok {
-				continue
-			}
+		m := *d.links.Load()
+		lls := make([]*liveLink, 0, len(m))
+		for _, ll := range m {
+			lls = append(lls, ll)
+		}
+		sort.Slice(lls, func(i, j int) bool { return lls[i].id < lls[j].id })
+		for _, ll := range lls {
 			if err := ll.lp.Close(); err != nil {
 				ll.state.Fail(err)
 				if d.drainErr == nil {
@@ -356,13 +319,14 @@ func (d *Daemon) DrainIngest(ctx context.Context) error {
 			// so the final counters say what actually happened.
 			ll.state.ReclassifyDropped(ll.lp.Dropped())
 		}
-		d.cfg.Logf("serve: ingest drained — %d datagrams, %d records, %d decode errors, %d links",
-			d.datagrams.Load(), d.records.Load(), d.decodeErrors.Load(), d.store.Len())
+		datagrams, records, decodeErrors := d.ingestTotals()
+		d.cfg.Logf("serve: ingest drained — %d datagrams, %d records, %d decode errors, %d links, %d readers",
+			datagrams, records, decodeErrors, d.store.Len(), len(d.readers))
 	})
 	return d.drainErr
 }
 
-// Shutdown gracefully stops the daemon: DrainIngest (drain the socket,
+// Shutdown gracefully stops the daemon: DrainIngest (drain the sockets,
 // close intervals, flush final snapshots into the store), then stop the
 // HTTP server. Safe to call more than once.
 func (d *Daemon) Shutdown(ctx context.Context) error {

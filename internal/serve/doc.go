@@ -7,7 +7,7 @@
 //
 // Data flows through the daemon in one direction:
 //
-//	UDP socket → decode → demux by exporter (source IP @ engine ID)
+//	UDP sockets → decode → demux by exporter (source IP @ engine ID)
 //	  → attribute records against the BGP table
 //	  → per-link engine.LivePipeline (StreamAccumulator → core.Pipeline)
 //	  → sharded Store (current ElephantSet, interval-summary ring,
@@ -15,11 +15,21 @@
 //	  → HTTP API (/links, /links/{id}/elephants, /links/{id}/history,
 //	    /healthz, /metrics)
 //
-// One goroutine owns the socket; each link's pipeline runs on its own
-// worker with a bounded record queue, so ingest and classification of
-// different links never serialise on each other, and the engine's
-// determinism contract (single consumer, fresh pipeline state per link)
-// holds for however long the daemon lives. Memory per link is the
+// Ingest is sharded across Config.Readers goroutines. Where the
+// platform supports SO_REUSEPORT each reader owns its own socket bound
+// to the same address, and the kernel hashes every exporter's 4-tuple
+// to a fixed socket — so exactly one reader ever sees a given link's
+// datagrams and per-link record order is preserved without any
+// cross-reader coordination; elsewhere the readers share one socket
+// (scaling decode, not socket drain). Each reader reuses a private
+// decode scratch (netflow.DecodeInto) and attribution batch, and link
+// lookup is one atomic load on a copy-on-write map, so a datagram for
+// an existing link travels read → decode → dispatch without allocating
+// or taking a lock. Each link's pipeline runs on its own worker with a
+// bounded record queue, so ingest and classification of different links
+// never serialise on each other, and the engine's determinism contract
+// (single consumer, fresh pipeline state per link) holds for however
+// long the daemon lives. Memory per link is the
 // accumulator window plus the fixed-capacity history ring, independent
 // of uptime: each link's pipeline owns a core.FlowTable interning its
 // prefixes into dense IDs, the whole per-interval path runs on
@@ -28,10 +38,11 @@
 // flows, bounding the identity table by the live flow set.
 //
 // Shutdown is graceful and two-phase: DrainIngest consumes what the
-// kernel has buffered, closes every link's open intervals (the same
-// flush end-of-stream batch runs perform) and records final counters in
-// the store — the API keeps serving the completed run — then Shutdown
-// stops the HTTP server. cmd/elephantd is the thin binary over this
-// package; cmd/nfreplay feeds it synthetic traffic for smoke tests and
-// demos.
+// kernel has buffered on every socket, closes every link's open
+// intervals (the same flush end-of-stream batch runs perform) and
+// records final counters in the store — the API keeps serving the
+// completed run — then Shutdown stops the HTTP server. cmd/elephantd is
+// the thin binary over this package; cmd/nfreplay feeds it synthetic
+// traffic for smoke tests, demos and saturation runs
+// (scripts/saturation.sh).
 package serve

@@ -48,6 +48,8 @@ type Health struct {
 	Scheme        string  `json:"scheme"`
 	IntervalSecs  float64 `json:"interval_seconds"`
 	Links         int     `json:"links"`
+	Readers       int     `json:"readers"`
+	ReusePort     bool    `json:"reuseport"`
 	Datagrams     uint64  `json:"datagrams"`
 	Records       uint64  `json:"records"`
 	DecodeErrors  uint64  `json:"decode_errors"`
@@ -55,21 +57,37 @@ type Health struct {
 }
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	datagrams, records, decodeErrors := d.ingestTotals()
 	d.writeJSON(w, http.StatusOK, Health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(d.started).Seconds(),
 		Scheme:        d.cfg.Scheme.String(),
 		IntervalSecs:  d.cfg.Interval.Seconds(),
 		Links:         d.store.Len(),
-		Datagrams:     d.datagrams.Load(),
-		Records:       d.records.Load(),
-		DecodeErrors:  d.decodeErrors.Load(),
+		Readers:       len(d.readers),
+		ReusePort:     d.reuseport,
+		Datagrams:     datagrams,
+		Records:       records,
+		DecodeErrors:  decodeErrors,
 		Draining:      d.draining.Load(),
 	})
 }
 
+// LinksPage is the /links response body: the ingest front-end's
+// per-reader status (datagram/record/decode-error counters, effective
+// kernel receive buffer) plus every known link, summarised and sorted.
+type LinksPage struct {
+	ReusePort bool           `json:"reuseport"`
+	Readers   []ReaderStatus `json:"readers"`
+	Links     []LinkSummary  `json:"links"`
+}
+
 func (d *Daemon) handleLinks(w http.ResponseWriter, r *http.Request) {
-	d.writeJSON(w, http.StatusOK, d.store.Summaries())
+	d.writeJSON(w, http.StatusOK, LinksPage{
+		ReusePort: d.reuseport,
+		Readers:   d.readerStatus(),
+		Links:     d.store.Summaries(),
+	})
 }
 
 // linkState resolves the {id} path value, answering 404 on a miss.

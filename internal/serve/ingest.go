@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netflow"
+)
+
+// reader is one ingest goroutine's private state: its socket, a receive
+// buffer, the netflow decode scratch and the attributed-record batch —
+// everything the read→decode→dispatch path touches per datagram lives
+// here, so the steady state allocates nothing and readers share only
+// the link-map pointer and the per-link state they demultiplex into.
+type reader struct {
+	index int
+	conn  *net.UDPConn // owned socket (REUSEPORT) or the shared fallback socket
+
+	buf  []byte           // datagram receive buffer (max UDP payload)
+	dg   netflow.Datagram // decode scratch; Records reused across datagrams
+	recs []agg.Record     // attributed-record batch handed to SendBatch
+
+	// Per-reader counters, exported through /metrics and /links.
+	datagrams    atomic.Uint64
+	records      atomic.Uint64
+	decodeErrors atomic.Uint64
+
+	// rcvbuf is conn's effective kernel receive buffer (post-clamp
+	// SO_RCVBUF readback); fan-out readers sharing a socket report the
+	// same value.
+	rcvbuf int
+}
+
+func newReader(index int, conn *net.UDPConn, rcvbuf int) *reader {
+	return &reader{
+		index:  index,
+		conn:   conn,
+		buf:    make([]byte, 1<<16),
+		recs:   make([]agg.Record, 0, netflow.MaxRecordsPerDatagram),
+		rcvbuf: rcvbuf,
+	}
+}
+
+// listenUDP binds the ingest sockets: n SO_REUSEPORT sockets sharing
+// addr when the platform has the option — each reader then owns one
+// socket, with its own kernel buffer, and the kernel hashes each
+// exporter's 4-tuple to a fixed socket — else one plain socket that all
+// n readers share (N-way fan-out: less parallel under load, same
+// interface). Each socket's receive buffer is requested at rcvbuf; the
+// caller reads back what was granted per conn.
+func listenUDP(addr string, n, rcvbuf int) (conns []*net.UDPConn, reuseport bool, err error) {
+	single := func() ([]*net.UDPConn, bool, error) {
+		uaddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, false, fmt.Errorf("serve: resolving UDP address: %w", err)
+		}
+		c, err := net.ListenUDP("udp", uaddr)
+		if err != nil {
+			return nil, false, fmt.Errorf("serve: listening on UDP: %w", err)
+		}
+		_ = c.SetReadBuffer(rcvbuf)
+		return []*net.UDPConn{c}, false, nil
+	}
+	if n <= 1 {
+		return single()
+	}
+	lc := net.ListenConfig{Control: controlReusePort}
+	first, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		// No SO_REUSEPORT on this platform (or the kernel refused it):
+		// fall back to a single shared socket.
+		return single()
+	}
+	conns = []*net.UDPConn{first.(*net.UDPConn)}
+	// Subsequent sockets must bind the concrete port the first one got
+	// (addr may have asked for ":0").
+	bound := first.LocalAddr().String()
+	for len(conns) < n {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bound)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, false, fmt.Errorf("serve: listening on UDP (reuseport socket %d): %w", len(conns), err)
+		}
+		conns = append(conns, pc.(*net.UDPConn))
+	}
+	for _, c := range conns {
+		_ = c.SetReadBuffer(rcvbuf)
+	}
+	return conns, true, nil
+}
+
+// linkKey identifies a link on the dispatch fast path without building
+// the string ID: the exporter's (unmapped) source address plus the v5
+// engine ID. Comparable, so the link-map lookup allocates nothing.
+type linkKey struct {
+	addr   netip.Addr
+	engine uint8
+}
+
+// linkMap is the copy-on-write exporter→pipeline index. Readers load
+// the current map through an atomic pointer and only ever read it;
+// createLink publishes a fresh copy under linkMu. Lock-free lookups at
+// any reader count, at the cost of an O(links) copy on the (rare) first
+// sight of a new exporter.
+type linkMap map[linkKey]*liveLink
+
+// findLink is the lock-free read path: one atomic load, one map lookup.
+func (d *Daemon) findLink(key linkKey) *liveLink {
+	return (*d.links.Load())[key]
+}
+
+// createLink builds the link's pipeline and publishes a new link map —
+// the slow path, serialized by linkMu so exactly one pipeline exists
+// per link however many readers race on first sight.
+func (d *Daemon) createLink(key linkKey) (*liveLink, error) {
+	d.linkMu.Lock()
+	defer d.linkMu.Unlock()
+	old := *d.links.Load()
+	if ll, ok := old[key]; ok {
+		return ll, nil
+	}
+	id := linkID(key.addr, key.engine)
+	state := d.store.GetOrCreate(id, d.cfg.History)
+	lp, err := engine.NewLivePipeline(engine.LiveLink{
+		ID:       id,
+		Start:    d.cfg.Start,
+		Interval: d.cfg.Interval,
+		Window:   d.cfg.Window,
+		Buffer:   d.cfg.Buffer,
+		Config:   d.cfg.Scheme.Factory(),
+		OnResult: func(t int, at time.Time, res core.Result, stats agg.StreamStats) error {
+			state.RecordResult(t, at, res, stats)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ll := &liveLink{id: id, state: state, lp: lp}
+	next := make(linkMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = ll
+	d.links.Store(&next)
+	d.cfg.Logf("serve: new link %s", id)
+	return ll, nil
+}
+
+// dispatch demultiplexes one decoded datagram: resolve the link
+// (lock-free after first sight), attribute each record against the BGP
+// table into the reader's reusable batch, and hand the batch to the
+// link's pipeline. Per-link record order is preserved at any reader
+// count because an exporter's datagrams all arrive on one socket
+// (REUSEPORT hashes the exporter's 4-tuple to a fixed socket) and
+// dispatch runs on that socket's reader.
+func (d *Daemon) dispatch(r *reader, ap netip.AddrPort, dg *netflow.Datagram) {
+	key := linkKey{addr: ap.Addr().Unmap(), engine: dg.Header.EngineID}
+	ll := d.findLink(key)
+	if ll == nil {
+		var err error
+		if ll, err = d.createLink(key); err != nil {
+			// Pipeline construction failed (bad scheme parameters reach
+			// Validate earlier, so this is exceptional); account the
+			// datagram against a store entry carrying the error.
+			state := d.store.GetOrCreate(linkID(key.addr, key.engine), d.cfg.History)
+			state.Fail(err)
+			state.ObserveDatagram(len(dg.Records), 0, 0, len(dg.Records))
+			return
+		}
+	}
+	recs := r.recs[:0]
+	unrouted := 0
+	for i := range dg.Records {
+		rec, ok := netflow.Attribute(d.cfg.Table, dg.Header, dg.Records[i])
+		if !ok {
+			unrouted++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	r.recs = recs
+	var routed, dropped int
+	if ll.state.Failed() {
+		dropped = len(recs)
+	} else if sent, err := ll.lp.SendBatch(recs); err != nil {
+		routed, dropped = sent, len(recs)-sent
+		ll.state.Fail(err)
+		d.cfg.Logf("serve: link %s failed: %v", ll.id, err)
+	} else {
+		routed = sent
+	}
+	ll.state.ObserveDatagram(len(dg.Records), routed, unrouted, dropped)
+}
+
+// readLoop is one reader's loop: read, decode into the private scratch,
+// dispatch. N of these run concurrently, one per REUSEPORT socket (or
+// all sharing the fallback socket).
+func (d *Daemon) readLoop(r *reader) {
+	defer d.readerWG.Done()
+	for {
+		n, ap, err := r.conn.ReadFromUDPAddrPort(r.buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if d.draining.Load() {
+					return // kernel buffer drained
+				}
+				continue
+			}
+			d.cfg.Logf("serve: udp read: %v", err)
+			continue
+		}
+		r.datagrams.Add(1)
+		if err := netflow.DecodeInto(r.buf[:n], &r.dg); err != nil {
+			r.decodeErrors.Add(1)
+			d.logDecodeError(n, ap, err)
+			continue
+		}
+		r.records.Add(uint64(len(r.dg.Records)))
+		d.dispatch(r, ap, &r.dg)
+		if d.draining.Load() {
+			// Re-arm the drain deadline after each processed datagram:
+			// the read only times out once the kernel buffer is truly
+			// empty, however long the backlog took to work through.
+			_ = r.conn.SetReadDeadline(time.Now().Add(drainGrace))
+		}
+	}
+}
+
+// decodeLogPeriod floors the interval between decode-error log lines: a
+// malformed-packet flood (or a scanner spraying the port) would
+// otherwise write one line per datagram. The first error logs
+// immediately; later ones fold into at most one summary line per period
+// carrying the suppressed count. The per-reader counters and /metrics
+// stay exact regardless.
+const decodeLogPeriod = 5 * time.Second
+
+func (d *Daemon) logDecodeError(n int, ap netip.AddrPort, err error) {
+	now := time.Now().UnixNano()
+	last := d.decodeLogLast.Load()
+	if (last != 0 && now-last < int64(decodeLogPeriod)) || !d.decodeLogLast.CompareAndSwap(last, now) {
+		d.decodeLogSuppressed.Add(1)
+		return
+	}
+	if sup := d.decodeLogSuppressed.Swap(0); sup > 0 {
+		d.cfg.Logf("serve: %d-byte datagram from %v: %v (+%d more decode errors since last report)", n, ap, err, sup)
+	} else {
+		d.cfg.Logf("serve: %d-byte datagram from %v: %v", n, ap, err)
+	}
+}
+
+// ingestTotals aggregates the per-reader counters into the daemon-wide
+// view /healthz and /metrics report.
+func (d *Daemon) ingestTotals() (datagrams, records, decodeErrors uint64) {
+	for _, r := range d.readers {
+		datagrams += r.datagrams.Load()
+		records += r.records.Load()
+		decodeErrors += r.decodeErrors.Load()
+	}
+	return datagrams, records, decodeErrors
+}
+
+// ReaderStatus is one ingest reader's row in the /links response and
+// the per-reader /metrics families.
+type ReaderStatus struct {
+	Reader       int    `json:"reader"`
+	Datagrams    uint64 `json:"datagrams"`
+	Records      uint64 `json:"records"`
+	DecodeErrors uint64 `json:"decode_errors"`
+	// ReceiveBufferBytes is the socket's effective kernel receive
+	// buffer: the post-clamp SO_RCVBUF readback, not the requested
+	// size. 0 when the platform can't report it.
+	ReceiveBufferBytes int `json:"receive_buffer_bytes"`
+}
+
+func (d *Daemon) readerStatus() []ReaderStatus {
+	out := make([]ReaderStatus, len(d.readers))
+	for i, r := range d.readers {
+		out[i] = ReaderStatus{
+			Reader:             r.index,
+			Datagrams:          r.datagrams.Load(),
+			Records:            r.records.Load(),
+			DecodeErrors:       r.decodeErrors.Load(),
+			ReceiveBufferBytes: r.rcvbuf,
+		}
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/bgp"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/netflow"
 	"repro/internal/scheme"
@@ -25,9 +26,11 @@ import (
 // (netflow.Exporter), the resulting v5 datagrams travel through a real
 // UDP socket into a running daemon, and the elephant sets the HTTP API
 // reports per interval must equal what the batch pipeline computes from
-// the very same datagrams. Alongside, /metrics must report zero decode
-// errors and zero late drops for the run. Run with -race: the test
-// exercises the full ingest/store/HTTP concurrency.
+// the very same datagrams — at every ingest reader count, pinning that
+// the sharded REUSEPORT front-end preserves per-link record order (one
+// exporter socket hashes to one reader). Alongside, /metrics must
+// report zero decode errors and zero late drops for the run. Run with
+// -race: the test exercises the full ingest/store/HTTP concurrency.
 func TestLoopbackEquivalence(t *testing.T) {
 	const (
 		intervals = 5
@@ -110,12 +113,25 @@ func TestLoopbackEquivalence(t *testing.T) {
 	}
 	ref := batch[0].Results
 
+	for _, readers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("readers=%d", readers), func(t *testing.T) {
+			loopbackRun(t, table, sp, wires, ref, collector, start, interval, intervals, readers)
+		})
+	}
+}
+
+// loopbackRun drives one daemon instance (at the given reader count)
+// with the pre-captured wire datagrams and asserts API ≡ batch.
+func loopbackRun(t *testing.T, table *bgp.Table, sp *scheme.Spec, wires [][]byte,
+	ref []core.Result, collector *netflow.Collector,
+	start time.Time, interval time.Duration, intervals, readers int) {
 	// The daemon under test, anchored at the same interval origin.
 	d, err := NewDaemon(Config{
 		UDPAddr:  "127.0.0.1:0",
 		HTTPAddr: "127.0.0.1:0",
 		Table:    table,
 		Scheme:   sp,
+		Readers:  readers,
 		Interval: interval,
 		Start:    start,
 		History:  64,
@@ -123,6 +139,9 @@ func TestLoopbackEquivalence(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := d.Readers(); got != readers {
+		t.Fatalf("Readers() = %d, want %d", got, readers)
 	}
 	d.Start()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -167,12 +186,28 @@ func TestLoopbackEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var links []LinkSummary
-	getJSON(t, base+"/links", &links)
-	if len(links) != 1 {
-		t.Fatalf("links = %+v, want exactly one", links)
+	var page LinksPage
+	getJSON(t, base+"/links", &page)
+	if len(page.Links) != 1 {
+		t.Fatalf("links = %+v, want exactly one", page.Links)
 	}
-	ls := links[0]
+	if len(page.Readers) != readers {
+		t.Fatalf("reader rows = %d, want %d", len(page.Readers), readers)
+	}
+	var readerDatagrams uint64
+	for _, rs := range page.Readers {
+		readerDatagrams += rs.Datagrams
+		if rs.DecodeErrors != 0 {
+			t.Errorf("reader %d: %d decode errors", rs.Reader, rs.DecodeErrors)
+		}
+		if rs.ReceiveBufferBytes <= 0 {
+			t.Errorf("reader %d: effective receive buffer %d, want > 0 readback", rs.Reader, rs.ReceiveBufferBytes)
+		}
+	}
+	if readerDatagrams != uint64(len(wires)) {
+		t.Errorf("per-reader datagrams sum to %d, want %d", readerDatagrams, len(wires))
+	}
+	ls := page.Links[0]
 	if ls.ID != "127.0.0.1@0" {
 		t.Errorf("link ID = %q, want 127.0.0.1@0", ls.ID)
 	}

@@ -2,9 +2,18 @@ package serve
 
 import (
 	"net/http"
+	"strconv"
 
 	"repro/internal/report"
 )
+
+// b2f renders a boolean as a 0/1 gauge sample.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
 
 // handleMetrics renders the daemon's counters in the Prometheus text
 // exposition format via report.MetricsWriter. Links are emitted in
@@ -14,14 +23,39 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
 	m := report.NewMetricsWriter(w)
+	datagrams, records, decodeErrors := d.ingestTotals()
 	m.Family("elephantd_datagrams_total", "UDP datagrams received.", "counter")
-	m.Sample("elephantd_datagrams_total", nil, float64(d.datagrams.Load()))
+	m.Sample("elephantd_datagrams_total", nil, float64(datagrams))
 	m.Family("elephantd_records_total", "NetFlow records carried by well-formed datagrams.", "counter")
-	m.Sample("elephantd_records_total", nil, float64(d.records.Load()))
+	m.Sample("elephantd_records_total", nil, float64(records))
 	m.Family("elephantd_decode_errors_total", "Datagrams rejected by the NetFlow v5 decoder.", "counter")
-	m.Sample("elephantd_decode_errors_total", nil, float64(d.decodeErrors.Load()))
+	m.Sample("elephantd_decode_errors_total", nil, float64(decodeErrors))
 	m.Family("elephantd_links", "Links currently known to the state store.", "gauge")
 	m.Sample("elephantd_links", nil, float64(d.store.Len()))
+	m.Family("elephantd_readers", "Ingest reader goroutines.", "gauge")
+	m.Sample("elephantd_readers", nil, float64(len(d.readers)))
+	m.Family("elephantd_reuseport", "1 when each reader owns a SO_REUSEPORT socket, 0 in single-socket fan-out mode.", "gauge")
+	m.Sample("elephantd_reuseport", nil, b2f(d.reuseport))
+
+	// Per-reader ingest counters: where the front-end's load lands.
+	readerRows := d.readerStatus()
+	readerCounter := func(name, help string, v func(ReaderStatus) float64) {
+		m.Family(name, help, "counter")
+		for _, row := range readerRows {
+			m.Sample(name, []report.Label{{Name: "reader", Value: strconv.Itoa(row.Reader)}}, v(row))
+		}
+	}
+	readerCounter("elephantd_reader_datagrams_total", "UDP datagrams received by the reader.",
+		func(s ReaderStatus) float64 { return float64(s.Datagrams) })
+	readerCounter("elephantd_reader_records_total", "NetFlow records decoded by the reader.",
+		func(s ReaderStatus) float64 { return float64(s.Records) })
+	readerCounter("elephantd_reader_decode_errors_total", "Datagrams the reader's decoder rejected.",
+		func(s ReaderStatus) float64 { return float64(s.DecodeErrors) })
+	m.Family("elephantd_reader_receive_buffer_bytes", "Effective kernel receive buffer of the reader's socket (post-clamp SO_RCVBUF readback).", "gauge")
+	for _, row := range readerRows {
+		m.Sample("elephantd_reader_receive_buffer_bytes",
+			[]report.Label{{Name: "reader", Value: strconv.Itoa(row.Reader)}}, float64(row.ReceiveBufferBytes))
+	}
 
 	rows := d.store.Summaries()
 

@@ -163,10 +163,13 @@ func TestHTTPEndpointsEmptyDaemon(t *testing.T) {
 	if h.Status != "ok" || h.Links != 0 {
 		t.Errorf("healthz = %+v", h)
 	}
-	var links []LinkSummary
-	getJSON(t, base+"/links", &links)
-	if len(links) != 0 {
-		t.Errorf("links = %+v, want empty", links)
+	var page LinksPage
+	getJSON(t, base+"/links", &page)
+	if len(page.Links) != 0 {
+		t.Errorf("links = %+v, want empty", page.Links)
+	}
+	if len(page.Readers) != 1 {
+		t.Errorf("readers = %+v, want one row for the default single reader", page.Readers)
 	}
 	// Unknown link: 404 on both per-link endpoints.
 	for _, path := range []string{"/links/nope@0/elephants", "/links/nope@0/history"} {

@@ -1,0 +1,11 @@
+//go:build unix && !linux && !darwin && !dragonfly && !freebsd && !netbsd && !openbsd
+
+package serve
+
+// Unix platforms without a known SO_REUSEPORT value (aix, solaris, …):
+// the sharded listener falls back to one socket with N-way reader
+// fan-out.
+const (
+	soReusePort        = 0
+	reusePortSupported = false
+)

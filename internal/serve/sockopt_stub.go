@@ -1,0 +1,18 @@
+//go:build !unix
+
+package serve
+
+import (
+	"errors"
+	"net"
+	"syscall"
+)
+
+// Non-unix platforms: no SO_REUSEPORT, no SO_RCVBUF readback. The
+// daemon runs with one socket, N-way reader fan-out, and an unknown (0)
+// effective receive buffer.
+func controlReusePort(network, address string, c syscall.RawConn) error {
+	return errors.ErrUnsupported
+}
+
+func effectiveReadBuffer(conn *net.UDPConn) int { return 0 }
