@@ -1,0 +1,58 @@
+package repro
+
+// Steady-state allocation pins for the per-interval classify path.
+// PR 7 moved its remaining per-step allocations into reusable storage:
+// the pipeline's arena-backed elephant sets, the snapshot's cached
+// sorted bandwidth column, and the columnar sketch counters all
+// amortize across intervals. These pins keep that property from
+// regressing silently — testing.AllocsPerRun truncates the average, so
+// a sub-1 amortized rate (the arena growing a fresh chunk every several
+// intervals) passes while a genuine per-interval allocation fails.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/scheme"
+)
+
+// TestPipelineStepSteadyStateAllocs pins the batch Snapshot+Step loop —
+// the inner loop of every figure harness — at zero amortized
+// allocations per interval once the pipeline and snapshot are warm.
+func TestPipelineStepSteadyStateAllocs(t *testing.T) {
+	cfg := experiments.SmallConfig()
+	cfg.Intervals = 48
+	cfg.Flows = 1200
+	cfg.Routes = 3000
+	ls, err := experiments.BuildLinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := scheme.MustParse("load+latent").Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := core.NewFlowSnapshot(0)
+	n := ls.West.Intervals
+	step := func(i int) {
+		snap = ls.West.Snapshot(i%n, snap)
+		if _, err := pipe.Step(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm: two full passes grow the flow table, the classifier columns,
+	// the sorted-column buffer and the first arena chunks to capacity.
+	for i := 0; i < 2*n; i++ {
+		step(i)
+	}
+	i := 2 * n
+	avg := testing.AllocsPerRun(3*n, func() { step(i); i++ })
+	if avg != 0 {
+		t.Errorf("warm Snapshot+Step averages %v allocs/interval, want 0", avg)
+	}
+}

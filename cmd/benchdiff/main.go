@@ -1,6 +1,10 @@
 // Command benchdiff compares a `go test -bench` run against a committed
-// JSON baseline and fails on ns/op regressions beyond a tolerance — the
-// guard that keeps the hot-path numbers in BENCH_baseline.json honest.
+// JSON baseline and fails on regressions beyond a tolerance — the guard
+// that keeps the hot-path numbers in BENCH_baseline.json honest. Two
+// axes are gated: ns/op (-tolerance) and allocs/op (-alloc-tolerance).
+// Benchmarks whose baseline is exactly zero allocs/op are pinned hard:
+// any allocation fails regardless of the tolerance, since a zero-alloc
+// steady state is a designed-in property, not a number that drifts.
 //
 // Capture (or refresh) the baseline:
 //
@@ -49,6 +53,7 @@ func main() {
 		in           = flag.String("in", "-", "bench output to read (`-` for stdin)")
 		write        = flag.Bool("write", false, "write the parsed run as the new baseline instead of comparing")
 		tolerance    = flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression before failing")
+		allocTol     = flag.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op regression before failing; zero-alloc baselines must stay at exactly zero")
 		note         = flag.String("note", "go test -bench . -benchmem -run '^$' ./...", "capture note stored with -write")
 	)
 	flag.Parse()
@@ -92,14 +97,18 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
 	}
-	if compare(base, run, *tolerance) > 0 {
+	if compare(base, run, *tolerance, *allocTol) > 0 {
 		os.Exit(1)
 	}
 }
 
 // compare prints a per-benchmark report and returns the number of
-// ns/op regressions beyond the tolerance.
-func compare(base Baseline, run []Benchmark, tolerance float64) int {
+// regressions: ns/op beyond tolerance, or allocs/op beyond allocTol.
+// A baseline of exactly zero allocs/op is a hard pin — any allocation
+// at all regresses it, because zero-alloc steady states are the product
+// of deliberate arena/reuse work and "one alloc per op" is a structural
+// change, not noise.
+func compare(base Baseline, run []Benchmark, tolerance, allocTol float64) int {
 	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseByName[b.Name] = b
@@ -118,18 +127,24 @@ func compare(base Baseline, run []Benchmark, tolerance float64) int {
 		if ref.NsPerOp > 0 {
 			delta = b.NsPerOp/ref.NsPerOp - 1
 		}
+		allocBad := false
+		if ref.AllocsPerOp == 0 {
+			allocBad = b.AllocsPerOp > 0
+		} else {
+			allocBad = b.AllocsPerOp > ref.AllocsPerOp*(1+allocTol)
+		}
 		status := "ok"
 		if delta > tolerance {
 			status = "REGRESSED"
 			regressions++
+		} else if allocBad {
+			status = "ALLOCS"
+			regressions++
 		} else if delta < -tolerance {
 			status = "improved"
 		}
-		fmt.Printf("%-9s %-60s %14.0f ns/op  baseline %14.0f  (%+.1f%%)", status, b.Name, b.NsPerOp, ref.NsPerOp, 100*delta)
-		if b.AllocsPerOp > ref.AllocsPerOp {
-			fmt.Printf("  allocs %.0f -> %.0f", ref.AllocsPerOp, b.AllocsPerOp)
-		}
-		fmt.Println()
+		fmt.Printf("%-9s %-60s %14.0f ns/op  baseline %14.0f  (%+.1f%%)  allocs %.0f -> %.0f\n",
+			status, b.Name, b.NsPerOp, ref.NsPerOp, 100*delta, ref.AllocsPerOp, b.AllocsPerOp)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
@@ -137,7 +152,8 @@ func compare(base Baseline, run []Benchmark, tolerance float64) int {
 		}
 	}
 	if regressions > 0 {
-		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, 100*tolerance)
+		fmt.Printf("\n%d benchmark(s) regressed (ns/op beyond %.0f%%, or allocs/op beyond %.0f%% — zero-alloc baselines must stay zero)\n",
+			regressions, 100*tolerance, 100*allocTol)
 	}
 	return regressions
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	in := `goos: linux
+BenchmarkFast-8             1000      1234 ns/op       12 B/op        3 allocs/op
+BenchmarkMetric             2000      5678 ns/op       42.0 flows/interval       0 B/op        0 allocs/op
+BenchmarkNoMem-16            500      9999 ns/op
+PASS
+`
+	run, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Benchmark{
+		{Name: "BenchmarkFast", NsPerOp: 1234, AllocsPerOp: 3},
+		{Name: "BenchmarkMetric", NsPerOp: 5678, AllocsPerOp: 0},
+		{Name: "BenchmarkNoMem", NsPerOp: 9999, AllocsPerOp: 0},
+	}
+	if len(run) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(run), len(want), run)
+	}
+	for i := range want {
+		if run[i] != want[i] {
+			t.Errorf("benchmark %d = %+v, want %+v", i, run[i], want[i])
+		}
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := Baseline{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkZero", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	cases := []struct {
+		name string
+		run  []Benchmark
+		want int
+	}{
+		{"clean", []Benchmark{{Name: "BenchmarkA", NsPerOp: 1100, AllocsPerOp: 10}}, 0},
+		{"ns regression", []Benchmark{{Name: "BenchmarkA", NsPerOp: 1400, AllocsPerOp: 10}}, 1},
+		{"alloc regression", []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 12}}, 1},
+		{"alloc within tolerance", []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 11}}, 0},
+		{"zero baseline stays zero", []Benchmark{{Name: "BenchmarkZero", NsPerOp: 1000, AllocsPerOp: 1}}, 1},
+		{"zero baseline ok", []Benchmark{{Name: "BenchmarkZero", NsPerOp: 1000, AllocsPerOp: 0}}, 0},
+		{"new and missing never fail", []Benchmark{{Name: "BenchmarkNew", NsPerOp: 5}}, 0},
+	}
+	for _, tc := range cases {
+		if got := compare(base, tc.run, 0.30, 0.10); got != tc.want {
+			t.Errorf("%s: %d regressions, want %d", tc.name, got, tc.want)
+		}
+	}
+}

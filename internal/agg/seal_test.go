@@ -1,0 +1,197 @@
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// randomSeries builds a series through a random mix of the mutation API:
+// AddBits accumulation, SetBandwidth overwrites, overwrite-to-zero (a
+// flow that was active in an interval and then zeroed must vanish from
+// that interval's snapshot), and rows that stay entirely idle.
+func randomSeries(seed int64, flows, intervals int) *Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSeries(start, time.Minute, intervals)
+	for f := 0; f < flows; f++ {
+		p := netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", f/250, f%250))
+		for t := 0; t < intervals; t++ {
+			switch rng.Intn(5) {
+			case 0, 1: // idle cell
+			case 2:
+				s.AddBits(p, t, rng.Float64()*1e9)
+				if rng.Intn(3) == 0 {
+					s.AddBits(p, t, rng.Float64()*1e8) // accumulate twice
+				}
+			case 3:
+				s.SetBandwidth(p, t, rng.Float64()*1e7)
+			case 4:
+				s.SetBandwidth(p, t, rng.Float64()*1e7)
+				if rng.Intn(2) == 0 {
+					s.SetBandwidth(p, t, 0) // overwrite to zero
+				}
+			}
+		}
+	}
+	return s
+}
+
+// snapDiff compares two snapshots column-for-column, bitwise, returning
+// a description of the first difference ("" when identical). It stays
+// goroutine-safe so concurrent tests can report via t.Errorf.
+func snapDiff(a, b *core.FlowSnapshot) string {
+	if a.Len() != b.Len() {
+		return fmt.Sprintf("%d flows vs %d", a.Len(), b.Len())
+	}
+	if a.HasIDs() != b.HasIDs() {
+		return fmt.Sprintf("HasIDs %v vs %v", a.HasIDs(), b.HasIDs())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Key(i) != b.Key(i) {
+			return fmt.Sprintf("flow %d key %v vs %v", i, a.Key(i), b.Key(i))
+		}
+		if a.Bandwidth(i) != b.Bandwidth(i) {
+			return fmt.Sprintf("flow %d (%v) bw %v vs %v", i, a.Key(i), a.Bandwidth(i), b.Bandwidth(i))
+		}
+		if a.HasIDs() && a.ID(i) != b.ID(i) {
+			return fmt.Sprintf("flow %d id %d vs %d", i, a.ID(i), b.ID(i))
+		}
+	}
+	return ""
+}
+
+func snapEqual(t *testing.T, ctx string, a, b *core.FlowSnapshot) {
+	t.Helper()
+	if d := snapDiff(a, b); d != "" {
+		t.Fatalf("%s: %s", ctx, d)
+	}
+}
+
+// TestSealedSnapshotsMatchDense is the CSR/dense equivalence property:
+// for randomized series (accumulates, overwrites, zeroed cells, idle
+// rows), every interval's snapshot from the sealed interval-major index
+// must be bitwise identical — same flow order, same float values — to
+// the dense row-scan emission of the unsealed series.
+func TestSealedSnapshotsMatchDense(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s := randomSeries(seed, 120, 16)
+		dense := make([]*core.FlowSnapshot, s.Intervals)
+		for ti := 0; ti < s.Intervals; ti++ {
+			dense[ti] = s.Snapshot(ti, nil)
+		}
+		s.Seal()
+		if !s.Sealed() {
+			t.Fatal("Seal did not mark the series sealed")
+		}
+		var snap *core.FlowSnapshot
+		for ti := 0; ti < s.Intervals; ti++ {
+			snap = s.Snapshot(ti, snap)
+			snapEqual(t, fmt.Sprintf("seed %d interval %d", seed, ti), snap, dense[ti])
+		}
+	}
+}
+
+// TestSealedSnapshotIDsMatchDense extends the equivalence to the
+// ID-stamped emission path the matrix engine uses.
+func TestSealedSnapshotIDsMatchDense(t *testing.T) {
+	s := randomSeries(11, 100, 12)
+	tblDense := core.NewFlowTable()
+	rowsDense := s.InternRows(tblDense, nil)
+	dense := make([]*core.FlowSnapshot, s.Intervals)
+	for ti := 0; ti < s.Intervals; ti++ {
+		dense[ti] = s.SnapshotIDs(ti, nil, tblDense, rowsDense)
+	}
+	s.Seal()
+	tbl := core.NewFlowTable()
+	rows := s.InternRows(tbl, nil)
+	var snap *core.FlowSnapshot
+	for ti := 0; ti < s.Intervals; ti++ {
+		snap = s.SnapshotIDs(ti, snap, tbl, rows)
+		snapEqual(t, fmt.Sprintf("interval %d", ti), snap, dense[ti])
+	}
+}
+
+// TestSealMutationUnseals pins the release-mode contract: mutating a
+// sealed series (including the zero→nonzero transition that changes an
+// interval's flow membership) silently unseals it, drops the index, and
+// subsequent snapshots — dense again, or CSR after a re-Seal — reflect
+// the new values.
+func TestSealMutationUnseals(t *testing.T) {
+	s := NewSeries(start, time.Minute, 3)
+	s.SetBandwidth(pfxA, 0, 100)
+	s.SetBandwidth(pfxB, 1, 200)
+	s.Seal()
+	_ = s.Snapshot(0, nil) // force the index to build
+
+	s.SetBandwidth(pfxC, 0, 300) // zero→nonzero on a sealed series
+	if s.Sealed() {
+		t.Fatal("series still sealed after mutation")
+	}
+	want := map[netip.Prefix]float64{pfxA: 100, pfxC: 300}
+	check := func(ctx string) {
+		t.Helper()
+		snap := s.Snapshot(0, nil)
+		if snap.Len() != len(want) {
+			t.Fatalf("%s: %d flows, want %d", ctx, snap.Len(), len(want))
+		}
+		for i := 0; i < snap.Len(); i++ {
+			if want[snap.Key(i)] != snap.Bandwidth(i) {
+				t.Fatalf("%s: flow %v = %v, want %v", ctx, snap.Key(i), snap.Bandwidth(i), want[snap.Key(i)])
+			}
+		}
+	}
+	check("unsealed after mutation")
+	s.Seal()
+	check("re-sealed")
+}
+
+// TestSealMutationPanicsUnderDebugInvariants pins the debug-mode
+// contract: with core.DebugInvariants on, mutating a sealed series is a
+// programmer error and panics instead of silently unsealing.
+func TestSealMutationPanicsUnderDebugInvariants(t *testing.T) {
+	core.DebugInvariants = true
+	defer func() { core.DebugInvariants = false }()
+	s := NewSeries(start, time.Minute, 2)
+	s.SetBandwidth(pfxA, 0, 100)
+	s.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddBits on a sealed series did not panic under DebugInvariants")
+		}
+	}()
+	s.AddBits(pfxA, 1, 1e6)
+}
+
+// TestSealedSnapshotConcurrentReaders proves the lazy index build is
+// safe under concurrent snapshotting of a freshly sealed series (the
+// matrix engine's access pattern: many workers, first touch builds).
+// Run with -race.
+func TestSealedSnapshotConcurrentReaders(t *testing.T) {
+	s := randomSeries(23, 150, 8)
+	refs := make([]*core.FlowSnapshot, s.Intervals)
+	for ti := 0; ti < s.Intervals; ti++ {
+		refs[ti] = s.Snapshot(ti, nil)
+	}
+	s.Seal()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var snap *core.FlowSnapshot
+			for ti := 0; ti < s.Intervals; ti++ {
+				snap = s.Snapshot(ti, snap)
+				if d := snapDiff(snap, refs[ti]); d != "" {
+					t.Errorf("interval %d: %s", ti, d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,10 +3,20 @@
 // match, accumulates bytes over fixed measurement intervals (the paper's
 // default is 5 minutes) and produces per-flow average-bandwidth series —
 // the x_j(t) values every classification scheme consumes.
+//
+// A Series has two phases. During aggregation it is a mutable row-major
+// flow×interval matrix (AddBits, SetBandwidth). Seal ends that phase:
+// the first post-seal emission lazily builds an interval-major sparse
+// index so that each per-interval Snapshot walks exactly that
+// interval's non-zero cells instead of scanning every row, with output
+// bitwise identical to the unsealed path. Mutating a sealed series
+// unseals it and drops the index (and panics under
+// core.DebugInvariants, where it is treated as a programmer error).
 package agg
 
 import (
 	"fmt"
+	"math"
 	"net/netip"
 	"sort"
 	"sync"
@@ -39,6 +49,30 @@ type Series struct {
 	// added since the last build.
 	sortedMu  sync.Mutex
 	sortedIdx []int
+
+	// sealed marks the series immutable. Sealing is what authorizes the
+	// interval-major index below: a sealed series may be snapshotted
+	// concurrently, and any later AddBits/SetBandwidth unseals (dropping
+	// the index) — or panics under core.DebugInvariants — instead of
+	// serving stale views. sealed is written by Seal (under sortedMu)
+	// and by mutators, which by contract never run concurrently with
+	// snapshotting.
+	sealed bool
+	// idx is the lazily built interval-major CSR view of the matrix;
+	// non-nil only while sealed. Guarded by sortedMu.
+	idx *intervalIndex
+}
+
+// intervalIndex is an interval-major CSR index over the nonzero cells
+// of the flow × interval matrix: interval t's active flows live in
+// rows[offsets[t]:offsets[t+1]] (row indices, in core.ComparePrefix
+// order of their prefixes) with bandwidths in the parallel bw array.
+// Emission of interval t is then O(active(t)) sequential reads instead
+// of an O(flows) strided scan over every row.
+type intervalIndex struct {
+	offsets []int64
+	rows    []int32
+	bw      []float64
 }
 
 // NewSeries creates an empty series with the given geometry.
@@ -78,12 +112,50 @@ func (s *Series) row(p netip.Prefix) []float64 {
 	return r
 }
 
+// Seal marks the series immutable and enables the interval-major
+// snapshot index: the first Snapshot/SnapshotIDs after Seal builds a
+// CSR view of the nonzero cells and every subsequent emission walks
+// only that interval's active flows. Sealing is idempotent. A later
+// AddBits/SetBandwidth unseals the series and drops the index (the
+// dense scan keeps working), or panics under core.DebugInvariants —
+// post-seal mutation is a programming error the invariant build turns
+// into a crash rather than a stale view.
+func (s *Series) Seal() {
+	s.sortedMu.Lock()
+	s.sealed = true
+	s.sortedMu.Unlock()
+}
+
+// Sealed reports whether the series is currently sealed.
+func (s *Series) Sealed() bool {
+	s.sortedMu.Lock()
+	defer s.sortedMu.Unlock()
+	return s.sealed
+}
+
+// mutate gates every write: mutating a sealed series panics under
+// core.DebugInvariants and otherwise unseals, invalidating the
+// interval index so no stale view can be served. Mutators never run
+// concurrently with snapshotting (the Snapshot contract), so the flag
+// write needs no lock here.
+func (s *Series) mutate() {
+	if !s.sealed {
+		return
+	}
+	if core.DebugInvariants {
+		panic("agg: Series mutated after Seal")
+	}
+	s.sealed = false
+	s.idx = nil
+}
+
 // AddBits adds count bits to flow p in interval t, updating the total.
 // Out-of-range intervals panic: the caller owns interval bounds.
 func (s *Series) AddBits(p netip.Prefix, t int, bits float64) {
 	if t < 0 || t >= s.Intervals {
 		panic(fmt.Sprintf("agg: AddBits: interval %d out of [0,%d)", t, s.Intervals))
 	}
+	s.mutate()
 	bw := bits / s.Interval.Seconds()
 	r := s.row(p)
 	before := r[t]
@@ -109,6 +181,7 @@ func (s *Series) SetBandwidth(p netip.Prefix, t int, bw float64) {
 	if t < 0 || t >= s.Intervals {
 		panic(fmt.Sprintf("agg: SetBandwidth: interval %d out of [0,%d)", t, s.Intervals))
 	}
+	s.mutate()
 	r := s.row(p)
 	before := r[t]
 	s.total[t] += bw - before
@@ -144,6 +217,11 @@ func (s *Series) TotalBandwidth(t int) float64 { return s.total[t] }
 func (s *Series) sortedRows() []int {
 	s.sortedMu.Lock()
 	defer s.sortedMu.Unlock()
+	return s.sortedRowsLocked()
+}
+
+// sortedRowsLocked is sortedRows for callers already holding sortedMu.
+func (s *Series) sortedRowsLocked() []int {
 	if len(s.sortedIdx) != len(s.keys) {
 		s.sortedIdx = s.sortedIdx[:0]
 		for i := range s.keys {
@@ -154,6 +232,56 @@ func (s *Series) sortedRows() []int {
 		})
 	}
 	return s.sortedIdx
+}
+
+// intervalIdx returns the CSR interval index, building it on first use
+// after Seal. It returns nil when the series is unsealed (callers fall
+// back to the dense row scan) or too large to index with int32 row
+// positions. The build is a two-pass count/fill: the fill iterates rows
+// in sorted-prefix order, so each interval's slice lists its active
+// rows in exactly the order the dense scan would emit them —
+// byte-identical snapshots, including float summation order downstream.
+func (s *Series) intervalIdx() *intervalIndex {
+	s.sortedMu.Lock()
+	defer s.sortedMu.Unlock()
+	if !s.sealed {
+		return nil
+	}
+	if s.idx != nil {
+		return s.idx
+	}
+	if len(s.keys) > math.MaxInt32 {
+		return nil
+	}
+	idx := &intervalIndex{offsets: make([]int64, s.Intervals+1)}
+	counts := idx.offsets[1:] // counts[t] accumulates nnz(t), then prefix-sums in place
+	for i := range s.rows {
+		for t, bw := range s.rows[i] {
+			if bw > 0 {
+				counts[t]++
+			}
+		}
+	}
+	for t := 1; t < s.Intervals; t++ {
+		counts[t] += counts[t-1]
+	}
+	nnz := idx.offsets[s.Intervals]
+	idx.rows = make([]int32, nnz)
+	idx.bw = make([]float64, nnz)
+	cur := make([]int64, s.Intervals)
+	copy(cur, idx.offsets[:s.Intervals])
+	for _, i := range s.sortedRowsLocked() {
+		for t, bw := range s.rows[i] {
+			if bw > 0 {
+				c := cur[t]
+				idx.rows[c] = int32(i)
+				idx.bw[c] = bw
+				cur[t] = c + 1
+			}
+		}
+	}
+	s.idx = idx
+	return idx
 }
 
 // Snapshot fills dst (allocating when nil) with interval t's non-zero
@@ -169,6 +297,12 @@ func (s *Series) Snapshot(t int, dst *core.FlowSnapshot) *core.FlowSnapshot {
 		dst = core.NewFlowSnapshot(len(s.keys))
 	}
 	dst.Reset()
+	if ix := s.intervalIdx(); ix != nil {
+		for k := ix.offsets[t]; k < ix.offsets[t+1]; k++ {
+			dst.Append(s.keys[ix.rows[k]], ix.bw[k])
+		}
+		return dst
+	}
 	for _, i := range s.sortedRows() {
 		if bw := s.rows[i][t]; bw > 0 {
 			dst.Append(s.keys[i], bw)
@@ -208,6 +342,13 @@ func (s *Series) SnapshotIDs(t int, dst *core.FlowSnapshot, tbl *core.FlowTable,
 	}
 	dst.Reset()
 	dst.SetIDTable(tbl)
+	if ix := s.intervalIdx(); ix != nil {
+		for k := ix.offsets[t]; k < ix.offsets[t+1]; k++ {
+			i := ix.rows[k]
+			dst.AppendID(s.keys[i], rowIDs[i], ix.bw[k])
+		}
+		return dst
+	}
 	for _, i := range s.sortedRows() {
 		if bw := s.rows[i][t]; bw > 0 {
 			dst.AppendID(s.keys[i], rowIDs[i], bw)

@@ -2,25 +2,24 @@ package baseline
 
 import (
 	"fmt"
-	"net/netip"
 	"sort"
 
 	"repro/internal/core"
 )
 
-// sketch is the operation set SketchClassifier needs from a heavy-hitter
-// summary; MisraGries and SpaceSaving both provide it.
-type sketch interface {
-	Add(p netip.Prefix, weight float64)
-	HeavyHitters(fraction float64) []netip.Prefix
-	Reset()
-}
+// sketchKind selects which k-counter summary a SketchClassifier runs.
+type sketchKind uint8
+
+const (
+	sketchMisraGries sketchKind = iota
+	sketchSpaceSaving
+)
 
 // SketchClassifier adapts a k-counter heavy-hitter sketch to
 // core.Classifier, making the streaming-sketch baselines runnable
 // through the same pipeline, engine and CLIs as the paper's schemes.
-// Each interval it resets the sketch, feeds every active flow's
-// bandwidth, and classifies as elephants the flows whose estimated share
+// Each interval it feeds every active flow's bandwidth through a fresh
+// sketch and classifies as elephants the flows whose estimated share
 // of the interval's traffic exceeds Fraction. The smoothed threshold is
 // ignored: like TopKClassifier this baseline is volume-only, with no
 // adaptive threshold and no persistence — exactly what the paper's
@@ -29,12 +28,32 @@ type sketch interface {
 // the operational argument for sketches; the price is approximation
 // error (under-estimates for Misra–Gries, over-estimates for
 // Space-Saving).
+//
+// The per-interval state is columnar and keyed by snapshot index
+// rather than by prefix: counters live in flat slot arrays and the
+// flow→counter association is an index column reset each interval, so
+// the classify path never hashes or compares a prefix. The verdicts
+// are identical to the exported map-based MisraGries/SpaceSaving
+// sketches fed in snapshot order: every eviction decision depends only
+// on counter values with a deterministic tie-break, and because the
+// snapshot is strictly sorted by prefix, the sketches' prefix
+// tie-break order is exactly the snapshot index order.
 type SketchClassifier struct {
 	// Fraction is the heavy-hitter cut as a share of interval traffic.
 	Fraction float64
 
-	sk      sketch
-	name    string
+	kind sketchKind
+	k    int
+	name string
+
+	// slot maps snapshot index -> occupied slot (-1 when untracked);
+	// reset each interval. owner/cnt/errv are the k counter slots:
+	// owning snapshot index, counter value, and (Space-Saving only) the
+	// overestimation bound inherited at eviction.
+	slot    []int32
+	owner   []int32
+	cnt     []float64
+	errv    []float64
 	scratch []int
 }
 
@@ -47,32 +66,38 @@ type SketchClassifier struct {
 // falls below the cut are missed — part of what the exact adaptive
 // schemes buy over a k-counter memory budget.
 func NewMisraGriesClassifier(k int, fraction float64) (*SketchClassifier, error) {
-	mg, err := NewMisraGries(k)
-	if err != nil {
-		return nil, err
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: misra-gries with k=%d", k)
 	}
-	return newSketchClassifier(mg, fmt.Sprintf("misra-gries-%d", k), k, fraction)
+	return newSketchClassifier(sketchMisraGries, fmt.Sprintf("misra-gries-%d", k), k, fraction)
 }
 
 // NewSpaceSavingClassifier returns a per-interval Space-Saving
 // heavy-hitter classifier with k counters. fraction <= 0 selects
 // 1/(k+1).
 func NewSpaceSavingClassifier(k int, fraction float64) (*SketchClassifier, error) {
-	ss, err := NewSpaceSaving(k)
-	if err != nil {
-		return nil, err
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: space-saving with k=%d", k)
 	}
-	return newSketchClassifier(ss, fmt.Sprintf("space-saving-%d", k), k, fraction)
+	return newSketchClassifier(sketchSpaceSaving, fmt.Sprintf("space-saving-%d", k), k, fraction)
 }
 
-func newSketchClassifier(sk sketch, name string, k int, fraction float64) (*SketchClassifier, error) {
+func newSketchClassifier(kind sketchKind, name string, k int, fraction float64) (*SketchClassifier, error) {
 	if fraction >= 1 {
 		return nil, fmt.Errorf("baseline: %s: fraction %v must be below 1", name, fraction)
 	}
 	if fraction <= 0 {
 		fraction = 1 / float64(k+1)
 	}
-	return &SketchClassifier{Fraction: fraction, sk: sk, name: name}, nil
+	return &SketchClassifier{
+		Fraction: fraction,
+		kind:     kind,
+		k:        k,
+		name:     name,
+		owner:    make([]int32, k),
+		cnt:      make([]float64, k),
+		errv:     make([]float64, k),
+	}, nil
 }
 
 // Name implements core.Classifier.
@@ -82,18 +107,115 @@ func (c *SketchClassifier) Name() string { return c.name }
 // ignored. The snapshot's sorted flow order makes the sketch's
 // eviction decisions, and therefore the verdict, deterministic.
 func (c *SketchClassifier) Classify(snap *core.FlowSnapshot, _ float64) core.Verdict {
-	c.sk.Reset()
-	for i := 0; i < snap.Len(); i++ {
-		c.sk.Add(snap.Key(i), snap.Bandwidth(i))
+	n := snap.Len()
+	if cap(c.slot) < n {
+		c.slot = make([]int32, n)
+	} else {
+		c.slot = c.slot[:n]
 	}
+	for i := range c.slot {
+		c.slot[i] = -1
+	}
+	var total float64
+	var nslots int
+	if c.kind == sketchMisraGries {
+		total, nslots = c.runMisraGries(snap.Bandwidths())
+	} else {
+		total, nslots = c.runSpaceSaving(snap.Bandwidths())
+	}
+	cut := c.Fraction * total
 	c.scratch = c.scratch[:0]
-	for _, p := range c.sk.HeavyHitters(c.Fraction) {
-		// Every heavy hitter was fed from the snapshot this interval, so
-		// the lookup always succeeds.
-		if i, ok := snap.Lookup(p); ok {
-			c.scratch = append(c.scratch, i)
+	for s := 0; s < nslots; s++ {
+		guaranteed := c.cnt[s]
+		if c.kind == sketchSpaceSaving {
+			guaranteed -= c.errv[s]
+		}
+		if guaranteed > cut {
+			c.scratch = append(c.scratch, int(c.owner[s]))
 		}
 	}
 	sort.Ints(c.scratch)
 	return core.Verdict{Indices: c.scratch}
+}
+
+// runMisraGries streams the bandwidth column through k Misra–Gries
+// counters: a new flow either takes a free slot or triggers the
+// decrement-all step, subtracting the smallest amount that frees at
+// least one counter (min of the new weight and the smallest counter —
+// the same weighted-update rule as MisraGries.Add). Deleted slots are
+// compacted by moving the last occupied slot down.
+func (c *SketchClassifier) runMisraGries(bw []float64) (total float64, nslots int) {
+	for i, w := range bw {
+		total += w
+		if s := c.slot[i]; s >= 0 {
+			c.cnt[s] += w
+			continue
+		}
+		if nslots < c.k {
+			c.owner[nslots], c.cnt[nslots] = int32(i), w
+			c.slot[i] = int32(nslots)
+			nslots++
+			continue
+		}
+		dec := w
+		for s := 0; s < nslots; s++ {
+			if c.cnt[s] < dec {
+				dec = c.cnt[s]
+			}
+		}
+		for s := 0; s < nslots; {
+			if c.cnt[s]-dec <= 0 {
+				c.slot[c.owner[s]] = -1
+				nslots--
+				if s < nslots {
+					c.owner[s] = c.owner[nslots]
+					c.cnt[s] = c.cnt[nslots]
+					c.slot[c.owner[s]] = int32(s)
+				}
+			} else {
+				c.cnt[s] -= dec
+				s++
+			}
+		}
+		if rest := w - dec; rest > 0 && nslots < c.k {
+			c.owner[nslots], c.cnt[nslots] = int32(i), rest
+			c.slot[i] = int32(nslots)
+			nslots++
+		}
+	}
+	return total, nslots
+}
+
+// runSpaceSaving streams the bandwidth column through k Space-Saving
+// counters: a new flow beyond capacity evicts the minimum counter and
+// inherits its count as both base and error bound. The tie-break on
+// equal minima is the owner's snapshot index — identical to
+// SpaceSaving.Add's prefix tie-break, since snapshot order is prefix
+// order.
+func (c *SketchClassifier) runSpaceSaving(bw []float64) (total float64, nslots int) {
+	for i, w := range bw {
+		total += w
+		if s := c.slot[i]; s >= 0 {
+			c.cnt[s] += w
+			continue
+		}
+		if nslots < c.k {
+			c.owner[nslots], c.cnt[nslots], c.errv[nslots] = int32(i), w, 0
+			c.slot[i] = int32(nslots)
+			nslots++
+			continue
+		}
+		minS := 0
+		for s := 1; s < nslots; s++ {
+			if c.cnt[s] < c.cnt[minS] || (c.cnt[s] == c.cnt[minS] && c.owner[s] < c.owner[minS]) {
+				minS = s
+			}
+		}
+		c.slot[c.owner[minS]] = -1
+		c.errv[minS] = c.cnt[minS]
+		c.cnt[minS] += w
+		c.owner[minS] = int32(i)
+		c.slot[i] = int32(minS)
+	}
+	return total, nslots
 }

@@ -78,10 +78,16 @@ type Pipeline struct {
 	// needIDs records whether the classifier consumes the ID column;
 	// snapshots arriving without one are filled from the table.
 	needIDs bool
+	// sortedDet is non-nil when the detector accepts the snapshot's
+	// cached pre-sorted bandwidth view, skipping the per-step copy and
+	// the detector's internal sort.
+	sortedDet SortedDetector
 	// scratch reuses its backing array across intervals: it carries a
 	// copy of the bandwidth column for the detector, which may reorder
 	// its input in place.
 	scratch []float64
+	// arena amortizes the per-interval ElephantSet storage.
+	arena prefixArena
 }
 
 // TableBinder is implemented by classifiers that keep per-flow state in
@@ -109,6 +115,9 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if tb, ok := cfg.Classifier.(TableBinder); ok {
 		tb.BindTable(p.table)
 		p.needIDs = true
+	}
+	if sd, ok := cfg.Detector.(SortedDetector); ok {
+		p.sortedDet = sd
 	}
 	return p, nil
 }
@@ -162,8 +171,17 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 	// Phase 1 for this interval: detect θ(t) if the interval carries
 	// enough flows; otherwise reuse the running estimate.
 	if res.ActiveFlows >= p.cfg.MinFlows {
-		p.scratch = append(p.scratch[:0], snap.Bandwidths()...)
-		raw, err := p.cfg.Detector.DetectThreshold(p.scratch)
+		var raw float64
+		var err error
+		if p.sortedDet != nil {
+			// Sorted-aware detectors read the snapshot's cached sorted
+			// column — one sort per emitted interval, shared by every
+			// pipeline stepping it — and must not modify either view.
+			raw, err = p.sortedDet.DetectThresholdSorted(snap.Bandwidths(), snap.SortedBandwidths())
+		} else {
+			p.scratch = append(p.scratch[:0], snap.Bandwidths()...)
+			raw, err = p.cfg.Detector.DetectThreshold(p.scratch)
+		}
 		if err != nil {
 			return res, fmt.Errorf("core: interval %d: %w", p.t, err)
 		}
@@ -210,7 +228,7 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 	for _, i := range v.Indices {
 		res.ElephantLoad += snap.Bandwidth(i)
 	}
-	res.Elephants = mergeElephants(snap, v)
+	res.Elephants = mergeElephantsArena(snap, v, &p.arena)
 
 	// Phase 2: fold θ(t) into the EWMA governing interval t+1, and tick
 	// the table's quarantine clock — released IDs become reusable only

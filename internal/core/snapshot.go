@@ -45,6 +45,11 @@ type FlowSnapshot struct {
 	idTable *FlowTable // table the ID column was interned against
 	total   float64
 	sorted  bool
+	// sortedBW caches an ascending-sorted copy of bw, built lazily by
+	// SortedBandwidths and invalidated by any mutation; sortedBWOK
+	// tracks its validity.
+	sortedBW   []float64
+	sortedBWOK bool
 }
 
 // NewFlowSnapshot returns an empty snapshot with room for capacity
@@ -65,6 +70,7 @@ func (s *FlowSnapshot) Reset() {
 	s.idTable = nil
 	s.total = 0
 	s.sorted = true
+	s.sortedBWOK = false
 }
 
 // Append adds one flow. Non-positive bandwidths are dropped (an idle
@@ -81,6 +87,7 @@ func (s *FlowSnapshot) Append(p netip.Prefix, bw float64) {
 	s.keys = append(s.keys, p)
 	s.bw = append(s.bw, bw)
 	s.total += bw
+	s.sortedBWOK = false
 }
 
 // AppendID adds one flow together with its dense FlowTable ID —
@@ -141,6 +148,21 @@ func (s *FlowSnapshot) Keys() []netip.Prefix { return s.keys }
 // which is allowed to reorder its input.)
 func (s *FlowSnapshot) Bandwidths() []float64 { return s.bw }
 
+// SortedBandwidths returns the bandwidth column sorted ascending. The
+// copy is computed lazily once per fill and cached until the snapshot
+// is next mutated, so every consumer of the interval — notably the S
+// pipelines classifying one emitted snapshot under the engine's
+// emit-once matrix execution — shares a single sort. Read-only shared
+// storage; do not modify.
+func (s *FlowSnapshot) SortedBandwidths() []float64 {
+	if !s.sortedBWOK {
+		s.sortedBW = append(s.sortedBW[:0], s.bw...)
+		slices.Sort(s.sortedBW)
+		s.sortedBWOK = true
+	}
+	return s.sortedBW
+}
+
 // TotalLoad returns the aggregate link load of the interval in bit/s.
 func (s *FlowSnapshot) TotalLoad() float64 { return s.total }
 
@@ -159,6 +181,7 @@ func (s *FlowSnapshot) Sort() {
 		return
 	}
 	withIDs := s.HasIDs()
+	s.sortedBWOK = false
 	sort.Sort((*snapshotSorter)(s))
 	w := 0
 	for i := 1; i < len(s.keys); i++ {
@@ -318,14 +341,58 @@ func (e ElephantSet) Jaccard(o ElephantSet) float64 {
 	return float64(inter) / float64(union)
 }
 
+// prefixArena amortizes ElephantSet storage across intervals: results
+// own their flow slices (they outlive the producing snapshot), so every
+// classified interval historically paid one allocation for its set.
+// The arena instead carves owned, never-reused regions out of
+// append-only chunks — full-slice expressions cap each region so no
+// later grab can touch it — cutting the steady-state classify path
+// below one allocation per interval while preserving ElephantSet's
+// immutability contract.
+type prefixArena struct {
+	buf []netip.Prefix
+}
+
+// arenaChunk is the minimum chunk size in prefixes (~64 KiB a chunk).
+const arenaChunk = 2048
+
+// grab returns an empty slice with capacity exactly n: appends up to n
+// never reallocate and the region never aliases another grab. A fresh
+// chunk is sized at several times the triggering request, so even
+// elephant sets comparable to the chunk minimum amortize to well under
+// one allocation per interval.
+func (a *prefixArena) grab(n int) []netip.Prefix {
+	if cap(a.buf)-len(a.buf) < n {
+		size := arenaChunk
+		if n > size/8 {
+			size = n * 8
+		}
+		a.buf = make([]netip.Prefix, 0, size)
+	}
+	lo := len(a.buf)
+	a.buf = a.buf[:lo+n]
+	return a.buf[lo : lo : lo+n]
+}
+
 // mergeElephants combines a verdict's snapshot indices (ascending) and
 // off-snapshot flows (sorted) into an owning ElephantSet.
 func mergeElephants(snap *FlowSnapshot, v Verdict) ElephantSet {
+	return mergeElephantsArena(snap, v, nil)
+}
+
+// mergeElephantsArena is mergeElephants drawing the set's storage from
+// an arena when one is supplied (the pipeline's steady-state path).
+func mergeElephantsArena(snap *FlowSnapshot, v Verdict, a *prefixArena) ElephantSet {
 	n := len(v.Indices) + len(v.Offline)
 	if n == 0 {
 		return ElephantSet{}
 	}
-	flows := make([]netip.Prefix, 0, n)
+	var flows []netip.Prefix
+	if a != nil {
+		flows = a.grab(n)
+	} else {
+		flows = make([]netip.Prefix, 0, n)
+	}
 	i, j := 0, 0
 	for i < len(v.Indices) && j < len(v.Offline) {
 		p := snap.Key(v.Indices[i])

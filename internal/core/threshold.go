@@ -32,6 +32,22 @@ type Detector interface {
 	Name() string
 }
 
+// SortedDetector is implemented by detectors that can compute theta(t)
+// from a pre-sorted view of the interval, skipping their internal
+// sort. Pipeline.Step prefers this path: the snapshot's cached
+// SortedBandwidths column is computed once per interval and shared by
+// every pipeline classifying the same emitted snapshot, so an S-scheme
+// matrix run pays for one sort instead of S.
+type SortedDetector interface {
+	Detector
+	// DetectThresholdSorted returns exactly what
+	// DetectThreshold(bandwidths) would, given both the bandwidth
+	// column in its original observation order and the same values
+	// sorted ascending. Both slices must hold positive, finite values
+	// and neither may be modified.
+	DetectThresholdSorted(bandwidths, sorted []float64) (float64, error)
+}
+
 // ConstantLoadDetector implements the "β-constant load" technique: the
 // threshold is set so that the flows exceeding it account for fraction
 // Beta of the total traffic in the interval.
@@ -70,6 +86,22 @@ func (d *ConstantLoadDetector) DetectThreshold(bandwidths []float64) (float64, e
 	// may land in a different order, but equal values contribute equal
 	// partial sums, so the detected threshold is unchanged.
 	slices.Sort(bandwidths)
+	return d.detectSorted(bandwidths)
+}
+
+// DetectThresholdSorted implements SortedDetector: the technique only
+// ever consumes the sorted view, so the pre-sorted column replaces the
+// copy-and-sort wholesale.
+func (d *ConstantLoadDetector) DetectThresholdSorted(_, sorted []float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, fmt.Errorf("core: constant-load: empty interval")
+	}
+	return d.detectSorted(sorted)
+}
+
+// detectSorted scans an ascending-sorted bandwidth column without
+// modifying it.
+func (d *ConstantLoadDetector) detectSorted(bandwidths []float64) (float64, error) {
 	// Total and cumulative sums run largest-first, the exact float
 	// summation order of the historical descending-sort implementation.
 	var total float64
@@ -138,4 +170,25 @@ func (d *AestDetector) DetectThreshold(bandwidths []float64) (float64, error) {
 	}
 	d.Fallbacks++
 	return stats.Quantile(bandwidths, fq), nil
+}
+
+// DetectThresholdSorted implements SortedDetector. The estimator's
+// block aggregation is order-sensitive, so the original-order column
+// still feeds it; the sorted view supplies the base CCDF and every
+// candidate quantile, which previously each re-sorted the sample.
+func (d *AestDetector) DetectThresholdSorted(bandwidths, sorted []float64) (float64, error) {
+	if len(bandwidths) == 0 {
+		return 0, fmt.Errorf("core: aest: empty interval")
+	}
+	fq := d.FallbackQuantile
+	if fq == 0 {
+		fq = 0.95
+	}
+	res := stats.AestSorted(bandwidths, sorted, d.Config)
+	if res.TailFound {
+		d.Detections++
+		return res.TailOnset, nil
+	}
+	d.Fallbacks++
+	return stats.QuantileSorted(sorted, fq), nil
 }

@@ -243,3 +243,60 @@ func TestDetectorsQuickInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSortedDetectorEquivalence is the fast-path equivalence property:
+// for both detectors, DetectThresholdSorted fed the snapshot's
+// (original, sorted) view pair must return bitwise the same threshold
+// as DetectThreshold on the original column, across heavy-tailed and
+// light-tailed random samples of varied size. The sorted path is what
+// every pipeline runs in production; the unsorted path is the spec.
+func TestSortedDetectorEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + rng.Intn(800)
+		bws := make([]float64, n)
+		heavy := trial%2 == 0
+		for i := range bws {
+			bws[i] = math.Exp(rng.NormFloat64())
+			if heavy && rng.Intn(10) == 0 {
+				bws[i] *= 1e4
+			}
+		}
+		sorted := append([]float64(nil), bws...)
+		sort.Float64s(sorted)
+
+		load, err := NewConstantLoadDetector(0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Separate instances per path: the aest detector counts its
+		// detections and fallbacks.
+		for name, mk := range map[string]func() interface {
+			Detector
+			SortedDetector
+		}{
+			"constant-load": func() interface {
+				Detector
+				SortedDetector
+			} {
+				return load
+			},
+			"aest": func() interface {
+				Detector
+				SortedDetector
+			} {
+				return NewAestDetector()
+			},
+		} {
+			det := mk()
+			want, err1 := det.DetectThreshold(append([]float64(nil), bws...))
+			got, err2 := mk().DetectThresholdSorted(bws, sorted)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d %s: err %v vs sorted err %v", trial, name, err1, err2)
+			}
+			if got != want {
+				t.Fatalf("trial %d %s: sorted path %v, unsorted %v", trial, name, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/scheme"
+)
+
+// benchMatrix is the spec-sweep shape the experiments package runs: one
+// link classified under several schemes. It is exactly the case the
+// emit-once path exists for — S pipelines sharing each interval's
+// emission and sorted bandwidth column instead of paying S emissions.
+func benchMatrix() ([]MatrixLink, []*scheme.Spec) {
+	links := []MatrixLink{{ID: "link", Series: synthSeries(3, 2000, 48)}}
+	specs := []*scheme.Spec{
+		scheme.MustParse("load+latent"),
+		scheme.MustParse("load+single"),
+		scheme.MustParse("aest+single"),
+		scheme.MustParse("topk:k=100"),
+		scheme.MustParse("misragries:k=100"),
+		scheme.MustParse("spacesaving:k=100"),
+	}
+	return links, specs
+}
+
+// BenchmarkMatrixShared measures the emit-once RunMatrix execution.
+func BenchmarkMatrixShared(b *testing.B) {
+	links, specs := benchMatrix()
+	eng := MultiLinkEngine{Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eng.RunMatrix(links, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lr := range out {
+			if lr.Err != nil {
+				b.Fatal(lr.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkMatrixPerCell measures the cell-per-task reference path the
+// shared execution is defined against, on the identical workload.
+func BenchmarkMatrixPerCell(b *testing.B) {
+	links, specs := benchMatrix()
+	eng := MultiLinkEngine{Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eng.RunMatrixPerCell(links, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lr := range out {
+			if lr.Err != nil {
+				b.Fatal(lr.Err)
+			}
+		}
+	}
+}

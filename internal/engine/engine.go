@@ -18,6 +18,17 @@
 // bounded-memory StreamAccumulator — memory per link is the
 // accumulator's window, not the trace length, and the classifications
 // are byte-identical to the batch path on the same records.
+//
+// RunMatrix fans a set of scheme specs over a set of links. Its unit of
+// work is the (link, spec-group) task, not the cell: the engine seals
+// every series up front (building the interval-major snapshot index)
+// and emits each interval once per task, fanning the one snapshot — and
+// its cached sorted bandwidth column — into every spec pipeline in the
+// group. When links outnumber workers the whole spec list shares one
+// emission; with fewer links the spec list splits into enough groups to
+// occupy the pool. Output is byte-identical to the cell-per-task
+// reference path, kept as RunMatrixPerCell, including per-cell error
+// isolation.
 package engine
 
 import (
@@ -201,6 +212,10 @@ func runLink(l Link, snap *core.FlowSnapshot) LinkResult {
 		lr.Err = fmt.Errorf("engine: link %q: nil series", l.ID)
 		return lr
 	}
+	// Seal the series so per-interval emission runs off the
+	// interval-major index; idempotent and safe when several links share
+	// one series.
+	l.Series.Seal()
 	pipe, err := newPipeline(l.ID, l.Config)
 	if err != nil {
 		lr.Err = err

@@ -2,9 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/core"
 	"repro/internal/scheme"
 )
 
@@ -72,12 +75,175 @@ func StreamWindow(sp *scheme.Spec, explicit int) int {
 	return w
 }
 
-// RunMatrix classifies every link under every scheme spec: the
-// len(links)×len(specs) cross-product fans onto the worker pool as
-// independent cells, each with its own pipeline built from the spec's
-// factory. Results are ordered by cell ID; per-cell failures land in
-// LinkResult.Err like any other link run.
+// RunMatrix classifies every link under every scheme spec with
+// emit-once execution: the pool's unit of work is the link, not the
+// (link, spec) cell. One worker seals the link's series, walks its
+// intervals once, emits each snapshot once, and fans it into all the
+// group's spec pipelines — turning S full emission passes per link
+// into one. Sharing the snapshot is safe because StepSnapshot never
+// retains it, every cell's fresh identity table interns the link's
+// rows to the same dense-ID column, and the snapshot's table stamp is
+// rewritten per pipeline so ID resolution stays exact. When there are
+// fewer links than workers, the spec list is split into per-worker
+// groups so parallelism is preserved (trading some sharing).
+//
+// The output is byte-identical to RunMatrixPerCell (and, on replayed
+// sources, to RunMatrixStreaming): same cell IDs, same ordering by
+// cell ID, same per-cell error isolation — a failing cell reports its
+// error without aborting the other cells.
 func (e *MultiLinkEngine) RunMatrix(links []MatrixLink, specs []*scheme.Spec) ([]LinkResult, error) {
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	if len(links) == 0 {
+		return nil, nil
+	}
+	ids := make([]string, 0, len(links)*len(specs))
+	for _, l := range links {
+		for _, sp := range specs {
+			ids = append(ids, MatrixID(l.ID, sp))
+		}
+	}
+	if err := validateIDs(ids); err != nil {
+		return nil, err
+	}
+	// Seal up front, on one goroutine: the first snapshot after Seal
+	// builds the interval-major index every cell of the link then
+	// shares.
+	for _, l := range links {
+		if l.Series != nil {
+			l.Series.Seal()
+		}
+	}
+	groups := splitSpecs(specs, e.specGroups(len(links), len(specs)))
+	type task struct {
+		link  MatrixLink
+		specs []*scheme.Spec
+		out   []LinkResult // this task's slots in the merged output
+	}
+	out := make([]LinkResult, len(links)*len(specs))
+	tasks := make([]task, 0, len(links)*len(groups))
+	off := 0
+	for _, l := range links {
+		for _, g := range groups {
+			tasks = append(tasks, task{link: l, specs: g, out: out[off : off+len(g)]})
+			off += len(g)
+		}
+	}
+	e.runPool(len(tasks), func() func(int) {
+		// Per-worker reusable emission state, shared across every link
+		// the worker processes.
+		snap := core.NewFlowSnapshot(0)
+		var rowIDs []uint32
+		return func(i int) {
+			t := &tasks[i]
+			rowIDs = runMatrixLink(t.link, t.specs, snap, rowIDs, t.out)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// specGroups decides how many contiguous groups to split the spec list
+// into: 1 when links alone saturate the pool (maximal sharing),
+// otherwise enough groups to keep every worker busy, capped at the
+// spec count — with one link and plentiful workers this degenerates to
+// the per-cell fan-out.
+func (e *MultiLinkEngine) specGroups(nlinks, nspecs int) int {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if nlinks >= workers {
+		return 1
+	}
+	g := (workers + nlinks - 1) / nlinks
+	if g > nspecs {
+		g = nspecs
+	}
+	return g
+}
+
+// splitSpecs cuts specs into groups contiguous, balanced chunks.
+func splitSpecs(specs []*scheme.Spec, groups int) [][]*scheme.Spec {
+	out := make([][]*scheme.Spec, 0, groups)
+	for g := 0; g < groups; g++ {
+		lo, hi := g*len(specs)/groups, (g+1)*len(specs)/groups
+		if lo < hi {
+			out = append(out, specs[lo:hi])
+		}
+	}
+	return out
+}
+
+// runMatrixLink classifies one link under a group of specs with shared
+// emission: per interval, the snapshot is emitted once — against the
+// first live pipeline's identity table — and re-stamped for each other
+// pipeline, whose own InternRows call produced the identical row→ID
+// column. Per-cell error isolation matches the per-cell path exactly:
+// a cell that fails stops stepping and reports its wrapped error; the
+// surviving cells keep running, and the loop exits early once none
+// remain.
+func runMatrixLink(l MatrixLink, specs []*scheme.Spec, snap *core.FlowSnapshot, rowIDs []uint32, out []LinkResult) []uint32 {
+	for k, sp := range specs {
+		out[k] = LinkResult{ID: MatrixID(l.ID, sp)}
+	}
+	if l.Series == nil {
+		for k := range out {
+			out[k].Err = fmt.Errorf("engine: link %q: nil series", out[k].ID)
+		}
+		return rowIDs
+	}
+	pipes := make([]*core.Pipeline, len(specs))
+	results := make([][]core.Result, len(specs))
+	live := 0
+	for k, sp := range specs {
+		pipe, err := newPipeline(out[k].ID, sp.Factory())
+		if err != nil {
+			out[k].Err = err
+			continue
+		}
+		pipes[k] = pipe
+		rowIDs = l.Series.InternRows(pipe.Table(), rowIDs)
+		results[k] = make([]core.Result, 0, l.Series.Intervals)
+		live++
+	}
+	for t := 0; t < l.Series.Intervals && live > 0; t++ {
+		emitted := false
+		for k, pipe := range pipes {
+			if pipe == nil {
+				continue
+			}
+			if !emitted {
+				snap = l.Series.SnapshotIDs(t, snap, pipe.Table(), rowIDs)
+				emitted = true
+			} else {
+				snap.SetIDTable(pipe.Table())
+			}
+			res, err := pipe.StepSnapshot(t, snap)
+			if err != nil {
+				out[k].Err = fmt.Errorf("engine: link %q: %w", out[k].ID, err)
+				results[k] = nil
+				pipes[k] = nil
+				live--
+				continue
+			}
+			results[k] = append(results[k], res)
+		}
+	}
+	for k := range out {
+		if out[k].Err == nil {
+			out[k].Results = results[k]
+		}
+	}
+	return rowIDs
+}
+
+// RunMatrixPerCell is the cell-per-task reference execution RunMatrix's
+// shared-emission output is defined (and tested) against: the
+// len(links)×len(specs) cross-product fans onto the worker pool as
+// independent cells, each emitting its own snapshots.
+func (e *MultiLinkEngine) RunMatrixPerCell(links []MatrixLink, specs []*scheme.Spec) ([]LinkResult, error) {
 	if err := validateSpecs(specs); err != nil {
 		return nil, err
 	}

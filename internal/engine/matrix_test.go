@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -68,6 +69,93 @@ func TestRunMatrix(t *testing.T) {
 			if !reflect.DeepEqual(lr.Results, ref) {
 				t.Fatalf("workers=%d: cell %s diverges from sequential run", workers, lr.ID)
 			}
+		}
+	}
+}
+
+// TestRunMatrixMatchesPerCell pins the emit-once execution against the
+// cell-per-task reference path, cell for cell: same IDs, same order,
+// byte-identical results, same error text — including a cell that fails
+// mid-run (MinFlows impossibly high → detector error on interval 0)
+// without disturbing its neighbours, and a worker count that forces the
+// spec-group split (1 link, many workers → one group per spec).
+func TestRunMatrixMatchesPerCell(t *testing.T) {
+	links := []MatrixLink{
+		{ID: "west", Series: synthSeries(7, 200, 24)},
+		{ID: "east", Series: synthSeries(8, 180, 24)},
+	}
+	broken := scheme.MustParse("load+single")
+	broken.MinFlows = 1 << 20
+	specs := append(matrixSpecs(), broken)
+
+	for _, workers := range []int{1, 2, 8} {
+		eng := MultiLinkEngine{Workers: workers}
+		got, err := eng.RunMatrix(links, specs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		ref, err := (&MultiLinkEngine{Workers: workers}).RunMatrixPerCell(links, specs)
+		if err != nil {
+			t.Fatalf("workers=%d per-cell: %v", workers, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d cells vs %d per-cell", workers, len(got), len(ref))
+		}
+		brokenCells, healthy := 0, 0
+		for i := range ref {
+			if got[i].ID != ref[i].ID {
+				t.Fatalf("workers=%d cell %d: ID %q vs per-cell %q", workers, i, got[i].ID, ref[i].ID)
+			}
+			if fmt.Sprint(got[i].Err) != fmt.Sprint(ref[i].Err) {
+				t.Fatalf("workers=%d cell %s: err %q vs per-cell %q", workers, got[i].ID, fmt.Sprint(got[i].Err), fmt.Sprint(ref[i].Err))
+			}
+			if !reflect.DeepEqual(got[i].Results, ref[i].Results) {
+				t.Fatalf("workers=%d cell %s: results diverge from per-cell path", workers, got[i].ID)
+			}
+			if got[i].Err != nil {
+				brokenCells++
+			} else {
+				healthy++
+			}
+		}
+		if brokenCells != len(links) {
+			t.Fatalf("workers=%d: %d failed cells, want %d (one per link for the broken spec)", workers, brokenCells, len(links))
+		}
+		if healthy != len(links)*(len(specs)-1) {
+			t.Fatalf("workers=%d: %d healthy cells, want %d", workers, healthy, len(links)*(len(specs)-1))
+		}
+	}
+}
+
+// TestSpecGroups pins the work-splitting rule: enough links saturate
+// the workers with full sharing (one group); fewer links than workers
+// split the spec list, never beyond one spec per group.
+func TestSpecGroups(t *testing.T) {
+	cases := []struct {
+		workers, links, specs, want int
+	}{
+		{4, 8, 5, 1}, // links saturate the pool: full sharing
+		{4, 4, 5, 1},
+		{4, 2, 5, 2}, // 2 links × 2 groups covers 4 workers
+		{8, 1, 5, 5}, // capped at one spec per group
+		{1, 1, 5, 1}, // single worker: nothing to split for
+	}
+	for _, c := range cases {
+		eng := MultiLinkEngine{Workers: c.workers}
+		if got := eng.specGroups(c.links, c.specs); got != c.want {
+			t.Errorf("specGroups(workers=%d, links=%d, specs=%d) = %d, want %d",
+				c.workers, c.links, c.specs, got, c.want)
+		}
+		groups := splitSpecs(make([]*scheme.Spec, c.specs), eng.specGroups(c.links, c.specs))
+		total := 0
+		for _, g := range groups {
+			if len(g) == 0 {
+				t.Errorf("workers=%d links=%d: empty spec group", c.workers, c.links)
+			}
+			total += len(g)
+		}
+		if total != c.specs {
+			t.Errorf("workers=%d links=%d: groups cover %d specs, want %d", c.workers, c.links, total, c.specs)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/scheme"
 )
 
@@ -33,12 +34,32 @@ type AblationRow struct {
 	Reclassifications int
 }
 
-// sweepRow runs one scheme variant over series and summarises it.
-func sweepRow(ls *LinkSet, sp *scheme.Spec, param string, value float64) (AblationRow, error) {
-	res, err := RunScheme(ls.West, sp)
+// sweepRows runs every scheme variant of one parameter sweep over the
+// west link in a single emit-once matrix run and summarises each —
+// the per-variant results are byte-identical to sequential RunScheme
+// calls, but the series is emitted (and each interval's bandwidth
+// column sorted) once per interval instead of once per variant.
+func sweepRows(ls *LinkSet, specs []*scheme.Spec, param string, values []float64) ([]AblationRow, error) {
+	all, errs, err := RunSchemes(ls.West, specs)
 	if err != nil {
-		return AblationRow{}, fmt.Errorf("experiments: ablation %s=%v: %w", param, value, err)
+		return nil, fmt.Errorf("experiments: ablation %s: %w", param, err)
 	}
+	rows := make([]AblationRow, 0, len(specs))
+	for i := range specs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: ablation %s=%v: %w", param, values[i], errs[i])
+		}
+		row, err := summarizeSweep(ls, all[i], param, values[i])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// summarizeSweep condenses one variant's interval results into a row.
+func summarizeSweep(ls *LinkSet, res []core.Result, param string, value float64) (AblationRow, error) {
 	busy := busySlots(ls.Cfg.Interval)
 	if busy > len(res) {
 		busy = len(res)
@@ -84,7 +105,7 @@ func AblationAlpha(ls *LinkSet, alphas []float64) ([]AblationRow, error) {
 	if len(alphas) == 0 {
 		alphas = []float64{0, 0.25, 0.5, 0.75, 0.9}
 	}
-	rows := make([]AblationRow, 0, len(alphas))
+	specs := make([]*scheme.Spec, 0, len(alphas))
 	for _, a := range alphas {
 		sp := PaperSpec()
 		sp.Alpha = a
@@ -93,13 +114,9 @@ func AblationAlpha(ls *LinkSet, alphas []float64) ([]AblationRow, error) {
 			// tiny epsilon that the pipeline accepts.
 			sp.Alpha = 1e-9
 		}
-		row, err := sweepRow(ls, sp, "alpha", a)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, sp)
 	}
-	return rows, nil
+	return sweepRows(ls, specs, "alpha", alphas)
 }
 
 // AblationWindow sweeps the latent-heat window W. The paper uses 12
@@ -109,16 +126,13 @@ func AblationWindow(ls *LinkSet, windows []int) ([]AblationRow, error) {
 	if len(windows) == 0 {
 		windows = []int{1, 6, 12, 24}
 	}
-	rows := make([]AblationRow, 0, len(windows))
+	specs := make([]*scheme.Spec, 0, len(windows))
+	values := make([]float64, 0, len(windows))
 	for _, w := range windows {
-		sp := PaperSpec().WithClassifierParam("window", strconv.Itoa(w))
-		row, err := sweepRow(ls, sp, "window", float64(w))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, PaperSpec().WithClassifierParam("window", strconv.Itoa(w)))
+		values = append(values, float64(w))
 	}
-	return rows, nil
+	return sweepRows(ls, specs, "window", values)
 }
 
 // AblationBeta sweeps the constant-load target fraction β. The paper
@@ -127,16 +141,11 @@ func AblationBeta(ls *LinkSet, betas []float64) ([]AblationRow, error) {
 	if len(betas) == 0 {
 		betas = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
 	}
-	rows := make([]AblationRow, 0, len(betas))
+	specs := make([]*scheme.Spec, 0, len(betas))
 	for _, b := range betas {
-		sp := PaperSpec().WithDetectorParam("beta", strconv.FormatFloat(b, 'f', -1, 64))
-		row, err := sweepRow(ls, sp, "beta", b)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, PaperSpec().WithDetectorParam("beta", strconv.FormatFloat(b, 'f', -1, 64)))
 	}
-	return rows, nil
+	return sweepRows(ls, specs, "beta", betas)
 }
 
 // SmallConfig returns a reduced LinksConfig suitable for unit tests and

@@ -79,18 +79,31 @@ func BaselineComparison(ls *LinkSet) ([]BaselineRow, error) {
 		{fmt.Sprintf("space-saving sketch (k=%d)", k), fmt.Sprintf("load+spacesaving:k=%d", k)},
 	}
 
+	// The five baseline strategies share one emit-once matrix run over
+	// the west link: the series is emitted (and each interval's
+	// bandwidth column sorted) once per interval for all of them, with
+	// results byte-identical to per-strategy RunScheme calls.
+	specs := make([]*scheme.Spec, 0, len(strategies)-1)
+	for _, st := range strategies[1:] {
+		sp, err := scheme.Parse(st.spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, err)
+		}
+		specs = append(specs, sp)
+	}
+	all, errs, err := RunSchemes(ls.West, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baseline matrix: %w", err)
+	}
+
 	rows := make([]BaselineRow, 0, len(strategies))
 	for i, st := range strategies {
 		results := ref
 		if i > 0 {
-			sp, err := scheme.Parse(st.spec)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, err)
+			if errs[i-1] != nil {
+				return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, errs[i-1])
 			}
-			results, err = RunScheme(ls.West, sp)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: baseline %s: %w", st.name, err)
-			}
+			results = all[i-1]
 		}
 		row, err := summarizeBaseline(st.name, results, ls.Cfg)
 		if err != nil {

@@ -146,6 +146,33 @@ func RunScheme(series *agg.Series, sp *scheme.Spec) ([]core.Result, error) {
 	return lr.Results, nil
 }
 
+// RunSchemes classifies one series under every spec through a single
+// emit-once matrix run: each interval's snapshot is emitted once and
+// fanned into all spec pipelines, so an S-spec sweep pays one emission
+// and one bandwidth sort per interval instead of S. Results come back
+// in spec order, with a parallel per-spec error slice so sweeps can
+// attribute failures; the outer error is structural (bad spec list,
+// duplicate cell IDs). Per-spec results are byte-identical to
+// RunScheme on the same series.
+func RunSchemes(series *agg.Series, specs []*scheme.Spec) ([][]core.Result, []error, error) {
+	eng := engine.MultiLinkEngine{}
+	lrs, err := eng.RunMatrix([]engine.MatrixLink{{ID: "link", Series: series}}, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	byID := make(map[string]engine.LinkResult, len(lrs))
+	for _, lr := range lrs {
+		byID[lr.ID] = lr
+	}
+	results := make([][]core.Result, len(specs))
+	errs := make([]error, len(specs))
+	for i, sp := range specs {
+		lr := byID[engine.MatrixID("link", sp)]
+		results[i], errs[i] = lr.Results, lr.Err
+	}
+	return results, errs, nil
+}
+
 // matrixLinks exposes the two evaluation links as engine matrix work.
 func (ls *LinkSet) matrixLinks() []engine.MatrixLink {
 	return []engine.MatrixLink{

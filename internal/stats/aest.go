@@ -138,20 +138,34 @@ func Aggregate(xs []float64, m int) []float64 {
 // is an expected outcome the classifier must handle (it falls back to a
 // quantile threshold).
 func Aest(xs []float64, cfg AestConfig) AestResult {
-	cfg.defaults()
-	var res AestResult
-
-	base := NewCCDF(xs)
-	if base.Len() < cfg.MinTailPoints*2 {
-		return res
-	}
-	// Positive sample values, sorted inside NewCCDF; reconstruct the
-	// positive sample for quantile candidates.
 	positive := make([]float64, 0, len(xs))
 	for _, x := range xs {
 		if x > 0 && !math.IsNaN(x) && !math.IsInf(x, 0) {
 			positive = append(positive, x)
 		}
+	}
+	sorted := make([]float64, len(positive))
+	copy(sorted, positive)
+	sort.Float64s(sorted)
+	return AestSorted(positive, sorted, cfg)
+}
+
+// AestSorted is Aest for callers that already hold both views of the
+// sample: xs in its original observation order (block aggregation is
+// order-sensitive, so this must be the as-measured sequence) and
+// sorted, the same values in ascending order. It skips the estimator's
+// internal sorts — one per candidate quantile in earlier revisions —
+// and produces output identical to Aest. Both slices must contain only
+// positive, finite values (the snapshot-bandwidth invariant) and are
+// not modified.
+func AestSorted(xs, sorted []float64, cfg AestConfig) AestResult {
+	cfg.defaults()
+	var res AestResult
+
+	positive := xs
+	base := NewCCDFSorted(sorted)
+	if base.Len() < cfg.MinTailPoints*2 {
+		return res
 	}
 
 	// Aggregated CCDFs, computed once.
@@ -165,7 +179,7 @@ func Aest(xs []float64, cfg AestConfig) AestResult {
 	}
 
 	for _, q := range cfg.CandidateQuantiles {
-		onset := Quantile(positive, q)
+		onset := QuantileSorted(sorted, q)
 		levels, ok := fitLevels(base, aggCCDF, cfg, onset)
 		if !ok {
 			continue
