@@ -56,3 +56,41 @@ func TestPipelineStepSteadyStateAllocs(t *testing.T) {
 		t.Errorf("warm Snapshot+Step averages %v allocs/interval, want 0", avg)
 	}
 }
+
+// TestAestDetectSteadyStateAllocs pins the aest detector's warm-path
+// allocation rate at zero: after the first call sizes the detector's
+// scratch arena, repeated DetectThreshold calls on interval-sized
+// bandwidth columns must run entirely on reused storage. This is the
+// alloc half of the BenchmarkAestDetect6k win (207 allocs/op down to a
+// handful cold, zero warm).
+func TestAestDetectSteadyStateAllocs(t *testing.T) {
+	cfg := experiments.SmallConfig()
+	cfg.Intervals = 8
+	cfg.Flows = 1200
+	cfg.Routes = 3000
+	ls, err := experiments.BuildLinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.NewAestDetector()
+	n := ls.West.Intervals
+	columns := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		columns[i] = ls.West.Snapshot(i, nil).Bandwidths()
+	}
+	step := func(i int) {
+		if _, err := det.DetectThreshold(columns[i%n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm: one pass over every column sizes the scratch arena to the
+	// largest interval.
+	for i := 0; i < n; i++ {
+		step(i)
+	}
+	i := n
+	avg := testing.AllocsPerRun(4*n, func() { step(i); i++ })
+	if avg != 0 {
+		t.Errorf("warm DetectThreshold averages %v allocs/call, want 0", avg)
+	}
+}

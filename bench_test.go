@@ -47,6 +47,7 @@ func buildLinks(b *testing.B) *experiments.LinkSet {
 func BenchmarkFig1aElephantCounts(b *testing.B) {
 	ls := buildLinks(b)
 	var meanWest, meanEast float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runs, err := experiments.RunFigure1(ls, true)
 		if err != nil {
@@ -71,6 +72,7 @@ func BenchmarkFig1aElephantCounts(b *testing.B) {
 func BenchmarkFig1bTrafficFraction(b *testing.B) {
 	ls := buildLinks(b)
 	var frac float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runs, err := experiments.RunFigure1(ls, true)
 		if err != nil {
@@ -90,6 +92,7 @@ func BenchmarkFig1bTrafficFraction(b *testing.B) {
 func BenchmarkFig1cHoldingTimes(b *testing.B) {
 	ls := buildLinks(b)
 	var holding, oneSlot float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runs, err := experiments.RunFigure1(ls, true)
 		if err != nil {
@@ -115,6 +118,7 @@ func BenchmarkFig1cHoldingTimes(b *testing.B) {
 func BenchmarkSingleFeatureVolatility(b *testing.B) {
 	ls := buildLinks(b)
 	var holdingMin, oneSlot float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.SingleFeatureVolatility(ls)
 		if err != nil {
@@ -136,6 +140,7 @@ func BenchmarkSingleFeatureVolatility(b *testing.B) {
 func BenchmarkTwoFeatureStability(b *testing.B) {
 	ls := buildLinks(b)
 	var holdingMin, oneSlot, elephants float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.TwoFeatureStability(ls)
 		if err != nil {
@@ -159,6 +164,7 @@ func BenchmarkTwoFeatureStability(b *testing.B) {
 func BenchmarkPrefixLengthAnalysis(b *testing.B) {
 	ls := buildLinks(b)
 	var span, slash8 float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.PrefixLength(ls)
 		if err != nil {
@@ -208,6 +214,7 @@ func BenchmarkIntervalSensitivity(b *testing.B) {
 func BenchmarkAblationAlpha(b *testing.B) {
 	ls := buildLinks(b)
 	var cv float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.AblationAlpha(ls, nil)
 		if err != nil {
@@ -227,6 +234,7 @@ func BenchmarkAblationAlpha(b *testing.B) {
 func BenchmarkAblationLatentWindow(b *testing.B) {
 	ls := buildLinks(b)
 	var gain float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.AblationWindow(ls, []int{1, 12})
 		if err != nil {
@@ -244,6 +252,7 @@ func BenchmarkAblationLatentWindow(b *testing.B) {
 func BenchmarkAblationBeta(b *testing.B) {
 	ls := buildLinks(b)
 	var lo, hi float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.AblationBeta(ls, nil)
 		if err != nil {
@@ -263,6 +272,35 @@ func BenchmarkAblationBeta(b *testing.B) {
 	b.ReportMetric(hi, "elephants@beta-max")
 }
 
+// BenchmarkAblationBetaCached measures the β sweep's classification
+// work alone, through the matrix execution's detector prepass and
+// threshold cache: five constant-load detectors over one link, the
+// classify pass consuming precomputed θ(t) columns. The A/B partner of
+// BenchmarkAblationBeta, which additionally pays busy-window analysis
+// and row summarisation per sweep variant.
+func BenchmarkAblationBetaCached(b *testing.B) {
+	ls := buildLinks(b)
+	specs := make([]*scheme.Spec, 0, 5)
+	for _, v := range []string{"0.5", "0.6", "0.7", "0.8", "0.9"} {
+		specs = append(specs, scheme.MustParse("load:beta="+v+"+latent"))
+	}
+	links := []engine.MatrixLink{{ID: "west", Series: ls.West}}
+	eng := engine.MultiLinkEngine{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eng.RunMatrix(links, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lr := range out {
+			if lr.Err != nil {
+				b.Fatal(lr.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "specs/op")
+}
+
 // BenchmarkBaselineComparison regenerates the E-BASE extension: the
 // paper's scheme against fixed-threshold and top-K baselines. Reported
 // metric: the churn ratio (baseline-best reclassifications over the
@@ -275,6 +313,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 		b.Fatal(err)
 	}
 	var ratio float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.BaselineComparison(ls)
 		if err != nil {
@@ -297,6 +336,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 func BenchmarkConcentration(b *testing.B) {
 	ls := buildLinks(b)
 	var gini float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Concentration(ls)
 		if err != nil {
@@ -316,6 +356,7 @@ func BenchmarkSamplingImpact(b *testing.B) {
 	ls := buildLinks(b)
 	sp := scheme.MustParse("load+latent")
 	var jaccard float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.SamplingImpact(ls, []int{1, 1000}, sp)
 		if err != nil {

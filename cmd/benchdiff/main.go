@@ -55,6 +55,7 @@ func main() {
 		tolerance    = flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression before failing")
 		allocTol     = flag.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op regression before failing; zero-alloc baselines must stay at exactly zero")
 		note         = flag.String("note", "go test -bench . -benchmem -run '^$' ./...", "capture note stored with -write")
+		top          = flag.Int("top", 0, "also print the N largest ns/op movers as a summary (0 disables)")
 	)
 	flag.Parse()
 
@@ -97,7 +98,7 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
 	}
-	if compare(base, run, *tolerance, *allocTol) > 0 {
+	if compare(base, run, *tolerance, *allocTol, *top) > 0 {
 		os.Exit(1)
 	}
 }
@@ -108,7 +109,7 @@ func main() {
 // at all regresses it, because zero-alloc steady states are the product
 // of deliberate arena/reuse work and "one alloc per op" is a structural
 // change, not noise.
-func compare(base Baseline, run []Benchmark, tolerance, allocTol float64) int {
+func compare(base Baseline, run []Benchmark, tolerance, allocTol float64, top int) int {
 	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseByName[b.Name] = b
@@ -116,6 +117,12 @@ func compare(base Baseline, run []Benchmark, tolerance, allocTol float64) int {
 	sort.Slice(run, func(i, j int) bool { return run[i].Name < run[j].Name })
 	regressions := 0
 	seen := make(map[string]bool, len(run))
+	type mover struct {
+		name      string
+		delta     float64
+		ns, refNs float64
+	}
+	var movers []mover
 	for _, b := range run {
 		seen[b.Name] = true
 		ref, ok := baseByName[b.Name]
@@ -127,6 +134,7 @@ func compare(base Baseline, run []Benchmark, tolerance, allocTol float64) int {
 		if ref.NsPerOp > 0 {
 			delta = b.NsPerOp/ref.NsPerOp - 1
 		}
+		movers = append(movers, mover{b.Name, delta, b.NsPerOp, ref.NsPerOp})
 		allocBad := false
 		if ref.AllocsPerOp == 0 {
 			allocBad = b.AllocsPerOp > 0
@@ -154,6 +162,28 @@ func compare(base Baseline, run []Benchmark, tolerance, allocTol float64) int {
 	if regressions > 0 {
 		fmt.Printf("\n%d benchmark(s) regressed (ns/op beyond %.0f%%, or allocs/op beyond %.0f%% — zero-alloc baselines must stay zero)\n",
 			regressions, 100*tolerance, 100*allocTol)
+	}
+	// The -top summary condenses the full table into the N largest
+	// ns/op movers in either direction — the CI bench report's digest.
+	if top > 0 {
+		sort.Slice(movers, func(i, j int) bool {
+			di, dj := movers[i].delta, movers[j].delta
+			if di < 0 {
+				di = -di
+			}
+			if dj < 0 {
+				dj = -dj
+			}
+			return di > dj
+		})
+		if top > len(movers) {
+			top = len(movers)
+		}
+		fmt.Printf("\ntop %d movers vs baseline:\n", top)
+		for _, m := range movers[:top] {
+			fmt.Printf("  %+7.1f%%  %-60s %14.0f ns/op  baseline %14.0f\n",
+				100*m.delta, m.name, m.ns, m.refNs)
+		}
 	}
 	return regressions
 }

@@ -51,8 +51,15 @@ func TestCompareGates(t *testing.T) {
 		{"new and missing never fail", []Benchmark{{Name: "BenchmarkNew", NsPerOp: 5}}, 0},
 	}
 	for _, tc := range cases {
-		if got := compare(base, tc.run, 0.30, 0.10); got != tc.want {
+		if got := compare(base, tc.run, 0.30, 0.10, 0); got != tc.want {
 			t.Errorf("%s: %d regressions, want %d", tc.name, got, tc.want)
+		}
+	}
+	// The -top movers summary is reporting only: it must not change the
+	// gate verdict.
+	for _, tc := range cases {
+		if got := compare(base, tc.run, 0.30, 0.10, 3); got != tc.want {
+			t.Errorf("%s with -top: %d regressions, want %d", tc.name, got, tc.want)
 		}
 	}
 }

@@ -7,6 +7,10 @@
 // Usage:
 //
 //	experiments [-quick] [-only fig1a,fig1b,...] [-csvdir DIR] [-seed N]
+//
+// -cpuprofile and -memprofile write pprof profiles covering the figure
+// runs (setup included), making the command double as the profiling
+// harness for the classification hot path at paper scale.
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,6 +36,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed for the synthetic workload")
 		charts     = flag.Bool("charts", true, "render ASCII charts")
 		schemeSpec = flag.String("scheme", "load+latent", "scheme used by the interval/sampling sections;\n"+scheme.FlagUsage())
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the selected sections to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the selected sections to this file")
 	)
 	flag.Parse()
 
@@ -39,8 +47,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
-	if err := run(*quick, *only, *csvdir, *seed, *charts, sp); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+	}
+	runErr := run(*quick, *only, *csvdir, *seed, *charts, sp)
+	// Flushed before the os.Exit paths below, which skip deferred calls.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }

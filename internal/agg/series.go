@@ -311,6 +311,24 @@ func (s *Series) Snapshot(t int, dst *core.FlowSnapshot) *core.FlowSnapshot {
 	return dst
 }
 
+// IntervalBandwidths returns interval t's non-zero bandwidth column as
+// a zero-copy view into the CSR index — the same values, in the same
+// sorted-prefix order, that Snapshot(t) would append, without emitting
+// keys. It returns nil when the series is unsealed or unindexable
+// (callers fall back to snapshot emission). The view is read-only and
+// capacity-capped; it stays valid for the life of the series. This is
+// the batch detector prepass's input: threshold detection consumes only
+// the bandwidth column, so the engine can precompute θ(t) columns
+// without paying for full snapshots.
+func (s *Series) IntervalBandwidths(t int) []float64 {
+	ix := s.intervalIdx()
+	if ix == nil {
+		return nil
+	}
+	lo, hi := ix.offsets[t], ix.offsets[t+1]
+	return ix.bw[lo:hi:hi]
+}
+
 // InternRows interns every flow row into tbl and returns the row→ID
 // column (reusing dst's storage), aligned with Flows(). Interning once
 // per link — instead of once per flow per interval — is what lets

@@ -35,10 +35,21 @@ func Stability(results []core.Result) SetStability {
 	n := 0
 	for i := 1; i < len(results); i++ {
 		prev, cur := results[i-1].Elephants, results[i].Elephants
+		// Both member lists are ComparePrefix-sorted, so the
+		// intersection is one linear merge rather than a binary search
+		// per member.
+		pf, cf := prev.Flows(), cur.Flows()
 		inter := 0
-		for _, p := range cur.Flows() {
-			if prev.Contains(p) {
+		for a, b := 0, 0; a < len(pf) && b < len(cf); {
+			switch c := core.ComparePrefix(pf[a], cf[b]); {
+			case c == 0:
 				inter++
+				a++
+				b++
+			case c < 0:
+				a++
+			default:
+				b++
 			}
 		}
 		union := prev.Len() + cur.Len() - inter

@@ -10,7 +10,6 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 )
@@ -69,24 +68,42 @@ func (c *TopKClassifier) Name() string { return fmt.Sprintf("top-%d", c.K) }
 // Classify implements core.Classifier. The threshold argument is
 // ignored. Ties break toward the lower prefix, which in a sorted
 // snapshot is simply the lower index.
+//
+// Selection runs off the snapshot's cached sorted bandwidth column
+// instead of sorting an index permutation per interval: the K-th
+// largest value is the cut, everything above it is in, and ties at the
+// cut fill the remaining seats in ascending index order — exactly the
+// (bandwidth desc, index asc) order the permutation sort selected, in
+// one linear pass that also emits the indices already sorted.
 func (c *TopKClassifier) Classify(snap *core.FlowSnapshot, _ float64) core.Verdict {
-	c.scratch = c.scratch[:0]
-	for i := 0; i < snap.Len(); i++ {
-		c.scratch = append(c.scratch, i)
-	}
-	bw := snap.Bandwidths()
-	sort.Slice(c.scratch, func(i, j int) bool {
-		a, b := c.scratch[i], c.scratch[j]
-		if bw[a] != bw[b] {
-			return bw[a] > bw[b]
-		}
-		return a < b
-	})
+	n := snap.Len()
 	k := c.K
-	if k > len(c.scratch) {
-		k = len(c.scratch)
+	if k > n {
+		k = n
 	}
-	top := c.scratch[:k]
-	sort.Ints(top)
-	return core.Verdict{Indices: top}
+	c.scratch = c.scratch[:0]
+	if k == n {
+		for i := 0; i < n; i++ {
+			c.scratch = append(c.scratch, i)
+		}
+		return core.Verdict{Indices: c.scratch}
+	}
+	sorted := snap.SortedBandwidths()
+	pivot := sorted[n-k]
+	// Seats for pivot-valued flows: the run of pivot values at the
+	// bottom of the top-k suffix (everything above it is strictly
+	// greater and admitted unconditionally).
+	seats := 0
+	for i := n - k; i < n && sorted[i] == pivot; i++ {
+		seats++
+	}
+	for i, x := range snap.Bandwidths() {
+		if x > pivot {
+			c.scratch = append(c.scratch, i)
+		} else if x == pivot && seats > 0 {
+			c.scratch = append(c.scratch, i)
+			seats--
+		}
+	}
+	return core.Verdict{Indices: c.scratch}
 }

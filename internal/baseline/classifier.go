@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -55,6 +56,20 @@ type SketchClassifier struct {
 	cnt     []float64
 	errv    []float64
 	scratch []int
+
+	// Space-Saving keeps its occupied slots in an indexed min-heap so
+	// each eviction finds its minimum in O(log k) instead of an O(k)
+	// argmin scan per new flow: heap lists the slots in heap order and
+	// pos is each slot's heap position. The heap key is (count, owner),
+	// whose unique lexicographic minimum is exactly the slot the linear
+	// scan selected, and every update only grows a slot's key, so a
+	// siftDown from the slot's position restores the invariant.
+	// Misra–Gries deliberately stays linear: its decrement step touches
+	// every surviving counter anyway (a uniform O(k) subtraction), so a
+	// heap saves nothing there and measurably loses to two dense
+	// sequential passes on the flat slot arrays.
+	heap []int32
+	pos  []int32
 }
 
 // NewMisraGriesClassifier returns a per-interval Misra–Gries
@@ -89,7 +104,7 @@ func newSketchClassifier(kind sketchKind, name string, k int, fraction float64) 
 	if fraction <= 0 {
 		fraction = 1 / float64(k+1)
 	}
-	return &SketchClassifier{
+	c := &SketchClassifier{
 		Fraction: fraction,
 		kind:     kind,
 		k:        k,
@@ -97,7 +112,62 @@ func newSketchClassifier(kind sketchKind, name string, k int, fraction float64) 
 		owner:    make([]int32, k),
 		cnt:      make([]float64, k),
 		errv:     make([]float64, k),
-	}, nil
+	}
+	if kind == sketchSpaceSaving {
+		c.heap = make([]int32, 0, k)
+		c.pos = make([]int32, k)
+	}
+	return c, nil
+}
+
+// less orders slots by Space-Saving's eviction key.
+func (c *SketchClassifier) less(a, b int32) bool {
+	if c.cnt[a] != c.cnt[b] {
+		return c.cnt[a] < c.cnt[b]
+	}
+	return c.owner[a] < c.owner[b]
+}
+
+func (c *SketchClassifier) siftUp(j int) {
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !c.less(c.heap[j], c.heap[parent]) {
+			break
+		}
+		c.heapSwap(j, parent)
+		j = parent
+	}
+}
+
+func (c *SketchClassifier) siftDown(j int) {
+	n := len(c.heap)
+	for {
+		l := 2*j + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && c.less(c.heap[r], c.heap[l]) {
+			m = r
+		}
+		if !c.less(c.heap[m], c.heap[j]) {
+			break
+		}
+		c.heapSwap(j, m)
+		j = m
+	}
+}
+
+func (c *SketchClassifier) heapSwap(i, j int) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.pos[c.heap[i]] = int32(i)
+	c.pos[c.heap[j]] = int32(j)
+}
+
+func (c *SketchClassifier) heapPush(s int32) {
+	c.pos[s] = int32(len(c.heap))
+	c.heap = append(c.heap, s)
+	c.siftUp(len(c.heap) - 1)
 }
 
 // Name implements core.Classifier.
@@ -121,10 +191,16 @@ func (c *SketchClassifier) Classify(snap *core.FlowSnapshot, _ float64) core.Ver
 	if c.kind == sketchMisraGries {
 		total, nslots = c.runMisraGries(snap.Bandwidths())
 	} else {
-		total, nslots = c.runSpaceSaving(snap.Bandwidths())
+		c.heap = c.heap[:0]
+		total = c.runSpaceSaving(snap.Bandwidths())
+		nslots = len(c.heap)
 	}
 	cut := c.Fraction * total
 	c.scratch = c.scratch[:0]
+	// Space-Saving's occupied slots are 0..len(heap) because it never
+	// frees a slot, so both sketches scan the dense slot prefix; the
+	// verdict depends only on the (owner, count) multiset, and the
+	// indices are sorted below.
 	for s := 0; s < nslots; s++ {
 		guaranteed := c.cnt[s]
 		if c.kind == sketchSpaceSaving {
@@ -144,78 +220,135 @@ func (c *SketchClassifier) Classify(snap *core.FlowSnapshot, _ float64) core.Ver
 // least one counter (min of the new weight and the smallest counter —
 // the same weighted-update rule as MisraGries.Add). Deleted slots are
 // compacted by moving the last occupied slot down.
+//
+// The minimum counter is tracked incrementally instead of rescanned
+// per step: the subtract/compact pass computes the survivors' minimum
+// as it goes, inserts fold their value in, and only a tracked hit on a
+// minimum-valued slot (which may raise a unique minimum) invalidates
+// the cached value and forces the next step to rescan. The floats are
+// untouched — curMin is always a value some cnt[s] holds, compared and
+// subtracted exactly as the two-pass form did — so decrement amounts,
+// deletion sets and verdicts are bit-identical; the cache only deletes
+// the separate argmin pass, halving the per-step work.
 func (c *SketchClassifier) runMisraGries(bw []float64) (total float64, nslots int) {
+	var curMin float64
+	minValid := false
 	for i, w := range bw {
 		total += w
 		if s := c.slot[i]; s >= 0 {
-			c.cnt[s] += w
+			old := c.cnt[s]
+			c.cnt[s] = old + w
+			if old == curMin {
+				minValid = false
+			}
 			continue
 		}
 		if nslots < c.k {
 			c.owner[nslots], c.cnt[nslots] = int32(i), w
 			c.slot[i] = int32(nslots)
 			nslots++
+			if minValid && w < curMin {
+				curMin = w
+			}
 			continue
 		}
-		dec := w
-		for s := 0; s < nslots; s++ {
-			if c.cnt[s] < dec {
-				dec = c.cnt[s]
-			}
-		}
-		for s := 0; s < nslots; {
-			if c.cnt[s]-dec <= 0 {
-				c.slot[c.owner[s]] = -1
-				nslots--
-				if s < nslots {
-					c.owner[s] = c.owner[nslots]
-					c.cnt[s] = c.cnt[nslots]
-					c.slot[c.owner[s]] = int32(s)
+		if !minValid {
+			curMin = c.cnt[0]
+			for s := 1; s < nslots; s++ {
+				if c.cnt[s] < curMin {
+					curMin = c.cnt[s]
 				}
-			} else {
-				c.cnt[s] -= dec
-				s++
 			}
+			minValid = true
+		}
+		if w < curMin {
+			// Pure-decrement step: dec = w frees no counter (cnt − w ≤ 0
+			// would need cnt ≤ w < curMin ≤ cnt) and leaves no remainder
+			// to insert, so the whole step is one uniform subtraction.
+			// IEEE rounding is monotone, so the minimum slot stays
+			// minimal and its new value is exactly curMin − w — no
+			// deletion checks, no min re-tracking.
+			cnt := c.cnt[:nslots]
+			for s := range cnt {
+				cnt[s] -= w
+			}
+			curMin -= w
+			continue
+		}
+		dec := curMin // min(w, curMin), and at least one slot sits at it
+		newMin := math.MaxFloat64
+		// Subtract-and-compact pass with move-last-into-hole deletion:
+		// only the slots that die (cnt == curMin, usually one or two)
+		// cost any bookkeeping, and every survivor is just
+		// load/sub/store/min — no owner or slot shuffling. Slot
+		// arrangement differs from a stable compaction, but slot
+		// numbering never reaches the verdict (deletion is by value,
+		// indices are sorted) and the per-owner counter values are
+		// identical. A moved-in slot re-runs the loop body, so it is
+		// decremented exactly once like every other survivor.
+		cnt, owner, slot := c.cnt, c.owner, c.slot
+		for s := 0; s < nslots; {
+			v := cnt[s] - dec
+			if v <= 0 {
+				slot[owner[s]] = -1
+				nslots--
+				if s != nslots {
+					cnt[s] = cnt[nslots]
+					owner[s] = owner[nslots]
+					slot[owner[s]] = int32(s)
+				}
+				continue
+			}
+			cnt[s] = v
+			if v < newMin {
+				newMin = v
+			}
+			s++
 		}
 		if rest := w - dec; rest > 0 && nslots < c.k {
 			c.owner[nslots], c.cnt[nslots] = int32(i), rest
 			c.slot[i] = int32(nslots)
 			nslots++
+			if rest < newMin {
+				newMin = rest
+			}
 		}
+		curMin = newMin
 	}
 	return total, nslots
 }
 
 // runSpaceSaving streams the bandwidth column through k Space-Saving
 // counters: a new flow beyond capacity evicts the minimum counter and
-// inherits its count as both base and error bound. The tie-break on
-// equal minima is the owner's snapshot index — identical to
-// SpaceSaving.Add's prefix tie-break, since snapshot order is prefix
-// order.
-func (c *SketchClassifier) runSpaceSaving(bw []float64) (total float64, nslots int) {
+// inherits its count as both base and error bound. The heap is keyed
+// (count, owner), whose unique lexicographic minimum is exactly what
+// the linear argmin scan selected — same eviction sequence, same
+// verdicts. The owner tie-break matches SpaceSaving.Add's prefix
+// tie-break, since snapshot order is prefix order. Every update only
+// grows a slot's key (bandwidths are positive), so a siftDown from
+// the slot's position restores the heap.
+func (c *SketchClassifier) runSpaceSaving(bw []float64) (total float64) {
 	for i, w := range bw {
 		total += w
 		if s := c.slot[i]; s >= 0 {
 			c.cnt[s] += w
+			c.siftDown(int(c.pos[s]))
 			continue
 		}
-		if nslots < c.k {
-			c.owner[nslots], c.cnt[nslots], c.errv[nslots] = int32(i), w, 0
-			c.slot[i] = int32(nslots)
-			nslots++
+		if len(c.heap) < c.k {
+			s := int32(len(c.heap))
+			c.owner[s], c.cnt[s], c.errv[s] = int32(i), w, 0
+			c.slot[i] = s
+			c.heapPush(s)
 			continue
 		}
-		minS := 0
-		for s := 1; s < nslots; s++ {
-			if c.cnt[s] < c.cnt[minS] || (c.cnt[s] == c.cnt[minS] && c.owner[s] < c.owner[minS]) {
-				minS = s
-			}
-		}
-		c.slot[c.owner[minS]] = -1
-		c.errv[minS] = c.cnt[minS]
-		c.cnt[minS] += w
-		c.owner[minS] = int32(i)
-		c.slot[i] = int32(minS)
+		s := c.heap[0]
+		c.slot[c.owner[s]] = -1
+		c.errv[s] = c.cnt[s]
+		c.cnt[s] += w
+		c.owner[s] = int32(i)
+		c.slot[i] = s
+		c.siftDown(0)
 	}
-	return total, nslots
+	return total
 }

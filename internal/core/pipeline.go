@@ -27,6 +27,15 @@ type Config struct {
 	// detection; below it the previous threshold is reused. Defaults
 	// to 16.
 	MinFlows int
+	// Thresholds optionally supplies precomputed raw thresholds θ(t)
+	// (the engine's batch prepass). For intervals the source covers,
+	// the pipeline consumes its value — or error — instead of running
+	// the Detector; uncovered intervals fall back to inline detection,
+	// so live/stream pipelines simply leave this nil. The source must
+	// honour the ThresholdSource purity contract; everything stateful
+	// (EWMA smoothing, MinFlows reuse, classification) stays in the
+	// pipeline.
+	Thresholds ThresholdSource
 }
 
 // Result describes one classified interval. It owns all of its storage:
@@ -173,14 +182,24 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 	if res.ActiveFlows >= p.cfg.MinFlows {
 		var raw float64
 		var err error
-		if p.sortedDet != nil {
-			// Sorted-aware detectors read the snapshot's cached sorted
-			// column — one sort per emitted interval, shared by every
-			// pipeline stepping it — and must not modify either view.
-			raw, err = p.sortedDet.DetectThresholdSorted(snap.Bandwidths(), snap.SortedBandwidths())
-		} else {
-			p.scratch = append(p.scratch[:0], snap.Bandwidths()...)
-			raw, err = p.cfg.Detector.DetectThreshold(p.scratch)
+		var covered bool
+		if p.cfg.Thresholds != nil {
+			// A precomputed threshold column (the engine's batch
+			// prepass) replaces inline detection for covered intervals —
+			// value or error, exactly as the detector would have
+			// produced them.
+			raw, covered, err = p.cfg.Thresholds.RawThreshold(p.t)
+		}
+		if !covered {
+			if p.sortedDet != nil {
+				// Sorted-aware detectors read the snapshot's cached sorted
+				// column — one sort per emitted interval, shared by every
+				// pipeline stepping it — and must not modify either view.
+				raw, err = p.sortedDet.DetectThresholdSorted(snap.Bandwidths(), snap.SortedBandwidths())
+			} else {
+				p.scratch = append(p.scratch[:0], snap.Bandwidths()...)
+				raw, err = p.cfg.Detector.DetectThreshold(p.scratch)
+			}
 		}
 		if err != nil {
 			return res, fmt.Errorf("core: interval %d: %w", p.t, err)

@@ -32,6 +32,24 @@ type Detector interface {
 	Name() string
 }
 
+// ThresholdSource supplies precomputed raw thresholds θ(t) to a
+// Pipeline, replacing inline detection for the intervals it covers.
+// Detection — unlike classification — is a pure function of one
+// interval's bandwidth column, so a batch driver that holds the whole
+// series (engine.RunMatrix) can precompute each detector's θ(t) column
+// in parallel and share it across every spec using that detector
+// config. Sources must honour the purity contract: for a covered
+// interval t they return exactly what the pipeline's own detector would
+// have produced on that interval's snapshot — value or error.
+type ThresholdSource interface {
+	// RawThreshold returns θ(t) for interval t. ok reports whether the
+	// source covers t at all; when ok is false the pipeline falls back
+	// to inline detection. When ok is true, err (if non-nil) is the
+	// detection error the inline path would have hit, and the pipeline
+	// fails the interval identically.
+	RawThreshold(t int) (theta float64, ok bool, err error)
+}
+
 // SortedDetector is implemented by detectors that can compute theta(t)
 // from a pre-sorted view of the interval, skipping their internal
 // sort. Pipeline.Step prefers this path: the snapshot's cached
@@ -144,6 +162,12 @@ type AestDetector struct {
 	Fallbacks int
 	// Detections counts intervals with a detected tail.
 	Detections int
+
+	// scratch is the estimator's reusable working arena; it makes
+	// steady-state detection allocation-free and ties the detector to a
+	// single goroutine at a time (which Detector already implies —
+	// pipelines are single-goroutine and never share detectors).
+	scratch stats.AestScratch
 }
 
 // NewAestDetector returns a detector with default estimator settings.
@@ -163,7 +187,7 @@ func (d *AestDetector) DetectThreshold(bandwidths []float64) (float64, error) {
 	if fq == 0 {
 		fq = 0.95
 	}
-	res := stats.Aest(bandwidths, d.Config)
+	res := d.scratch.Aest(bandwidths, d.Config)
 	if res.TailFound {
 		d.Detections++
 		return res.TailOnset, nil
@@ -184,7 +208,7 @@ func (d *AestDetector) DetectThresholdSorted(bandwidths, sorted []float64) (floa
 	if fq == 0 {
 		fq = 0.95
 	}
-	res := stats.AestSorted(bandwidths, sorted, d.Config)
+	res := d.scratch.AestSorted(bandwidths, sorted, d.Config)
 	if res.TailFound {
 		d.Detections++
 		return res.TailOnset, nil

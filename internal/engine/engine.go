@@ -100,6 +100,13 @@ type MultiLinkEngine struct {
 	// Workers bounds the concurrency; 0 selects GOMAXPROCS. The worker
 	// count never affects results, only wall-clock time.
 	Workers int
+	// InlineDetection disables RunMatrix's detector prepass and
+	// threshold cache, forcing every cell back to per-interval inline
+	// detection. Results are byte-identical either way — the
+	// equivalence suite pins it — so the switch exists only for A/B
+	// benchmarking and as an escape hatch. Run, RunStreaming and the
+	// per-cell/streaming matrix paths always detect inline.
+	InlineDetection bool
 }
 
 // validateIDs rejects empty and duplicate link identifiers.
@@ -284,6 +291,13 @@ func RunStreamLink(l StreamLink) LinkResult {
 
 // newPipeline builds a link's private pipeline from its config factory.
 func newPipeline(id string, factory func() (core.Config, error)) (*core.Pipeline, error) {
+	return newPipelineThresholds(id, factory, nil)
+}
+
+// newPipelineThresholds is newPipeline with an optional precomputed
+// threshold column attached (the matrix prepass); src == nil keeps
+// inline detection.
+func newPipelineThresholds(id string, factory func() (core.Config, error), src core.ThresholdSource) (*core.Pipeline, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("engine: link %q: nil config factory", id)
 	}
@@ -291,6 +305,7 @@ func newPipeline(id string, factory func() (core.Config, error)) (*core.Pipeline
 	if err != nil {
 		return nil, fmt.Errorf("engine: link %q: %w", id, err)
 	}
+	cfg.Thresholds = src
 	pipe, err := core.NewPipeline(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("engine: link %q: %w", id, err)

@@ -115,6 +115,14 @@ func (e *MultiLinkEngine) RunMatrix(links []MatrixLink, specs []*scheme.Spec) ([
 			l.Series.Seal()
 		}
 	}
+	// Detector prepass: precompute each distinct detector config's θ(t)
+	// column per link on the pool, so the classify pass below runs no
+	// detection at all for covered cells and specs sharing a detector
+	// key consume one computation (see prepass.go).
+	var cols map[string]map[string]*thresholdColumn
+	if !e.InlineDetection {
+		cols = e.prepassThresholds(links, specs)
+	}
 	groups := splitSpecs(specs, e.specGroups(len(links), len(specs)))
 	type task struct {
 		link  MatrixLink
@@ -137,7 +145,7 @@ func (e *MultiLinkEngine) RunMatrix(links []MatrixLink, specs []*scheme.Spec) ([
 		var rowIDs []uint32
 		return func(i int) {
 			t := &tasks[i]
-			rowIDs = runMatrixLink(t.link, t.specs, snap, rowIDs, t.out)
+			rowIDs = runMatrixLink(t.link, t.specs, cols[t.link.ID], snap, rowIDs, t.out)
 		}
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -184,7 +192,9 @@ func splitSpecs(specs []*scheme.Spec, groups int) [][]*scheme.Spec {
 // a cell that fails stops stepping and reports its wrapped error; the
 // surviving cells keep running, and the loop exits early once none
 // remain.
-func runMatrixLink(l MatrixLink, specs []*scheme.Spec, snap *core.FlowSnapshot, rowIDs []uint32, out []LinkResult) []uint32 {
+// cols carries the link's precomputed threshold columns keyed by
+// canonical detector key (nil or missing keys → inline detection).
+func runMatrixLink(l MatrixLink, specs []*scheme.Spec, cols map[string]*thresholdColumn, snap *core.FlowSnapshot, rowIDs []uint32, out []LinkResult) []uint32 {
 	for k, sp := range specs {
 		out[k] = LinkResult{ID: MatrixID(l.ID, sp)}
 	}
@@ -198,7 +208,11 @@ func runMatrixLink(l MatrixLink, specs []*scheme.Spec, snap *core.FlowSnapshot, 
 	results := make([][]core.Result, len(specs))
 	live := 0
 	for k, sp := range specs {
-		pipe, err := newPipeline(out[k].ID, sp.Factory())
+		var src core.ThresholdSource
+		if col, ok := cols[sp.DetectorKey()]; ok {
+			src = col
+		}
+		pipe, err := newPipelineThresholds(out[k].ID, sp.Factory(), src)
 		if err != nil {
 			out[k].Err = err
 			continue

@@ -75,13 +75,9 @@ func (s *Spec) String() string {
 // state, so Config is directly usable as an engine.Link config factory
 // (the engine's fresh-instances-per-link determinism contract).
 func (s *Spec) Config() (core.Config, error) {
-	dd, ok := detectors[s.Detector.Name]
-	if !ok {
-		return core.Config{}, fmt.Errorf("scheme: unknown detector %q", s.Detector.Name)
-	}
-	det, err := dd.buildDetector(s.Detector.Params)
+	det, err := s.BuildDetector()
 	if err != nil {
-		return core.Config{}, fmt.Errorf("scheme: %s: %w", s.Detector.Name, err)
+		return core.Config{}, err
 	}
 	cd, ok := classifiers[s.Classifier.Name]
 	if !ok {
@@ -101,6 +97,32 @@ func (s *Spec) Config() (core.Config, error) {
 // Factory returns the spec's config factory — the method value plugs
 // straight into engine.Link.Config / engine.StreamLink.Config.
 func (s *Spec) Factory() func() (core.Config, error) { return s.Config }
+
+// DetectorKey returns the detector component's canonical form —
+// name plus parameters in lexical key order — which is the engine's
+// threshold-cache key: detection is a pure function of (detector
+// config, interval bandwidths), so two specs with equal DetectorKeys
+// produce byte-identical θ(t) columns on the same link and may share
+// one computation. Specs differing in any detector parameter render
+// different keys; classifier, Alpha and MinFlows deliberately do not
+// enter the key (they act downstream of detection).
+func (s *Spec) DetectorKey() string { return s.Detector.String() }
+
+// BuildDetector compiles just the spec's detector component — a fresh,
+// independent instance per call. The engine's prepass uses it to give
+// each precomputed threshold column its own detector state without
+// building (and discarding) a classifier.
+func (s *Spec) BuildDetector() (core.Detector, error) {
+	dd, ok := detectors[s.Detector.Name]
+	if !ok {
+		return nil, fmt.Errorf("scheme: unknown detector %q", s.Detector.Name)
+	}
+	det, err := dd.buildDetector(s.Detector.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scheme: %s: %w", s.Detector.Name, err)
+	}
+	return det, nil
+}
 
 // Validate builds the spec's components once and discards them,
 // reporting any parameter-value error (unknown names and keys are

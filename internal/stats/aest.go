@@ -52,11 +52,30 @@ type AestConfig struct {
 	// marks the deceptively straight upper body of a lognormal.
 	// Defaults to 1.0.
 	MinSlopeAlpha float64
+	// WantLevels requests the per-aggregation-level fit diagnostics in
+	// AestResult.Levels. Off by default: the diagnostics slice is the
+	// one estimator output that must escape to the heap per call, and
+	// the classification pipeline only ever consumes TailOnset.
+	WantLevels bool
 }
+
+// Shared immutable defaults: defaults() hands these slices out by
+// reference instead of rebuilding them per call, so a zero AestConfig
+// costs no allocations. They must never be mutated.
+var (
+	defaultAggregationLevels  = []int{2, 4, 8}
+	defaultCandidateQuantiles = func() []float64 {
+		qs := make([]float64, 0, 25)
+		for q := 0.50; q <= 0.981; q += 0.02 {
+			qs = append(qs, q)
+		}
+		return qs
+	}()
+)
 
 func (c *AestConfig) defaults() {
 	if len(c.AggregationLevels) == 0 {
-		c.AggregationLevels = []int{2, 4, 8}
+		c.AggregationLevels = defaultAggregationLevels
 	}
 	if c.MinTailPoints == 0 {
 		c.MinTailPoints = 10
@@ -68,11 +87,7 @@ func (c *AestConfig) defaults() {
 		c.MinR2 = 0.97
 	}
 	if len(c.CandidateQuantiles) == 0 {
-		qs := make([]float64, 0, 25)
-		for q := 0.50; q <= 0.981; q += 0.02 {
-			qs = append(qs, q)
-		}
-		c.CandidateQuantiles = qs
+		c.CandidateQuantiles = defaultCandidateQuantiles
 	}
 	if c.MinSlopeAlpha == 0 {
 		c.MinSlopeAlpha = 1.0
@@ -96,7 +111,8 @@ type AestResult struct {
 	// TailFraction is the fraction of the sample beyond the onset.
 	TailFraction float64
 	// Levels records the per-aggregation-level tail slopes actually
-	// fitted, for diagnostics.
+	// fitted. Populated only when AestConfig.WantLevels is set; nil
+	// otherwise, so the steady-state detection path allocates nothing.
 	Levels []AestLevel
 }
 
@@ -112,24 +128,111 @@ type AestLevel struct {
 // non-overlapping blocks of size m. The trailing partial block is
 // dropped. Aggregate panics on m < 1, a programmer error.
 func Aggregate(xs []float64, m int) []float64 {
+	n := len(xs)
+	if m > 1 {
+		n = len(xs) / m
+	}
+	return AggregateInto(make([]float64, 0, n), xs, m)
+}
+
+// AggregateInto is Aggregate appending into dst's storage instead of
+// allocating — the variant the aest scratch arena uses. It returns the
+// extended slice (the block sums appended after dst's existing
+// elements) with identical values and float summation order to
+// Aggregate. It panics on m < 1, a programmer error.
+func AggregateInto(dst, xs []float64, m int) []float64 {
 	if m < 1 {
 		panic(fmt.Sprintf("stats: Aggregate: block size %d < 1", m))
 	}
 	if m == 1 {
-		out := make([]float64, len(xs))
-		copy(out, xs)
-		return out
+		return append(dst, xs...)
 	}
 	n := len(xs) / m
-	out := make([]float64, n)
 	for i := 0; i < n; i++ {
 		var s float64
 		for j := 0; j < m; j++ {
 			s += xs[i*m+j]
 		}
-		out[i] = s
+		dst = append(dst, s)
 	}
+	return dst
+}
+
+// AestScratch owns the estimator's reusable working storage: the
+// positive/sorted sample copies, one flat float64 arena carved per call
+// into aggregate buffers, CCDF support arrays and their precomputed
+// log-log coordinates, and the per-level fit records. A warm scratch
+// makes Aest/AestSorted allocation-free (diagnostics excepted — see
+// AestConfig.WantLevels).
+//
+// Ownership rules: a scratch belongs to one goroutine at a time and
+// every buffer it hands out is invalidated by the next Aest/AestSorted
+// call on the same scratch — nothing reachable from an AestResult
+// aliases the scratch (Levels, when requested, is a fresh copy), so
+// results outlive the scratch freely. The zero value is ready to use;
+// detectors embed one per instance and the engine's prepass workers own
+// one each.
+type AestScratch struct {
+	positive []float64 // Aest entry: filtered observation-order copy
+	sorted   []float64 // Aest entry: ascending copy of positive
+	tmp      []float64 // radix-sort ping-pong storage
+	buf      []float64 // flat arena, carved front-to-back per call
+	dists    []aestDist
+	levels   []AestLevel
+}
+
+// ensureTmp returns the sort scratch buffer sized for n elements.
+func (s *AestScratch) ensureTmp(n int) []float64 {
+	if cap(s.tmp) < n {
+		s.tmp = make([]float64, n)
+	}
+	return s.tmp[:n]
+}
+
+// aestDist is one aggregation level's empirical CCDF together with its
+// precomputed log10 coordinates: earlier revisions re-derived the
+// log-log view of the (heavily overlapping) tails once per candidate
+// quantile, which dominated the estimator's cost.
+type aestDist struct {
+	c      CCDF
+	lx, lp []float64 // log10 of c.X / c.P, index-aligned
+}
+
+// ensure sizes the arena for one call; take carves from it. Carved
+// regions are capacity-capped sub-slices, so a defensive regrow in take
+// never lets two regions alias.
+func (s *AestScratch) ensure(n int) {
+	s.buf = s.buf[:0]
+	if cap(s.buf) < n {
+		s.buf = make([]float64, 0, n)
+	}
+}
+
+func (s *AestScratch) take(n int) []float64 {
+	if len(s.buf)+n > cap(s.buf) {
+		// ensure() undershot (non-default config shapes); start a fresh
+		// chunk — regions already carved keep the old array alive.
+		s.buf = make([]float64, 0, n+4096)
+	}
+	out := s.buf[len(s.buf) : len(s.buf)+n : len(s.buf)+n]
+	s.buf = s.buf[:len(s.buf)+n]
 	return out
+}
+
+// newDist builds the CCDF of an ascending-sorted positive sample into
+// arena storage and precomputes its log-log coordinates. Support values
+// are identical to NewCCDF on the same sample.
+func (s *AestScratch) newDist(clean []float64) aestDist {
+	x := s.take(len(clean))[:0]
+	p := s.take(len(clean))[:0]
+	c := ccdfAppendSorted(clean, x, p)
+	lx := s.take(c.Len())
+	lp := s.take(c.Len())
+	for i := range c.X {
+		lx[i] = math.Log10(c.X[i])
+		lp[i] = math.Log10(c.P[i])
+	}
+	return aestDist{c: c, lx: lx, lp: lp}
 }
 
 // Aest runs the scaling estimator on the sample xs. It needs on the
@@ -138,16 +241,25 @@ func Aggregate(xs []float64, m int) []float64 {
 // is an expected outcome the classifier must handle (it falls back to a
 // quantile threshold).
 func Aest(xs []float64, cfg AestConfig) AestResult {
-	positive := make([]float64, 0, len(xs))
+	var s AestScratch
+	return s.Aest(xs, cfg)
+}
+
+// Aest is the package-level Aest running on the scratch's reusable
+// storage: identical output, no steady-state allocations once warm.
+func (s *AestScratch) Aest(xs []float64, cfg AestConfig) AestResult {
+	if cap(s.positive) < len(xs) {
+		s.positive = make([]float64, 0, len(xs))
+	}
+	s.positive = s.positive[:0]
 	for _, x := range xs {
 		if x > 0 && !math.IsNaN(x) && !math.IsInf(x, 0) {
-			positive = append(positive, x)
+			s.positive = append(s.positive, x)
 		}
 	}
-	sorted := make([]float64, len(positive))
-	copy(sorted, positive)
-	sort.Float64s(sorted)
-	return AestSorted(positive, sorted, cfg)
+	s.sorted = append(s.sorted[:0], s.positive...)
+	SortPositive(s.sorted, s.ensureTmp(len(s.sorted)))
+	return s.AestSorted(s.positive, s.sorted, cfg)
 }
 
 // AestSorted is Aest for callers that already hold both views of the
@@ -159,32 +271,63 @@ func Aest(xs []float64, cfg AestConfig) AestResult {
 // positive, finite values (the snapshot-bandwidth invariant) and are
 // not modified.
 func AestSorted(xs, sorted []float64, cfg AestConfig) AestResult {
+	var s AestScratch
+	return s.AestSorted(xs, sorted, cfg)
+}
+
+// AestSorted is the package-level AestSorted on the scratch's reusable
+// storage: identical output, no steady-state allocations once warm.
+func (s *AestScratch) AestSorted(xs, sorted []float64, cfg AestConfig) AestResult {
 	cfg.defaults()
 	var res AestResult
 
 	positive := xs
-	base := NewCCDFSorted(sorted)
-	if base.Len() < cfg.MinTailPoints*2 {
+	lo := 0
+	for lo < len(sorted) && sorted[lo] <= 0 {
+		lo++
+	}
+	clean := sorted[lo:]
+
+	need := 4*len(clean) + 5*len(cfg.AggregationLevels) + 16
+	for _, m := range cfg.AggregationLevels {
+		if m >= 2 {
+			need += 5*(len(positive)/m) + 8
+		}
+	}
+	s.ensure(need)
+	if cap(s.levels) < len(cfg.AggregationLevels)+1 {
+		s.levels = make([]AestLevel, 0, len(cfg.AggregationLevels)+1)
+	}
+
+	base := s.newDist(clean)
+	if base.c.Len() < cfg.MinTailPoints*2 {
 		return res
 	}
 
-	// Aggregated CCDFs, computed once.
-	aggCCDF := make([]CCDF, len(cfg.AggregationLevels))
-	for i, m := range cfg.AggregationLevels {
-		if m < 2 {
-			continue
+	// Aggregated CCDFs, computed once. The aggregate buffer is sorted in
+	// place — it exists only to feed the CCDF, whose support is what
+	// NewCCDF of the unsorted aggregate would produce.
+	if cap(s.dists) < len(cfg.AggregationLevels) {
+		s.dists = make([]aestDist, 0, len(cfg.AggregationLevels))
+	}
+	s.dists = s.dists[:0]
+	for _, m := range cfg.AggregationLevels {
+		var d aestDist
+		if m >= 2 {
+			agg := AggregateInto(s.take(len(positive) / m)[:0], positive, m)
+			SortPositive(agg, s.ensureTmp(len(agg)))
+			d = s.newDist(agg)
 		}
-		agg := Aggregate(positive, m)
-		aggCCDF[i] = NewCCDF(agg)
+		s.dists = append(s.dists, d)
 	}
 
 	for _, q := range cfg.CandidateQuantiles {
 		onset := QuantileSorted(sorted, q)
-		levels, ok := fitLevels(base, aggCCDF, cfg, onset)
+		levels, ok := s.fitLevels(base, cfg, onset)
 		if !ok {
 			continue
 		}
-		alpha, ok := shiftAlpha(base, aggCCDF, cfg, onset)
+		alpha, ok := s.shiftAlpha(base, cfg, onset)
 		if !ok {
 			continue
 		}
@@ -192,7 +335,9 @@ func AestSorted(xs, sorted []float64, cfg AestConfig) AestResult {
 		res.TailOnset = onset
 		res.Alpha = alpha
 		res.SlopeAlpha = -levels[0].Slope
-		res.Levels = levels
+		if cfg.WantLevels {
+			res.Levels = append([]AestLevel(nil), levels...)
+		}
 		tail := 0
 		for _, x := range positive {
 			if x > onset {
@@ -206,22 +351,23 @@ func AestSorted(xs, sorted []float64, cfg AestConfig) AestResult {
 }
 
 // fitLevels fits log-log tail lines at every aggregation level beyond
-// onset and checks straightness and cross-level slope agreement.
-func fitLevels(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) ([]AestLevel, bool) {
-	fit := func(c CCDF, m int, from float64) (AestLevel, bool) {
-		tail := c.TailFrom(from)
-		if tail.Len() < cfg.MinTailPoints {
+// onset and checks straightness and cross-level slope agreement. The
+// returned slice is scratch storage, valid until the next fitLevels
+// call.
+func (s *AestScratch) fitLevels(base aestDist, cfg AestConfig, onset float64) ([]AestLevel, bool) {
+	fit := func(d aestDist, m int, from float64) (AestLevel, bool) {
+		i := sort.SearchFloat64s(d.c.X, from)
+		if d.c.Len()-i < cfg.MinTailPoints {
 			return AestLevel{}, false
 		}
-		lx, lp := tail.LogLog()
-		f, err := FitLine(lx, lp)
+		f, err := FitLine(d.lx[i:], d.lp[i:])
 		if err != nil || f.R2 < cfg.MinR2 || f.Slope >= 0 {
 			return AestLevel{}, false
 		}
-		return AestLevel{M: m, Slope: f.Slope, R2: f.R2, N: tail.Len()}, true
+		return AestLevel{M: m, Slope: f.Slope, R2: f.R2, N: d.c.Len() - i}, true
 	}
 
-	levels := make([]AestLevel, 0, 1+len(aggs))
+	levels := s.levels[:0]
 	l0, ok := fit(base, 1, onset)
 	if !ok {
 		return nil, false
@@ -236,22 +382,22 @@ func fitLevels(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) ([]AestLev
 	// aggregate is fitted from its own abscissa carrying the same CCDF
 	// mass as the base onset. In the scaling regime the two log-log
 	// tails are then parallel lines.
-	pOnset := base.At(onset)
+	pOnset := base.c.At(onset)
 	eligible, passed := 0, 0
-	for i, c := range aggs {
-		if c.Len() == 0 {
+	for i, d := range s.dists {
+		if d.c.Len() == 0 {
 			continue
 		}
 		m := cfg.AggregationLevels[i]
-		from, ok := c.InverseAt(pOnset)
+		from, ok := d.c.InverseAt(pOnset)
 		if !ok {
 			continue
 		}
-		if c.TailFrom(from).Len() < cfg.MinTailPoints {
+		if d.c.TailFrom(from).Len() < cfg.MinTailPoints {
 			continue // too few points to confirm or deny at this level
 		}
 		eligible++
-		l, ok := fit(c, m, from)
+		l, ok := fit(d, m, from)
 		if !ok {
 			continue
 		}
@@ -261,6 +407,7 @@ func fitLevels(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) ([]AestLev
 		passed++
 		levels = append(levels, l)
 	}
+	s.levels = levels
 	// The base level establishes straightness beyond the onset; the
 	// aggregation levels confirm the scaling relation. High aggregation
 	// levels of samples with alpha near 2 legitimately bend (CLT
@@ -275,8 +422,8 @@ func fitLevels(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) ([]AestLev
 // shiftAlpha estimates alpha from horizontal offsets between successive
 // aggregation levels: at equal tail probability p, log-abscissas differ
 // by log(m)/alpha.
-func shiftAlpha(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) (float64, bool) {
-	pStart := base.At(onset)
+func (s *AestScratch) shiftAlpha(base aestDist, cfg AestConfig, onset float64) (float64, bool) {
+	pStart := base.c.At(onset)
 	if pStart <= 0 {
 		return 0, false
 	}
@@ -286,20 +433,20 @@ func shiftAlpha(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) (float64,
 	// probe the deepest usable probabilities of each aggregate — from a
 	// few points above its resolution floor upwards — rather than just
 	// below the onset probability.
-	var estimates []float64
-	for i, c := range aggs {
-		if c.Len() == 0 {
+	estimates := s.take(5 * len(s.dists))[:0]
+	for i, d := range s.dists {
+		if d.c.Len() == 0 {
 			continue
 		}
 		m := float64(cfg.AggregationLevels[i])
-		floor := 5.0 / float64(c.Len()+1) // stay above the last few points
+		floor := 5.0 / float64(d.c.Len()+1) // stay above the last few points
 		for k := 0; k <= 4; k++ {
 			p := floor * math.Pow(2, float64(k))
 			if p >= pStart {
 				break
 			}
-			x1, ok1 := base.InverseAt(p)
-			x2, ok2 := c.InverseAt(p)
+			x1, ok1 := base.c.InverseAt(p)
+			x2, ok2 := d.c.InverseAt(p)
 			if !ok1 || !ok2 || x2 <= x1 || x1 <= 0 {
 				continue
 			}
@@ -314,7 +461,9 @@ func shiftAlpha(base CCDF, aggs []CCDF, cfg AestConfig, onset float64) (float64,
 		return 0, false
 	}
 	// Median for robustness against the discreteness of small CCDFs.
-	return Quantile(estimates, 0.5), true
+	// The estimates are scratch-owned, so sorting in place is free.
+	sort.Float64s(estimates)
+	return QuantileSorted(estimates, 0.5), true
 }
 
 // Hill computes the Hill estimator of the tail index using the k largest
@@ -328,6 +477,16 @@ func Hill(xs []float64, k int) (float64, error) {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return HillSorted(sorted, k)
+}
+
+// HillSorted is Hill for callers that already hold the sample sorted
+// ascending, skipping the copy and sort; output is identical to Hill.
+// The input is not modified.
+func HillSorted(sorted []float64, k int) (float64, error) {
+	if k < 2 || k >= len(sorted) {
+		return 0, fmt.Errorf("stats: Hill: k=%d out of range for n=%d", k, len(sorted))
+	}
 	n := len(sorted)
 	xk := sorted[n-1-k] // the (k+1)-th largest order statistic
 	if xk <= 0 {

@@ -44,22 +44,28 @@ func NewCCDFSorted(sorted []float64) CCDF {
 // ccdfFromSorted collapses an ascending-sorted positive sample into
 // CCDF support points.
 func ccdfFromSorted(clean []float64) CCDF {
+	return ccdfAppendSorted(clean, nil, nil)
+}
+
+// ccdfAppendSorted is ccdfFromSorted appending support points into the
+// caller's x/p storage (the aest scratch arena) instead of growing
+// fresh slices; output values are identical.
+func ccdfAppendSorted(clean, x, p []float64) CCDF {
 	n := len(clean)
-	var c CCDF
 	for i := 0; i < n; {
 		j := i
 		for j < n && clean[j] == clean[i] {
 			j++
 		}
 		// P[x > clean[i]] = (n - j) / n, computed at the last tie.
-		p := float64(n-j) / float64(n)
-		if p > 0 { // the maximum has CCDF 0; it carries no log-log info
-			c.X = append(c.X, clean[i])
-			c.P = append(c.P, p)
+		pv := float64(n-j) / float64(n)
+		if pv > 0 { // the maximum has CCDF 0; it carries no log-log info
+			x = append(x, clean[i])
+			p = append(p, pv)
 		}
 		i = j
 	}
-	return c
+	return CCDF{X: x, P: p}
 }
 
 // Len reports the number of support points.

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// mixedSample draws a lognormal body with a Pareto tail — the workload
+// shape the aest detector sees per interval.
+func mixedSample(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		if rng.Float64() < 0.04 {
+			xs[i] = 20 * math.Pow(rng.Float64(), -1/1.9) * 1e4
+		} else {
+			xs[i] = math.Exp(rng.NormFloat64()*1.2) * 1e4
+		}
+	}
+	return xs
+}
+
+// TestAestScratchMatchesPackage pins the arena path against the
+// package-level entry points: identical AestResults on every seed, and
+// a single scratch reused across calls must not perturb later results.
+func TestAestScratchMatchesPackage(t *testing.T) {
+	var scratch AestScratch
+	cfg := AestConfig{WantLevels: true}
+	for seed := int64(0); seed < 12; seed++ {
+		xs := mixedSample(2000+int(seed)*500, seed)
+		want := Aest(xs, cfg)
+		got := scratch.Aest(xs, cfg)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: scratch Aest diverged\nwant %+v\ngot  %+v", seed, want, got)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		got = scratch.AestSorted(xs, sorted, cfg)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: scratch AestSorted diverged\nwant %+v\ngot  %+v", seed, want, got)
+		}
+	}
+}
+
+// TestAestWantLevels verifies diagnostics are opt-in: default-off
+// returns nil Levels with every other field unchanged, and the
+// opted-in slice does not alias scratch storage.
+func TestAestWantLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = math.Pow(rng.Float64(), -1/1.4) // pure Pareto, alpha 1.4
+	}
+	withL := Aest(xs, AestConfig{WantLevels: true})
+	if !withL.TailFound {
+		t.Fatal("expected a detected tail on the Pareto sample")
+	}
+	if len(withL.Levels) == 0 {
+		t.Fatal("WantLevels: true returned no level diagnostics")
+	}
+	noL := Aest(xs, AestConfig{})
+	if noL.Levels != nil {
+		t.Fatalf("default config returned Levels %v, want nil", noL.Levels)
+	}
+	noL.Levels = withL.Levels
+	if !reflect.DeepEqual(withL, noL) {
+		t.Fatalf("WantLevels changed non-diagnostic fields:\nwith %+v\nwithout %+v", withL, noL)
+	}
+
+	var scratch AestScratch
+	first := scratch.Aest(xs, AestConfig{WantLevels: true})
+	if !first.TailFound {
+		t.Fatal("scratch path lost the tail the package path found")
+	}
+	firstLevels := append([]AestLevel(nil), first.Levels...)
+	scratch.Aest(mixedSample(4000, 4), AestConfig{WantLevels: true}) // reuse arena
+	if !reflect.DeepEqual(first.Levels, firstLevels) {
+		t.Fatal("Levels aliases scratch storage: mutated by a later call")
+	}
+}
+
+func TestAggregateInto(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7}
+	for m := 1; m <= 4; m++ {
+		want := Aggregate(xs, m)
+		got := AggregateInto(nil, xs, m)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("m=%d: AggregateInto %v != Aggregate %v", m, got, want)
+		}
+		// Appends after existing elements, reusing capacity.
+		dst := make([]float64, 1, 16)
+		dst[0] = -1
+		got = AggregateInto(dst, xs, m)
+		if got[0] != -1 || !reflect.DeepEqual(got[1:], want) {
+			t.Fatalf("m=%d: AggregateInto with prefix = %v, want [-1 %v...]", m, got, want)
+		}
+		if &got[0] != &dst[0] {
+			t.Fatalf("m=%d: AggregateInto reallocated despite sufficient capacity", m)
+		}
+	}
+}
+
+func TestAggregateIntoPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AggregateInto(m=0) did not panic")
+		}
+	}()
+	AggregateInto(nil, []float64{1}, 0)
+}
+
+func TestHillSortedMatchesHill(t *testing.T) {
+	xs := mixedSample(3000, 7)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, k := range []int{2, 10, 150, 450, len(xs) - 1} {
+		want, wantErr := Hill(xs, k)
+		got, gotErr := HillSorted(sorted, k)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("k=%d: error mismatch: Hill %v, HillSorted %v", k, wantErr, gotErr)
+		}
+		if want != got {
+			t.Fatalf("k=%d: HillSorted %v != Hill %v", k, got, want)
+		}
+	}
+	if _, err := HillSorted(sorted, 1); err == nil {
+		t.Fatal("HillSorted(k=1) did not error")
+	}
+	if _, err := HillSorted(sorted, len(sorted)); err == nil {
+		t.Fatal("HillSorted(k=n) did not error")
+	}
+	if _, err := HillSorted([]float64{-2, -1, 0, 1, 2, 3}, 4); err == nil {
+		t.Fatal("HillSorted with non-positive order statistic did not error")
+	}
+}
+
+// TestSortPositiveMatchesSort pins the radix sort against the stdlib
+// comparison sort across sizes straddling the small-input cutoff,
+// magnitudes spanning many exponent bytes, and heavy duplication.
+func TestSortPositiveMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 100, 127, 128, 129, 1000, 6000} {
+		for trial := 0; trial < 4; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				switch trial {
+				case 0: // same-magnitude lognormal
+					xs[i] = math.Exp(rng.NormFloat64()*1.2) * 1e4
+				case 1: // wide dynamic range
+					xs[i] = math.Pow(10, rng.Float64()*30-15)
+				case 2: // heavy ties
+					xs[i] = float64(rng.Intn(8) + 1)
+				case 3: // subnormals and extremes
+					xs[i] = math.Float64frombits(uint64(rng.Int63()) & 0x7fefffffffffffff)
+					if xs[i] == 0 {
+						xs[i] = 1
+					}
+				}
+			}
+			want := append([]float64(nil), xs...)
+			sort.Float64s(want)
+			tmp := make([]float64, n)
+			SortPositive(xs, tmp)
+			if !reflect.DeepEqual(xs, want) {
+				t.Fatalf("n=%d trial=%d: SortPositive diverged from sort.Float64s", n, trial)
+			}
+		}
+	}
+}
+
+// TestAestScratchSteadyStateAllocs pins the warm arena path: repeated
+// calls on same-shaped input must not allocate (diagnostics off).
+func TestAestScratchSteadyStateAllocs(t *testing.T) {
+	xs := mixedSample(6000, 9)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var scratch AestScratch
+	scratch.AestSorted(xs, sorted, AestConfig{})
+	allocs := testing.AllocsPerRun(5, func() {
+		scratch.AestSorted(xs, sorted, AestConfig{})
+	})
+	if allocs != 0 {
+		t.Fatalf("warm scratch AestSorted allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// SortPositive sorts xs ascending in place. xs must hold strictly
+// positive, finite float64s; tmp is ping-pong storage with len(tmp) >=
+// len(xs). For positive IEEE-754 doubles the unsigned bit-pattern order
+// equals numeric order, so an LSD radix sort over the eight bytes
+// yields exactly the sequence a comparison sort would (duplicates have
+// identical bit patterns, making stability unobservable) — at O(n)
+// instead of O(n log n), which matters because sorting dominated the
+// aest detect stage's profile. Callers off the hot path, or with
+// possibly non-positive values, should use sort.Float64s instead.
+func SortPositive(xs, tmp []float64) {
+	n := len(xs)
+	if n < 128 {
+		// Below the radix break-even; output is identical either way.
+		sort.Float64s(xs)
+		return
+	}
+	tmp = tmp[:n]
+	var counts [8][256]int
+	for _, x := range xs {
+		b := math.Float64bits(x)
+		for d := 0; d < 8; d++ {
+			counts[d][(b>>(8*d))&0xff]++
+		}
+	}
+	src, dst := xs, tmp
+	for d := 0; d < 8; d++ {
+		c := &counts[d]
+		// A byte position where every element agrees (common in the
+		// exponent bytes of same-magnitude samples) permutes nothing.
+		if c[(math.Float64bits(src[0])>>(8*d))&0xff] == n {
+			continue
+		}
+		sum := 0
+		for i := range c {
+			c[i], sum = sum, sum+c[i]
+		}
+		for _, x := range src {
+			by := (math.Float64bits(x) >> (8 * d)) & 0xff
+			dst[c[by]] = x
+			c[by]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}

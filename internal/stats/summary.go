@@ -3,6 +3,11 @@
 // Crovella–Taqqu "aest" scaling estimator for heavy-tail onset and index,
 // a Hill estimator used as a cross-check, EWMA smoothing, histograms and
 // quantiles. Everything is deterministic and stdlib-only.
+//
+// Hot-path estimator calls run on an AestScratch, a caller-owned arena
+// of reusable buffers; see its doc for the ownership rules (one
+// goroutine per scratch, buffers invalidated by the next call, results
+// never alias the arena).
 package stats
 
 import (
