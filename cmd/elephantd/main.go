@@ -8,11 +8,27 @@
 // HTTP API:
 //
 //	GET /healthz                liveness + daemon-wide ingest counters
+//	                            + per-link staleness and readiness
+//	GET /readyz                 readiness probe: 503 once every link
+//	                            has gone -stale-after without sealing
+//	                            an interval
 //	GET /links                  every known link, summarised
 //	GET /links/{id}/elephants   the link's current elephant set
 //	GET /links/{id}/history     recent interval summaries
 //	                            (?n=COUNT limits, ?flows=1 adds sets)
-//	GET /metrics                Prometheus text exposition
+//	GET /links/{id}/debug/intervals
+//	                            the link's flight recorder: the last
+//	                            -flight sealed intervals' stage timings,
+//	                            thresholds, churn and watermark lag, as
+//	                            JSONL
+//	GET /metrics                Prometheus text exposition, including
+//	                            per-link stage-latency histograms, churn
+//	                            counters and the watermark-lag gauge
+//	GET /debug/pprof/...        runtime profiles (only with -pprof)
+//
+// On SIGUSR1 (Unix only) the daemon dumps every link's flight recorder
+// to the log writer — post-hoc interval traces without touching the
+// HTTP API.
 //
 // Flags:
 //
@@ -38,6 +54,11 @@
 //	-history N      per-link interval-summary ring (default 288 —
 //	                a day of five-minute slots)
 //	-buffer N       per-link record queue capacity
+//	-stale-after D  link staleness threshold for /readyz (default 3×Δ)
+//	-flight N       per-link flight-recorder capacity (default 256)
+//	-pprof          serve net/http/pprof under /debug/pprof/ (off by
+//	                default: the profiling surface is a debugging aid,
+//	                not part of the query API)
 //	-grace D        shutdown grace period on SIGINT/SIGTERM (default 10s)
 //
 // Run a self-contained demo:
@@ -77,6 +98,9 @@ func main() {
 		window     = flag.Int("window", 0, "open-interval window (memory bound); 0 derives it from the scheme")
 		history    = flag.Int("history", serve.DefaultHistory, "per-link interval-summary ring capacity")
 		buffer     = flag.Int("buffer", 0, "per-link record queue capacity; 0 selects the engine default")
+		staleAfter = flag.Duration("stale-after", 0, "per-link staleness threshold for /readyz; 0 selects 3x the interval")
+		flight     = flag.Int("flight", 0, "per-link flight-recorder capacity (sealed-interval traces retained for /links/{id}/debug/intervals and SIGUSR1 dumps); 0 selects 256")
+		pprofFlag  = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ on the API listener (off by default)")
 		grace      = flag.Duration("grace", 10*time.Second, "graceful shutdown window on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -98,16 +122,19 @@ func main() {
 	}
 
 	d, err := serve.NewDaemon(serve.Config{
-		UDPAddr:  *udpAddr,
-		HTTPAddr: *httpAddr,
-		Table:    table,
-		Scheme:   sp,
-		Readers:  *readers,
-		Interval: *interval,
-		Window:   *window,
-		History:  *history,
-		Buffer:   *buffer,
-		Logf:     log.Printf,
+		UDPAddr:        *udpAddr,
+		HTTPAddr:       *httpAddr,
+		Table:          table,
+		Scheme:         sp,
+		Readers:        *readers,
+		Interval:       *interval,
+		Window:         *window,
+		History:        *history,
+		Buffer:         *buffer,
+		StaleAfter:     *staleAfter,
+		FlightRecorder: *flight,
+		Pprof:          *pprofFlag,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elephantd:", err)
@@ -116,6 +143,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	notifyFlightDump(ctx, d)
 	if err := d.Run(ctx, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "elephantd:", err)
 		os.Exit(1)

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package main
+
+import (
+	"context"
+
+	"repro/internal/serve"
+)
+
+// notifyFlightDump is a no-op off Unix: SIGUSR1 does not exist there.
+// The flight recorders stay reachable via /links/{id}/debug/intervals.
+func notifyFlightDump(context.Context, *serve.Daemon) {}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package main
+
+import (
+	"context"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/serve"
+)
+
+// notifyFlightDump wires SIGUSR1 to the flight-recorder dump: each
+// signal writes every link's retained interval traces to stderr (the
+// log destination), header lines and JSONL, without disturbing ingest
+// or the HTTP API. The watcher exits with ctx.
+func notifyFlightDump(ctx context.Context, d *serve.Daemon) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		defer signal.Stop(ch)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+				log.Printf("SIGUSR1: dumping flight recorders")
+				if err := d.DumpFlightRecorders(os.Stderr); err != nil {
+					log.Printf("flight-recorder dump: %v", err)
+				}
+			}
+		}
+	}()
+}

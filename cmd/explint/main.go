@@ -1,0 +1,48 @@
+// Command explint validates a Prometheus text exposition page read
+// from stdin (or from the files named as arguments) against the format
+// rules a scraper relies on: family metadata precedes its samples and
+// families are contiguous, no family is declared twice, every sample
+// value parses, and histogram series are well-formed (le boundaries
+// ascending, cumulative bucket counts monotone, a +Inf bucket present
+// and equal to _count).
+//
+// It is the CI half of the daemon smoke test:
+//
+//	curl -s http://127.0.0.1:8055/metrics | explint
+//
+// Exit status 0 means the page passed; 1 reports the first violation
+// with its line number; 2 is a usage or I/O error. The validation
+// itself lives in internal/report (LintExposition), unit-tested there —
+// this command is only the pipe adapter.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) == 1 {
+		lint("stdin", os.Stdin)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explint:", err)
+			os.Exit(2)
+		}
+		lint(path, f)
+		f.Close()
+	}
+}
+
+func lint(name string, r io.Reader) {
+	if err := report.LintExposition(r); err != nil {
+		fmt.Fprintf(os.Stderr, "explint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,12 +40,14 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/agg"
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scheme"
 	"repro/internal/trace"
@@ -152,9 +155,56 @@ func monitorDaemon(base string) error {
 			}
 			fmt.Printf("  %s\n", f)
 		}
+
+		// The flight recorder adds the operational view the summaries
+		// lack: per-interval stage timings and the watermark lag each
+		// interval was sealed under. Links known only from a previous run
+		// have no live recorder; skip quietly then.
+		if traces, err := getTraces(base + "/links/" + url.PathEscape(l.ID) + "/debug/intervals"); err == nil && len(traces) > 0 {
+			stepUs := make([]float64, len(traces))
+			lagS := make([]float64, len(traces))
+			for i, tr := range traces {
+				stepUs[i] = float64(tr.StepNanos) / 1e3
+				lagS[i] = float64(tr.WatermarkLagNanos) / 1e9
+			}
+			last := traces[len(traces)-1]
+			fmt.Printf("flight recorder (%d traces): step µs %s  watermark lag s %s\n",
+				len(traces), report.Sparkline(stepUs), report.Sparkline(lagS))
+			fmt.Printf("  last seal: step %.0f µs (detect %.0f, classify %.0f), lag %.1fs, churn +%d/-%d\n",
+				float64(last.StepNanos)/1e3, float64(last.DetectNanos)/1e3,
+				float64(last.ClassifyNanos)/1e3, float64(last.WatermarkLagNanos)/1e9,
+				last.Promoted, last.Demoted)
+		}
 		fmt.Println()
 	}
 	return nil
+}
+
+// getTraces fetches and decodes a link's flight-recorder JSONL.
+func getTraces(url string) ([]obs.IntervalTrace, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var traces []obs.IntervalTrace
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var tr obs.IntervalTrace
+		if err := json.Unmarshal([]byte(line), &tr); err != nil {
+			return nil, err
+		}
+		traces = append(traces, tr)
+	}
+	return traces, sc.Err()
 }
 
 func getJSON(url string, v any) error {
@@ -200,6 +250,13 @@ func runLocal() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The same instrumentation the daemon attaches per link works on a
+	// local pipeline: the metrics bundle observes every step (stage
+	// histograms, churn counters) and the flight recorder keeps the last
+	// traces — both allocation-free on the hot path.
+	om := obs.NewLinkMetrics(obs.NewRegistry(), "live@0", obs.DefaultStageBounds())
+	cfg.Observer = om
+	fr := obs.NewFlightRecorder(intervals)
 	pipe, err := core.NewPipeline(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -229,6 +286,24 @@ func runLocal() {
 		if err != nil {
 			return err
 		}
+		o := om.Last()
+		fr.Record(obs.IntervalTrace{
+			Interval:          t,
+			SealedUnixNanos:   time.Now().UnixNano(),
+			DetectNanos:       o.DetectNanos,
+			ClassifyNanos:     o.ClassifyNanos,
+			FinalizeNanos:     o.FinalizeNanos,
+			StepNanos:         o.StepNanos,
+			RawThreshold:      o.RawThreshold,
+			Threshold:         o.Threshold,
+			TotalLoad:         o.TotalLoad,
+			ElephantLoad:      o.ElephantLoad,
+			ActiveFlows:       o.ActiveFlows,
+			Elephants:         o.Elephants,
+			Promoted:          o.Promoted,
+			Demoted:           o.Demoted,
+			WatermarkLagNanos: int64(acc.WatermarkLag()),
+		})
 		promoted, demoted := diff(prev, res.Elephants)
 		fmt.Printf("[%s] flows=%4d elephants=%3d load=%5.1f Mb/s eleph=%.2f",
 			acc.IntervalTime(t).Format("15:04"), res.ActiveFlows, res.ElephantCount(),
@@ -246,6 +321,20 @@ func runLocal() {
 
 	if err := agg.Stream(feed, acc); err != nil {
 		log.Fatal(err)
+	}
+
+	// The instrumented run leaves an operational digest behind: stage
+	// timings from the histograms, churn totals from the counters, and
+	// the per-interval step times from the flight recorder.
+	if n := om.Step.Count(); n > 0 {
+		stepUs := make([]float64, 0, fr.Len())
+		for _, tr := range fr.Snapshot() {
+			stepUs = append(stepUs, float64(tr.StepNanos)/1e3)
+		}
+		fmt.Printf("\nstage timings over %d intervals: step mean %.0f µs (detect %.0f, classify %.0f); churn +%d/-%d\n",
+			n, om.Step.Sum()/float64(n)*1e6, om.Detect.Sum()/float64(n)*1e6,
+			om.Classify.Sum()/float64(n)*1e6, om.Promoted.Value(), om.Demoted.Value())
+		fmt.Printf("step µs per interval: %s\n", report.Sparkline(stepUs))
 	}
 }
 

@@ -152,6 +152,7 @@ type StreamAccumulator struct {
 	base       int       // oldest open interval (global index)
 	clip       time.Time // left edge of interval base, cached off the Add path
 	maxTouched int       // highest interval that received bits; -1 before any
+	newest     time.Time // newest bit-carrying instant accepted past the far-future gate
 	table      *core.FlowTable
 	slots      []streamSlot
 
@@ -215,6 +216,31 @@ func (a *StreamAccumulator) Window() int { return a.cfg.Window }
 
 // Stats returns the attribution counters so far.
 func (a *StreamAccumulator) Stats() StreamStats { return a.stats }
+
+// Newest returns the stream watermark: the newest bit-carrying instant
+// of any record accepted past the far-future gate (zero before the
+// first such record). Pre-origin and behind-the-window records still
+// advance it — their timestamps are genuine — but records dropped as
+// corrupt do not.
+func (a *StreamAccumulator) Newest() time.Time { return a.newest }
+
+// WatermarkLag returns how far the stream watermark has run ahead of
+// the sealed edge: Newest minus the left edge of the oldest open
+// interval (= the right edge of the newest sealed interval). It is the
+// freshness measure a resident daemon exports per link — a link whose
+// records keep arriving but whose lag keeps growing is wedged behind a
+// reordering horizon, while a silent link holds its last reading.
+// Clamped to zero (Flush seals through the watermark, leaving the
+// sealed edge at or past it); zero before any record.
+func (a *StreamAccumulator) WatermarkLag() time.Duration {
+	if a.newest.IsZero() {
+		return 0
+	}
+	if lag := a.newest.Sub(a.clip); lag > 0 {
+		return lag
+	}
+	return 0
+}
 
 // ClosedThrough returns the number of intervals closed so far (closed
 // intervals are exactly [0, ClosedThrough)).
@@ -326,6 +352,12 @@ func (a *StreamAccumulator) Add(rec Record) error {
 	if end > floor+a.cfg.MaxGap {
 		a.stats.FarFuture++
 		return nil
+	}
+	// The watermark advances only past the corruption gate: a far-future
+	// timestamp must not poison the lag reading any more than it may
+	// close intervals.
+	if last.After(a.newest) {
+		a.newest = last
 	}
 	if end >= a.base+a.cfg.Window {
 		if err := a.advanceTo(end - a.cfg.Window + 1); err != nil {

@@ -1,0 +1,78 @@
+package core
+
+// StageObserver receives one StepObservation per classified interval —
+// the pipeline's per-stage instrumentation hook. It is optional and off
+// by default: a nil Config.Observer adds nothing to Step but one branch,
+// so batch paths (the engine's figure and matrix runs, whose outputs are
+// pinned byte-identical and alloc-free) stay uninstrumented, while the
+// resident daemon attaches an observer per link. The observer is called
+// on the goroutine driving Step, after the interval's result is
+// complete and before Step returns; implementations must not retain
+// references into the snapshot (the Result-ownership rule applies: the
+// observation carries only scalars).
+//
+// Observing must be cheap and allocation-free: the observer runs inside
+// the per-interval hot path, and the repository pins the instrumented
+// live step at zero allocations per interval.
+type StageObserver interface {
+	ObserveStep(StepObservation)
+}
+
+// StepObservation is one interval's instrumentation digest: where the
+// step spent its time, what the detector produced, and how the elephant
+// set moved. All fields are scalars — safe to retain, hash or ship.
+type StepObservation struct {
+	// Interval is the 0-based interval index, matching Result.Interval.
+	Interval int
+	// DetectNanos is wall time spent producing the raw threshold θ(t):
+	// the detector call, or the threshold-source lookup, or (below
+	// MinFlows) the reuse of the running estimate.
+	DetectNanos int64
+	// ClassifyNanos is wall time spent in the classifier's Classify.
+	ClassifyNanos int64
+	// FinalizeNanos is wall time spent after classification: summing
+	// elephant load, materialising the elephant set, churn against the
+	// previous interval, and folding θ(t) into the EWMA.
+	FinalizeNanos int64
+	// StepNanos is the whole step's wall time (≥ the sum of the stages;
+	// the remainder is snapshot validation and ID filling).
+	StepNanos int64
+	// RawThreshold and Threshold are θ(t) and θ̂(t) — Result's values.
+	RawThreshold float64
+	Threshold    float64
+	// TotalLoad and ElephantLoad mirror Result (bit/s).
+	TotalLoad    float64
+	ElephantLoad float64
+	// ActiveFlows and Elephants are the interval's flow and elephant
+	// counts.
+	ActiveFlows int
+	Elephants   int
+	// Promoted and Demoted count elephant-set membership churn against
+	// the previous observed interval (both zero on the first).
+	Promoted int
+	Demoted  int
+}
+
+// Churn counts elephant-set membership changes between consecutive
+// intervals: flows entering (promoted) and leaving (demoted). Both sets
+// are sorted, so one merge pass suffices; no allocation.
+func Churn(prev, cur ElephantSet) (promoted, demoted int) {
+	a, b := prev.Flows(), cur.Flows()
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := ComparePrefix(a[i], b[j]); {
+		case c == 0:
+			i++
+			j++
+		case c < 0:
+			demoted++
+			i++
+		default:
+			promoted++
+			j++
+		}
+	}
+	demoted += len(a) - i
+	promoted += len(b) - j
+	return promoted, demoted
+}

@@ -1,0 +1,170 @@
+package core
+
+import "testing"
+
+// recordingObserver captures every observation it receives.
+type recordingObserver struct{ obs []StepObservation }
+
+func (r *recordingObserver) ObserveStep(o StepObservation) { r.obs = append(r.obs, o) }
+
+func TestObserverReceivesStepDigest(t *testing.T) {
+	rec := &recordingObserver{}
+	p, err := NewPipeline(Config{
+		Detector:   fixedDetector{100},
+		Alpha:      0.5,
+		Classifier: SingleFeatureClassifier{},
+		MinFlows:   1,
+		Observer:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interval 0: flows {150, 50, 30} against theta 100 — one elephant.
+	r0, err := p.Step(snap(150, 50, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval 1: flows {150, 120, 30} — pfx(1) promoted.
+	if _, err := p.Step(snap(150, 120, 30)); err != nil {
+		t.Fatal(err)
+	}
+	// Interval 2: flows {30, 120, 30} — pfx(0) demoted.
+	if _, err := p.Step(snap(30, 120, 30)); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rec.obs) != 3 {
+		t.Fatalf("observer saw %d observations, want 3", len(rec.obs))
+	}
+	o0, o1, o2 := rec.obs[0], rec.obs[1], rec.obs[2]
+
+	if o0.Interval != 0 || o1.Interval != 1 || o2.Interval != 2 {
+		t.Errorf("intervals = %d,%d,%d", o0.Interval, o1.Interval, o2.Interval)
+	}
+	if o0.RawThreshold != 100 || o0.Threshold != r0.Threshold {
+		t.Errorf("o0 thresholds raw=%v used=%v (result used=%v)", o0.RawThreshold, o0.Threshold, r0.Threshold)
+	}
+	if o0.TotalLoad != 230 || o0.ElephantLoad != 150 {
+		t.Errorf("o0 loads total=%v elephant=%v", o0.TotalLoad, o0.ElephantLoad)
+	}
+	if o0.ActiveFlows != 3 || o0.Elephants != 1 {
+		t.Errorf("o0 counts flows=%d elephants=%d", o0.ActiveFlows, o0.Elephants)
+	}
+	// First observed interval: the whole set counts as promoted.
+	if o0.Promoted != 1 || o0.Demoted != 0 {
+		t.Errorf("o0 churn = +%d/-%d, want +1/-0", o0.Promoted, o0.Demoted)
+	}
+	if o1.Promoted != 1 || o1.Demoted != 0 {
+		t.Errorf("o1 churn = +%d/-%d, want +1/-0", o1.Promoted, o1.Demoted)
+	}
+	if o2.Promoted != 0 || o2.Demoted != 1 {
+		t.Errorf("o2 churn = +%d/-%d, want +0/-1", o2.Promoted, o2.Demoted)
+	}
+	for i, o := range rec.obs {
+		if o.DetectNanos < 0 || o.ClassifyNanos < 0 || o.FinalizeNanos < 0 {
+			t.Errorf("obs %d: negative stage time %+v", i, o)
+		}
+		if o.StepNanos < o.DetectNanos+o.ClassifyNanos+o.FinalizeNanos {
+			t.Errorf("obs %d: StepNanos %d < sum of stages", i, o.StepNanos)
+		}
+	}
+}
+
+// TestObserverDoesNotChangeResults: an attached observer is pure
+// instrumentation — every Result field stays identical to the
+// uninstrumented run.
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	mk := func(obs StageObserver) *Pipeline {
+		p, err := NewPipeline(Config{
+			Detector:   fixedDetector{90},
+			Alpha:      0.5,
+			Classifier: SingleFeatureClassifier{},
+			MinFlows:   1,
+			Observer:   obs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bare, inst := mk(nil), mk(&recordingObserver{})
+	intervals := [][]float64{{150, 50}, {80, 120, 95}, {10, 20}, {300}}
+	for i, bws := range intervals {
+		rb, errB := bare.Step(snap(bws...))
+		ri, errI := inst.Step(snap(bws...))
+		if (errB == nil) != (errI == nil) {
+			t.Fatalf("interval %d: error mismatch: %v vs %v", i, errB, errI)
+		}
+		if rb.RawThreshold != ri.RawThreshold || rb.Threshold != ri.Threshold ||
+			rb.ElephantLoad != ri.ElephantLoad || rb.TotalLoad != ri.TotalLoad ||
+			rb.ActiveFlows != ri.ActiveFlows || !rb.Elephants.Equal(ri.Elephants) {
+			t.Errorf("interval %d: results diverge: %+v vs %+v", i, rb, ri)
+		}
+	}
+}
+
+// TestObserverSkippedOnError: failed steps observe nothing — the digest
+// stream contains exactly the classified intervals.
+func TestObserverSkippedOnError(t *testing.T) {
+	rec := &recordingObserver{}
+	p, err := NewPipeline(Config{
+		Detector:   fixedDetector{100},
+		Alpha:      0.5,
+		Classifier: SingleFeatureClassifier{},
+		MinFlows:   4,
+		Observer:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below MinFlows with no prior threshold: the step fails.
+	if _, err := p.Step(snap(150, 50)); err == nil {
+		t.Fatal("sparse bootstrap accepted")
+	}
+	if len(rec.obs) != 0 {
+		t.Fatalf("failed step observed: %+v", rec.obs)
+	}
+	if _, err := p.Step(snap(150, 50, 30, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.obs) != 1 {
+		t.Fatalf("observer saw %d observations, want 1", len(rec.obs))
+	}
+}
+
+func TestChurn(t *testing.T) {
+	set := func(idx ...int) ElephantSet {
+		s := NewFlowSnapshot(len(idx))
+		for _, i := range idx {
+			s.Append(pfx(i), 1)
+		}
+		return mergeElephants(s, Verdict{Indices: seqIndices(len(idx))})
+	}
+	cases := []struct {
+		name              string
+		prev, cur         ElephantSet
+		promoted, demoted int
+	}{
+		{"both empty", set(), set(), 0, 0},
+		{"all new", set(), set(1, 2, 3), 3, 0},
+		{"all gone", set(1, 2, 3), set(), 0, 3},
+		{"identical", set(1, 2), set(1, 2), 0, 0},
+		{"overlap", set(1, 2, 5), set(2, 5, 7, 9), 2, 1},
+		{"disjoint", set(1, 3), set(2, 4), 2, 2},
+	}
+	for _, tc := range cases {
+		p, d := Churn(tc.prev, tc.cur)
+		if p != tc.promoted || d != tc.demoted {
+			t.Errorf("%s: Churn = +%d/-%d, want +%d/-%d", tc.name, p, d, tc.promoted, tc.demoted)
+		}
+	}
+}
+
+func seqIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

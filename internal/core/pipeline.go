@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -36,6 +37,11 @@ type Config struct {
 	// (EWMA smoothing, MinFlows reuse, classification) stays in the
 	// pipeline.
 	Thresholds ThresholdSource
+	// Observer optionally receives one StepObservation per interval —
+	// per-stage wall times, thresholds and elephant churn. Nil (the
+	// default, and the engine's batch configuration) keeps the step
+	// completely uninstrumented: no clock reads, no churn bookkeeping.
+	Observer StageObserver
 }
 
 // Result describes one classified interval. It owns all of its storage:
@@ -97,6 +103,10 @@ type Pipeline struct {
 	scratch []float64
 	// arena amortizes the per-interval ElephantSet storage.
 	arena prefixArena
+	// prevElephants is the previous interval's elephant set, retained
+	// only when an Observer is attached (churn is observed against it);
+	// ElephantSet storage is immutable, so holding it is safe.
+	prevElephants ElephantSet
 }
 
 // TableBinder is implemented by classifiers that keep per-flow state in
@@ -164,6 +174,13 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 	if snap == nil {
 		return res, fmt.Errorf("core: interval %d: nil snapshot", p.t)
 	}
+	// Instrumentation is pay-for-use: with no observer the step performs
+	// no clock reads and no churn bookkeeping at all.
+	obs := p.cfg.Observer
+	var stepStart time.Time
+	if obs != nil {
+		stepStart = time.Now()
+	}
 	// The aest detector's block aggregation is sensitive to sample
 	// order, so a deterministic flow order is required for reproducible
 	// runs. The snapshot carries it by construction; earlier revisions
@@ -179,6 +196,10 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 
 	// Phase 1 for this interval: detect θ(t) if the interval carries
 	// enough flows; otherwise reuse the running estimate.
+	var detectStart time.Time
+	if obs != nil {
+		detectStart = time.Now()
+	}
 	if res.ActiveFlows >= p.cfg.MinFlows {
 		var raw float64
 		var err error
@@ -210,6 +231,10 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 	} else {
 		return res, fmt.Errorf("core: interval %d: only %d active flows and no prior threshold", p.t, res.ActiveFlows)
 	}
+	var detectNanos int64
+	if obs != nil {
+		detectNanos = time.Since(detectStart).Nanoseconds()
+	}
 
 	// θ̂(t): for the bootstrap interval the raw threshold doubles as
 	// the smoothed one; afterwards the EWMA value carried over from
@@ -238,7 +263,15 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 		}
 	}
 
+	var classifyStart time.Time
+	if obs != nil {
+		classifyStart = time.Now()
+	}
 	v := p.cfg.Classifier.Classify(snap, res.Threshold)
+	var classifyEnd time.Time
+	if obs != nil {
+		classifyEnd = time.Now()
+	}
 	if DebugInvariants {
 		if err := checkVerdict(snap, v); err != nil {
 			return res, fmt.Errorf("core: interval %d: %s: %w", p.t, p.cfg.Classifier.Name(), err)
@@ -258,6 +291,26 @@ func (p *Pipeline) Step(snap *FlowSnapshot) (Result, error) {
 		p.table.Advance()
 	}
 	p.t++
+	if obs != nil {
+		promoted, demoted := Churn(p.prevElephants, res.Elephants)
+		p.prevElephants = res.Elephants
+		now := time.Now()
+		obs.ObserveStep(StepObservation{
+			Interval:      res.Interval,
+			DetectNanos:   detectNanos,
+			ClassifyNanos: classifyEnd.Sub(classifyStart).Nanoseconds(),
+			FinalizeNanos: now.Sub(classifyEnd).Nanoseconds(),
+			StepNanos:     now.Sub(stepStart).Nanoseconds(),
+			RawThreshold:  res.RawThreshold,
+			Threshold:     res.Threshold,
+			TotalLoad:     res.TotalLoad,
+			ElephantLoad:  res.ElephantLoad,
+			ActiveFlows:   res.ActiveFlows,
+			Elephants:     res.Elephants.Len(),
+			Promoted:      promoted,
+			Demoted:       demoted,
+		})
+	}
 	return res, nil
 }
 

@@ -80,6 +80,12 @@ type LivePipeline struct {
 	// but the channel itself.
 	failed atomic.Bool
 
+	// lag is the accumulator's watermark lag (nanoseconds), published
+	// by the worker after every accepted record and at every interval
+	// seal, so scrape handlers can read link freshness without touching
+	// worker-owned state.
+	lag atomic.Int64
+
 	mu  sync.Mutex
 	err error
 
@@ -124,6 +130,10 @@ func NewLivePipeline(l LiveLink) (*LivePipeline, error) {
 	}
 	onResult := l.OnResult
 	acc.Emit = func(t int, snap *core.FlowSnapshot) error {
+		// Publish the lag as of this seal before OnResult runs, so a
+		// result hook reading WatermarkLag sees the value the sealed
+		// interval was classified under.
+		p.lag.Store(int64(acc.WatermarkLag()))
 		res, err := pipe.StepSnapshot(t, snap)
 		if err != nil {
 			return err
@@ -140,7 +150,9 @@ func NewLivePipeline(l LiveLink) (*LivePipeline, error) {
 func (p *LivePipeline) run() {
 	defer close(p.done)
 	for rec := range p.ch {
-		if err := p.acc.Add(rec); err != nil {
+		err := p.acc.Add(rec)
+		p.lag.Store(int64(p.acc.WatermarkLag()))
+		if err != nil {
 			p.setErr(fmt.Errorf("engine: link %q: %w", p.id, err))
 			// Drain to unblock producers. Everything still queued —
 			// including records a Send slipped in before observing the
@@ -157,6 +169,16 @@ func (p *LivePipeline) run() {
 	if err := p.acc.Flush(); err != nil {
 		p.setErr(fmt.Errorf("engine: link %q: flush: %w", p.id, err))
 	}
+	p.lag.Store(int64(p.acc.WatermarkLag()))
+}
+
+// WatermarkLag returns the link's interval watermark lag — how far the
+// newest accepted record's bit-carrying instant has run ahead of the
+// sealed edge (agg.StreamAccumulator.WatermarkLag), as published at the
+// last record or seal. Safe from any goroutine at any time: it is one
+// atomic load, so HTTP scrape handlers read it while the worker runs.
+func (p *LivePipeline) WatermarkLag() time.Duration {
+	return time.Duration(p.lag.Load())
 }
 
 // Send pushes one record into the link, blocking when the buffer is

@@ -1,0 +1,21 @@
+// Package obs is the pipeline's instrumentation core: allocation-free
+// counters, gauges and fixed-boundary histograms behind a registry that
+// renders through report.MetricsWriter, plus the per-link flight
+// recorder journalling recent interval traces.
+//
+// The package is deliberately dependency-free (stdlib plus the repo's
+// own core and report packages) and split along the hot/cold boundary:
+// everything on the per-interval path — Counter.Add, Gauge.Set,
+// Histogram.Observe, LinkMetrics.ObserveStep, FlightRecorder.Record —
+// is atomic or copies into pre-allocated storage and performs zero
+// allocations, while rendering and snapshotting (the scrape and debug
+// paths) may allocate freely. The resident daemon attaches a
+// LinkMetrics per link as the pipeline's core.StageObserver; batch
+// paths pass no observer and pay nothing.
+//
+// Registration is configuration, not data flow: the New* registry
+// methods panic on programmer error (a family re-declared under a
+// different type, a duplicate label set) exactly as malformed constant
+// initialisation would, so misuse fails loudly at wiring time rather
+// than silently corrupting the exposition.
+package obs

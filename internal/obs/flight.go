@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// IntervalTrace is one sealed interval's flight-recorder entry: the
+// step observation's scalars plus the seal wall time and watermark lag
+// the daemon stamps on. Field names are stable — the trace is served as
+// JSONL from the debug endpoint and dumped on signal.
+type IntervalTrace struct {
+	Interval          int     `json:"interval"`
+	SealedUnixNanos   int64   `json:"sealed_unix_nanos"`
+	DetectNanos       int64   `json:"detect_nanos"`
+	ClassifyNanos     int64   `json:"classify_nanos"`
+	FinalizeNanos     int64   `json:"finalize_nanos"`
+	StepNanos         int64   `json:"step_nanos"`
+	RawThreshold      float64 `json:"raw_threshold_bps"`
+	Threshold         float64 `json:"threshold_bps"`
+	TotalLoad         float64 `json:"total_load_bps"`
+	ElephantLoad      float64 `json:"elephant_load_bps"`
+	ActiveFlows       int     `json:"active_flows"`
+	Elephants         int     `json:"elephants"`
+	Promoted          int     `json:"promoted"`
+	Demoted           int     `json:"demoted"`
+	WatermarkLagNanos int64   `json:"watermark_lag_nanos"`
+}
+
+// DefaultFlightRecorder is the default per-link flight-recorder
+// capacity: 256 five-minute intervals ≈ 21 hours of history, a few
+// tens of kilobytes per link.
+const DefaultFlightRecorder = 256
+
+// FlightRecorder journals the last N interval traces in a fixed ring.
+// Record copies the trace into pre-allocated storage under a mutex —
+// no allocation, bounded hold time — so it rides the per-interval hot
+// path; Snapshot and WriteJSONL copy out under the lock and format
+// outside it, so a slow debug reader never stalls recording.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	buf  []IntervalTrace
+	next int // slot the next Record writes
+	n    int // filled entries, ≤ len(buf)
+}
+
+// NewFlightRecorder returns a recorder retaining the last n traces
+// (minimum 1).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRecorder{buf: make([]IntervalTrace, n)}
+}
+
+// Record appends one trace, evicting the oldest when full.
+func (f *FlightRecorder) Record(tr IntervalTrace) {
+	f.mu.Lock()
+	f.buf[f.next] = tr
+	f.next = (f.next + 1) % len(f.buf)
+	if f.n < len(f.buf) {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// Len reports how many traces are retained.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Cap reports the ring's capacity.
+func (f *FlightRecorder) Cap() int { return len(f.buf) }
+
+// Snapshot returns the retained traces, oldest first.
+func (f *FlightRecorder) Snapshot() []IntervalTrace {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]IntervalTrace, f.n)
+	start := f.next - f.n
+	if start < 0 {
+		start += len(f.buf)
+	}
+	for i := 0; i < f.n; i++ {
+		out[i] = f.buf[(start+i)%len(f.buf)]
+	}
+	return out
+}
+
+// WriteJSONL writes the retained traces to w, oldest first, one JSON
+// object per line.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, tr := range f.Snapshot() {
+		if err := enc.Encode(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

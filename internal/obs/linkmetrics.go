@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// LinkMetrics is one link's per-interval instrumentation: stage-latency
+// histograms, churn counters and threshold/lag gauges, all registered
+// under link-labelled series of shared families. It implements
+// core.StageObserver; ObserveStep is atomic-only and allocation-free,
+// so it is safe to attach on the live per-interval hot path.
+type LinkMetrics struct {
+	// Step, Detect and Classify are the stage-latency histograms
+	// (seconds): the whole Step call, threshold detection, and the
+	// classifier call respectively.
+	Step, Detect, Classify *Histogram
+	// Promoted and Demoted count elephant-set membership churn across
+	// all observed intervals.
+	Promoted, Demoted *Counter
+	// RawThreshold is the last interval's detected θ(t) in bit/s.
+	// (The elephant-set size itself is already exposed by the daemon's
+	// store-backed elephantd_link_elephants family; the observation still
+	// carries it for flight-recorder traces.)
+	RawThreshold *Gauge
+	// WatermarkLag is the link's interval watermark lag in seconds —
+	// newest record export time minus the newest sealed interval edge.
+	// The pipeline does not know it; the daemon sets it at scrape time
+	// from the live pipeline's accumulator.
+	WatermarkLag *Gauge
+
+	// last is the most recent observation, kept for same-goroutine
+	// consumers via Last.
+	last core.StepObservation
+}
+
+// NewLinkMetrics registers one link's series (labelled link=link) on r
+// and returns the bundle. All links share the family declarations and
+// the stage histograms share bounds — exponential boundaries suiting
+// per-interval stage latencies (defaulting via DefaultStageBounds).
+func NewLinkMetrics(r *Registry, link string, bounds []float64) *LinkMetrics {
+	lbl := report.Label{Name: "link", Value: link}
+	return &LinkMetrics{
+		Step: r.NewHistogramSeries("elephantd_step_duration_seconds",
+			"Whole pipeline step wall time per interval.", bounds, lbl),
+		Detect: r.NewHistogramSeries("elephantd_detect_duration_seconds",
+			"Threshold-detection stage wall time per interval.", bounds, lbl),
+		Classify: r.NewHistogramSeries("elephantd_classify_duration_seconds",
+			"Classification stage wall time per interval.", bounds, lbl),
+		Promoted: r.NewCounter("elephantd_link_promoted_total",
+			"Flows promoted into the elephant set.", lbl),
+		Demoted: r.NewCounter("elephantd_link_demoted_total",
+			"Flows demoted out of the elephant set.", lbl),
+		RawThreshold: r.NewGauge("elephantd_link_raw_threshold_bps",
+			"Last interval's detected raw threshold theta(t) (bit/s).", lbl),
+		WatermarkLag: r.NewGauge("elephantd_link_watermark_lag_seconds",
+			"Interval watermark lag: newest record export time minus newest sealed interval edge.", lbl),
+	}
+}
+
+// DefaultStageBounds are the stage-histogram bucket boundaries used by
+// the daemon: 1 µs up to ~4 s, exponential with factor 4.
+func DefaultStageBounds() []float64 { return ExpBuckets(1e-6, 4, 12) }
+
+// ObserveStep implements core.StageObserver: fold one interval's digest
+// into the histograms, counters and gauges. Atomic-only; no allocation.
+func (m *LinkMetrics) ObserveStep(o core.StepObservation) {
+	m.last = o
+	m.Step.Observe(float64(o.StepNanos) / 1e9)
+	m.Detect.Observe(float64(o.DetectNanos) / 1e9)
+	m.Classify.Observe(float64(o.ClassifyNanos) / 1e9)
+	m.Promoted.Add(uint64(o.Promoted))
+	m.Demoted.Add(uint64(o.Demoted))
+	m.RawThreshold.Set(o.RawThreshold)
+}
+
+// Last returns the most recent observation. Unlike the atomic-backed
+// metrics it is NOT synchronized: call it only from the goroutine that
+// drives the pipeline (a result hook runs there, right after the
+// observer — the daemon builds flight-recorder traces from it).
+func (m *LinkMetrics) Last() core.StepObservation { return m.last }
+
+var _ core.StageObserver = (*LinkMetrics)(nil)

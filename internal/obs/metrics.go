@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; all methods are safe for concurrent use and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64. The zero value reads 0; all methods are
+// safe for concurrent use and allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-boundary histogram: observations are folded into
+// len(bounds)+1 buckets (bucket i counts v ≤ bounds[i]; the last bucket
+// is the +Inf overflow). Observe is lock-free and allocation-free —
+// a binary search over the boundaries plus two atomic updates — so it
+// sits on the per-interval hot path.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; raw per-bucket, not cumulative
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// boundaries. It panics if bounds is empty or not strictly increasing —
+// boundary sets are wiring-time constants.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: NewHistogram: no bucket boundaries")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: NewHistogram: boundaries not increasing at %d (%v after %v)", i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe folds one value into the histogram.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot loads the raw per-bucket counts into dst (len(bounds)+1).
+func (h *Histogram) snapshot(dst []uint64) {
+	for i := range h.counts {
+		dst[i] = h.counts[i].Load()
+	}
+}
+
+// ExpBuckets returns n exponentially spaced histogram boundaries:
+// start, start·factor, start·factor², … It panics unless start > 0,
+// factor > 1 and n ≥ 1 — boundary sets are wiring-time constants.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%v, %v, %d): need start > 0, factor > 1, n >= 1", start, factor, n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/report"
+)
+
+// Registry holds metric families and their series and renders them as
+// one exposition page. Families render in first-registration order and
+// series within a family in registration order, so a daemon whose links
+// register in a fixed order produces byte-stable scrapes.
+//
+// Registration (the New* methods) locks the registry; the returned
+// Counter/Gauge/Histogram values are then updated lock-free. Render
+// takes a read lock, so scrapes race registration safely.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	bounds          []float64 // histogram families only
+	series          []series
+	keys            map[string]bool // rendered label signature → registered
+}
+
+type series struct {
+	labels  []report.Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// NewCounter registers (or extends) the counter family name and returns
+// the series for the given label set. Panics on wiring errors: a family
+// re-declared under a different type, or a duplicate label set.
+func (r *Registry) NewCounter(name, help string, labels ...report.Label) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", nil, series{labels: labels, counter: c})
+	return c
+}
+
+// NewGauge registers (or extends) the gauge family name and returns the
+// series for the given label set. Panics on wiring errors.
+func (r *Registry) NewGauge(name, help string, labels ...report.Label) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, "gauge", nil, series{labels: labels, gauge: g})
+	return g
+}
+
+// NewHistogramSeries registers (or extends) the histogram family name
+// and returns the series for the given label set. Every series of a
+// family shares the family's bucket boundaries — the first registration
+// fixes them, and later registrations must pass an equal slice. Panics
+// on wiring errors.
+func (r *Registry) NewHistogramSeries(name, help string, bounds []float64, labels ...report.Label) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(name, help, "histogram", h.bounds, series{labels: labels, hist: h})
+	return h
+}
+
+func (r *Registry) add(name, help, typ string, bounds []float64, s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, keys: make(map[string]bool)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: family %q registered as %s, already declared %s", name, typ, f.typ))
+	}
+	if typ == "histogram" && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram family %q registered with different bucket boundaries", name))
+	}
+	key := labelKey(s.labels)
+	if f.keys[key] {
+		panic(fmt.Sprintf("obs: family %q: duplicate series {%s}", name, key))
+	}
+	f.keys[key] = true
+	f.series = append(f.series, s)
+}
+
+// Render writes every family to m in registration order. Values are
+// loaded atomically per series; a scrape racing updates sees each
+// sample's latest value (the page is per-sample consistent, as any
+// atomic-backed exporter's is).
+func (r *Registry) Render(m *report.MetricsWriter) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var counts []uint64
+	for _, f := range r.families {
+		m.Family(f.name, f.help, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				m.Sample(f.name, s.labels, float64(s.counter.Value()))
+			case s.gauge != nil:
+				m.Sample(f.name, s.labels, s.gauge.Value())
+			case s.hist != nil:
+				if cap(counts) < len(f.bounds)+1 {
+					counts = make([]uint64, len(f.bounds)+1)
+				}
+				counts = counts[:len(f.bounds)+1]
+				s.hist.snapshot(counts)
+				m.Histogram(f.name, s.labels, f.bounds, counts, s.hist.Sum())
+			}
+		}
+	}
+}
+
+// labelKey renders a label set's identity for duplicate detection.
+func labelKey(labels []report.Label) string {
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -78,6 +78,37 @@ func (m *MetricsWriter) Sample(name string, labels []Label, v float64) {
 	_, m.err = io.WriteString(m.w, sb.String())
 }
 
+// Histogram emits one histogram series: a cumulative "name_bucket" line
+// per boundary, the "+Inf" overflow bucket, then "name_sum" and
+// "name_count". counts holds raw per-bucket observation counts — one
+// per boundary plus the overflow bucket, len(bounds)+1 in total — and
+// the writer accumulates them, so the rendered buckets are monotone by
+// construction and the count equals the +Inf bucket. The le label is
+// appended after the caller's labels. Call after the family (type
+// "histogram"); series of one family must be contiguous.
+func (m *MetricsWriter) Histogram(name string, labels []Label, bounds []float64, counts []uint64, sum float64) {
+	if m.err != nil {
+		return
+	}
+	if len(counts) != len(bounds)+1 {
+		m.err = fmt.Errorf("report: histogram %s: %d bucket counts for %d bounds (want bounds+1)", name, len(counts), len(bounds))
+		return
+	}
+	ls := make([]Label, len(labels)+1)
+	copy(ls, labels)
+	var cum uint64
+	for i, bound := range bounds {
+		cum += counts[i]
+		ls[len(labels)] = Label{Name: "le", Value: formatSample(bound)}
+		m.Sample(name+"_bucket", ls, float64(cum))
+	}
+	cum += counts[len(bounds)]
+	ls[len(labels)] = Label{Name: "le", Value: "+Inf"}
+	m.Sample(name+"_bucket", ls, float64(cum))
+	m.Sample(name+"_sum", labels, sum)
+	m.Sample(name+"_count", labels, float64(cum))
+}
+
 // Err returns the first error any call hit, nil if all writes landed.
 func (m *MetricsWriter) Err() error { return m.err }
 

@@ -32,6 +32,37 @@ daemon_link_load_bps{link="10.0.0.2@1",scheme="load+latent"} 0.25
 	}
 }
 
+func TestMetricsWriterHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetricsWriter(&buf)
+	m.Family("step_seconds", "Step latency.", "histogram")
+	m.Histogram("step_seconds", []Label{{"link", "a@0"}},
+		[]float64{0.001, 0.25, 4}, []uint64{2, 0, 3, 1}, 5.75)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP step_seconds Step latency.
+# TYPE step_seconds histogram
+step_seconds_bucket{link="a@0",le="0.001"} 2
+step_seconds_bucket{link="a@0",le="0.25"} 2
+step_seconds_bucket{link="a@0",le="4"} 5
+step_seconds_bucket{link="a@0",le="+Inf"} 6
+step_seconds_sum{link="a@0"} 5.75
+step_seconds_count{link="a@0"} 6
+`
+	if got := buf.String(); got != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Mis-sized counts are a programming error the writer must surface.
+	m2 := NewMetricsWriter(&bytes.Buffer{})
+	m2.Family("h", "h", "histogram")
+	m2.Histogram("h", nil, []float64{1, 2}, []uint64{1, 2}, 0)
+	if m2.Err() == nil {
+		t.Error("counts shorter than bounds+1 accepted")
+	}
+}
+
 func TestMetricsWriterEscaping(t *testing.T) {
 	var buf bytes.Buffer
 	m := NewMetricsWriter(&buf)

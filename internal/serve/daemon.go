@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/netip"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 )
 
@@ -85,17 +87,33 @@ type Config struct {
 	// 0 selects DefaultReadBuffer. The granted (post-clamp) size is
 	// reported per reader via /links and /metrics.
 	ReadBuffer int
+	// StaleAfter is how long a link may go without sealing an interval
+	// before /readyz counts it stale; 0 selects 3×Interval (a link that
+	// missed two consecutive seals plus slack is in trouble).
+	StaleAfter time.Duration
+	// FlightRecorder is the per-link flight-recorder ring capacity
+	// (interval traces retained for /links/{id}/debug/intervals and the
+	// signal dump); 0 selects obs.DefaultFlightRecorder.
+	FlightRecorder int
+	// Pprof enables the net/http/pprof handlers under /debug/pprof/ on
+	// the API listener. Off by default: the profiling surface is a
+	// debugging aid, not part of the query API.
+	Pprof bool
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
 
-// liveLink pairs a link's pipeline with its store entry. The link map
-// holding these is copy-on-write (see linkMap in ingest.go); the state
-// inside is concurrency-safe.
+// liveLink pairs a link's pipeline with its store entry and its
+// instrumentation: the obs.LinkMetrics attached as the pipeline's stage
+// observer and the flight recorder its result hook journals into. The
+// link map holding these is copy-on-write (see linkMap in ingest.go);
+// the state inside is concurrency-safe.
 type liveLink struct {
 	id    string
 	state *LinkState
 	lp    *engine.LivePipeline
+	om    *obs.LinkMetrics
+	fr    *obs.FlightRecorder
 }
 
 // Daemon is the live monitoring process: a sharded UDP NetFlow v5
@@ -105,6 +123,11 @@ type liveLink struct {
 type Daemon struct {
 	cfg   Config
 	store *Store
+	// reg holds the per-link instrumentation families (stage histograms,
+	// churn counters, threshold/lag gauges); /metrics renders it after
+	// the store-backed families. Links register in first-sight order, so
+	// a quiet daemon's scrapes stay byte-identical.
+	reg *obs.Registry
 
 	conns     []*net.UDPConn // ingest sockets; len 1 in fan-out mode
 	reuseport bool           // true when each reader owns a REUSEPORT socket
@@ -166,6 +189,15 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	if cfg.ReadBuffer == 0 {
 		cfg.ReadBuffer = DefaultReadBuffer
 	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = 3 * cfg.Interval
+	}
+	if cfg.StaleAfter < 0 {
+		return nil, fmt.Errorf("serve: NewDaemon: negative stale-after %v", cfg.StaleAfter)
+	}
+	if cfg.FlightRecorder <= 0 {
+		cfg.FlightRecorder = obs.DefaultFlightRecorder
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -186,6 +218,7 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:       cfg,
 		store:     NewStore(),
+		reg:       obs.NewRegistry(),
 		conns:     conns,
 		reuseport: reuseport,
 		httpLn:    ln,
@@ -324,6 +357,29 @@ func (d *Daemon) DrainIngest(ctx context.Context) error {
 			datagrams, records, decodeErrors, d.store.Len(), len(d.readers))
 	})
 	return d.drainErr
+}
+
+// DumpFlightRecorders writes every link's retained interval traces to
+// w, links in ID order, each preceded by a "# link <id> …" header line
+// and serialized as JSONL (the same shape /links/{id}/debug/intervals
+// serves). cmd/elephantd wires it to SIGUSR1 for post-hoc incident
+// inspection without the HTTP API.
+func (d *Daemon) DumpFlightRecorders(w io.Writer) error {
+	m := *d.links.Load()
+	lls := make([]*liveLink, 0, len(m))
+	for _, ll := range m {
+		lls = append(lls, ll)
+	}
+	sort.Slice(lls, func(i, j int) bool { return lls[i].id < lls[j].id })
+	for _, ll := range lls {
+		if _, err := fmt.Fprintf(w, "# link %s (%d of %d traces)\n", ll.id, ll.fr.Len(), ll.fr.Cap()); err != nil {
+			return err
+		}
+		if err := ll.fr.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Shutdown gracefully stops the daemon: DrainIngest (drain the sockets,

@@ -13,7 +13,7 @@
 //	  → sharded Store (current ElephantSet, interval-summary ring,
 //	    ingest counters)
 //	  → HTTP API (/links, /links/{id}/elephants, /links/{id}/history,
-//	    /healthz, /metrics)
+//	    /links/{id}/debug/intervals, /healthz, /readyz, /metrics)
 //
 // Ingest is sharded across Config.Readers goroutines. Where the
 // platform supports SO_REUSEPORT each reader owns its own socket bound
@@ -36,6 +36,23 @@
 // ID-indexed columns (one hash per decoded record, none per flow per
 // interval), and classifier eviction recycles the IDs of long-idle
 // flows, bounding the identity table by the live flow set.
+//
+// The daemon is itself observed. Each link carries an obs.LinkMetrics
+// registered as its pipeline's core.StageObserver — stage-latency
+// histograms (detect/classify/step), promote/demote churn counters,
+// raw-threshold and watermark-lag gauges, all labelled by link — and an
+// obs.FlightRecorder, a fixed ring of per-interval traces journalled as
+// intervals seal. /metrics renders the store-backed families plus the
+// obs registry (byte-stable between scrapes on a quiet daemon, linted
+// by report.LintExposition / cmd/explint); /links/{id}/debug/intervals
+// serves the flight ring as JSONL, and cmd/elephantd also dumps every
+// ring to stderr on SIGUSR1. /healthz is pure liveness (always 200,
+// with per-link staleness detail); /readyz is readiness — 503 once
+// links exist and every one has gone longer than Config.StaleAfter
+// (default 3× the interval) without sealing. Config.Pprof optionally
+// mounts net/http/pprof under /debug/pprof/ on the same mux. All
+// instrumentation on the per-interval path is allocation-free (atomics
+// and pre-allocated rings); rendering happens on scrape goroutines.
 //
 // Shutdown is graceful and two-phase: DrainIngest consumes what the
 // kernel has buffered on every socket, closes every link's open

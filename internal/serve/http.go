@@ -3,24 +3,41 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
 
 // handler builds the daemon's API mux:
 //
-//	GET /healthz                  liveness + daemon-wide counters
+//	GET /healthz                  liveness + daemon-wide counters + per-link staleness
+//	GET /readyz                   readiness: 503 when every link is stale
 //	GET /links                    all known links, summarised, sorted
 //	GET /links/{id}/elephants     the current elephant set
 //	GET /links/{id}/history       recent interval summaries (?n=, ?flows=1)
+//	GET /links/{id}/debug/intervals  flight-recorder ring as JSONL
 //	GET /metrics                  Prometheus text exposition
+//	GET /debug/pprof/...          runtime profiles (only with Config.Pprof)
 func (d *Daemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
 	mux.HandleFunc("GET /links", d.handleLinks)
 	mux.HandleFunc("GET /links/{id}/elephants", d.handleElephants)
 	mux.HandleFunc("GET /links/{id}/history", d.handleHistory)
+	mux.HandleFunc("GET /links/{id}/debug/intervals", d.handleDebugIntervals)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	if d.cfg.Pprof {
+		// The daemon serves its own mux, so the pprof handlers must be
+		// wired explicitly (the package's init only touches
+		// http.DefaultServeMux). Index dispatches the named profiles
+		// (heap, goroutine, block, …) under the subtree.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -41,7 +58,10 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// Health is the /healthz response body.
+// Health is the /healthz response body. Healthz is liveness — it
+// answers 200 whenever the process serves HTTP — but carries the
+// readiness signal (Ready plus the per-link staleness rows) so one
+// probe shows both.
 type Health struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -54,22 +74,87 @@ type Health struct {
 	Records       uint64  `json:"records"`
 	DecodeErrors  uint64  `json:"decode_errors"`
 	Draining      bool    `json:"draining"`
+	// Ready mirrors /readyz: false only when links exist and every one
+	// is stale beyond StaleAfterSeconds.
+	Ready             bool         `json:"ready"`
+	StaleAfterSeconds float64      `json:"stale_after_seconds"`
+	LinkHealth        []LinkHealth `json:"link_health,omitempty"`
+}
+
+// LinkHealth is one link's staleness row in /healthz and /readyz.
+type LinkHealth struct {
+	ID string `json:"id"`
+	// StalenessSeconds is how long since the link last sealed an
+	// interval (since first sight when nothing has sealed yet).
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	Stale            bool    `json:"stale"`
+}
+
+// readiness evaluates the staleness rule: a daemon with no links yet is
+// ready (waiting for exporters is the normal cold state); once links
+// exist it stays ready while at least one still seals intervals within
+// StaleAfter.
+func (d *Daemon) readiness(now time.Time) (ready bool, rows []LinkHealth) {
+	ids := d.store.IDs()
+	ready = len(ids) == 0
+	rows = make([]LinkHealth, 0, len(ids))
+	for _, id := range ids {
+		ls := d.store.Get(id)
+		if ls == nil {
+			continue
+		}
+		st := ls.Staleness(now)
+		stale := st > d.cfg.StaleAfter
+		if !stale {
+			ready = true
+		}
+		rows = append(rows, LinkHealth{ID: id, StalenessSeconds: st.Seconds(), Stale: stale})
+	}
+	return ready, rows
 }
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	datagrams, records, decodeErrors := d.ingestTotals()
+	ready, rows := d.readiness(time.Now())
 	d.writeJSON(w, http.StatusOK, Health{
-		Status:        "ok",
-		UptimeSeconds: time.Since(d.started).Seconds(),
-		Scheme:        d.cfg.Scheme.String(),
-		IntervalSecs:  d.cfg.Interval.Seconds(),
-		Links:         d.store.Len(),
-		Readers:       len(d.readers),
-		ReusePort:     d.reuseport,
-		Datagrams:     datagrams,
-		Records:       records,
-		DecodeErrors:  decodeErrors,
-		Draining:      d.draining.Load(),
+		Status:            "ok",
+		UptimeSeconds:     time.Since(d.started).Seconds(),
+		Scheme:            d.cfg.Scheme.String(),
+		IntervalSecs:      d.cfg.Interval.Seconds(),
+		Links:             d.store.Len(),
+		Readers:           len(d.readers),
+		ReusePort:         d.reuseport,
+		Datagrams:         datagrams,
+		Records:           records,
+		DecodeErrors:      decodeErrors,
+		Draining:          d.draining.Load(),
+		Ready:             ready,
+		StaleAfterSeconds: d.cfg.StaleAfter.Seconds(),
+		LinkHealth:        rows,
+	})
+}
+
+// Readiness is the /readyz response body.
+type Readiness struct {
+	Ready             bool         `json:"ready"`
+	StaleAfterSeconds float64      `json:"stale_after_seconds"`
+	Links             []LinkHealth `json:"links"`
+}
+
+// handleReadyz is the readiness probe: 200 while the daemon is doing
+// its job (no links yet, or at least one link sealing intervals), 503
+// when links exist and every one has gone StaleAfter without a seal —
+// the pipeline is wedged or the exporters all went away.
+func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, rows := d.readiness(time.Now())
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	d.writeJSON(w, status, Readiness{
+		Ready:             ready,
+		StaleAfterSeconds: d.cfg.StaleAfter.Seconds(),
+		Links:             rows,
 	})
 }
 
@@ -139,6 +224,36 @@ type HistoryPage struct {
 	Link     string            `json:"link"`
 	Capacity int               `json:"capacity"`
 	Entries  []IntervalSummary `json:"entries"`
+}
+
+// handleDebugIntervals serves the link's flight-recorder ring as JSONL,
+// oldest interval first: one trace per sealed interval with the stage
+// timings, threshold, churn and watermark lag the daemon journaled at
+// seal time. The recorder lives on the live link (not the store), so
+// only links that have seen traffic this run have one.
+func (d *Daemon) handleDebugIntervals(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ll := d.findLinkByID(id)
+	if ll == nil {
+		d.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown link " + strconv.Quote(id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := ll.fr.WriteJSONL(w); err != nil {
+		d.cfg.Logf("serve: writing debug intervals: %v", err)
+	}
+}
+
+// findLinkByID resolves a live link by its string ID — the cold-path
+// complement of the keyed findLink: a linear scan over the link map,
+// fine at debug-endpoint rates.
+func (d *Daemon) findLinkByID(id string) *liveLink {
+	for _, ll := range *d.links.Load() {
+		if ll.id == id {
+			return ll
+		}
+	}
+	return nil
 }
 
 func (d *Daemon) handleHistory(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/netflow"
+	"repro/internal/obs"
 )
 
 // reader is one ingest goroutine's private state: its socket, a receive
@@ -131,22 +132,59 @@ func (d *Daemon) createLink(key linkKey) (*liveLink, error) {
 	}
 	id := linkID(key.addr, key.engine)
 	state := d.store.GetOrCreate(id, d.cfg.History)
-	lp, err := engine.NewLivePipeline(engine.LiveLink{
+	// Per-link instrumentation: the metrics bundle rides the pipeline as
+	// its stage observer; the result hook journals each sealed interval
+	// into the flight recorder. Both the observer and the hook run on the
+	// pipeline's worker goroutine, inside the same seal, so om.Last() is
+	// always this interval's observation. lp is captured before first
+	// use: the worker can only reach OnResult via a record sent after
+	// createLink published the link (channel send orders the assignment).
+	om := obs.NewLinkMetrics(d.reg, id, obs.DefaultStageBounds())
+	fr := obs.NewFlightRecorder(d.cfg.FlightRecorder)
+	factory := d.cfg.Scheme.Factory()
+	var lp *engine.LivePipeline
+	var err error
+	lp, err = engine.NewLivePipeline(engine.LiveLink{
 		ID:       id,
 		Start:    d.cfg.Start,
 		Interval: d.cfg.Interval,
 		Window:   d.cfg.Window,
 		Buffer:   d.cfg.Buffer,
-		Config:   d.cfg.Scheme.Factory(),
+		Config: func() (core.Config, error) {
+			cc, err := factory()
+			if err != nil {
+				return cc, err
+			}
+			cc.Observer = om
+			return cc, nil
+		},
 		OnResult: func(t int, at time.Time, res core.Result, stats agg.StreamStats) error {
 			state.RecordResult(t, at, res, stats)
+			o := om.Last()
+			fr.Record(obs.IntervalTrace{
+				Interval:          t,
+				SealedUnixNanos:   time.Now().UnixNano(),
+				DetectNanos:       o.DetectNanos,
+				ClassifyNanos:     o.ClassifyNanos,
+				FinalizeNanos:     o.FinalizeNanos,
+				StepNanos:         o.StepNanos,
+				RawThreshold:      o.RawThreshold,
+				Threshold:         o.Threshold,
+				TotalLoad:         o.TotalLoad,
+				ElephantLoad:      o.ElephantLoad,
+				ActiveFlows:       o.ActiveFlows,
+				Elephants:         o.Elephants,
+				Promoted:          o.Promoted,
+				Demoted:           o.Demoted,
+				WatermarkLagNanos: int64(lp.WatermarkLag()),
+			})
 			return nil
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	ll := &liveLink{id: id, state: state, lp: lp}
+	ll := &liveLink{id: id, state: state, lp: lp, om: om, fr: fr}
 	next := make(linkMap, len(old)+1)
 	for k, v := range old {
 		next[k] = v

@@ -136,6 +136,15 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return s.Last.ThresholdBps
 		})
 
+	// Instrumentation families (stage histograms, churn counters,
+	// threshold/lag gauges) render from the registry. The watermark-lag
+	// gauge is scrape-time state: refresh each link's from its live
+	// pipeline first.
+	for _, ll := range *d.links.Load() {
+		ll.om.WatermarkLag.Set(ll.lp.WatermarkLag().Seconds())
+	}
+	d.reg.Render(m)
+
 	if err := m.Err(); err != nil {
 		d.cfg.Logf("serve: rendering metrics: %v", err)
 	}

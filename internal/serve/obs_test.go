@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+	"repro/internal/netflow"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/scheme"
+)
+
+// obsTable builds a one-route table covering the synthetic records the
+// observability tests emit (dst 10.0.0.x).
+func obsTable(t *testing.T) *bgp.Table {
+	t.Helper()
+	table := bgp.NewTable()
+	if err := table.Insert(bgp.Route{Prefix: pfx("10.0.0.0/24"), OriginAS: 65000}); err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+// v5wire encodes a single-record NetFlow v5 datagram whose record is
+// stamped at `at` (header clock = record time, zero uptime offsets) and
+// demultiplexes to the link identified by engine.
+func v5wire(t *testing.T, engine uint8, at time.Time, octets uint32) []byte {
+	t.Helper()
+	dg := netflow.Datagram{
+		Header: netflow.Header{
+			Count:    1,
+			UnixSecs: uint32(at.Unix()),
+			EngineID: engine,
+		},
+		Records: []netflow.Record{{
+			SrcAddr: netip.MustParseAddr("10.0.0.9"),
+			DstAddr: netip.MustParseAddr("10.0.0.5"),
+			Packets: 1,
+			Octets:  octets,
+		}},
+	}
+	wire, err := dg.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// newObsDaemon builds and starts a daemon on loopback with the
+// observability-test table and any Config mutations applied.
+func newObsDaemon(t *testing.T, mutate func(*Config)) *Daemon {
+	t.Helper()
+	// MinFlows -1 forces detection even on sparse or empty intervals:
+	// the synthetic feeds here carry one flow per interval, far below
+	// the default floor, and a frozen pipeline would hide the metrics
+	// under test.
+	sp := scheme.MustParse("load")
+	sp.MinFlows = -1
+	cfg := Config{
+		UDPAddr:  "127.0.0.1:0",
+		HTTPAddr: "127.0.0.1:0",
+		Table:    obsTable(t),
+		Scheme:   sp,
+		Interval: time.Minute,
+		Start:    time.Date(2001, time.July, 24, 9, 0, 0, 0, time.UTC),
+		Logf:     t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+	return d
+}
+
+// sendWires writes each datagram to the daemon's UDP socket and waits
+// until the ingest counters account for all of them.
+func sendWires(t *testing.T, d *Daemon, wires [][]byte) {
+	t.Helper()
+	conn, err := net.Dial("udp", d.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var before uint64
+	for _, r := range d.readers {
+		before += r.datagrams.Load()
+	}
+	for _, w := range wires {
+		if _, err := conn.Write(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, _, _ := d.ingestTotals()
+		if got >= before+uint64(len(wires)) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d datagrams, want %d more than %d", got, len(wires), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMetricsObservabilityFamilies drives real datagrams through a
+// daemon, drains it, and checks the whole observability surface in one
+// pass: /metrics carries the registry families (stage histograms,
+// churn counters, threshold and watermark-lag gauges) and passes the
+// exposition lint; /links/{id}/debug/intervals serves the flight
+// recorder as parsable JSONL; DumpFlightRecorders writes the same ring
+// with per-link headers.
+func TestMetricsObservabilityFamilies(t *testing.T) {
+	d := newObsDaemon(t, nil)
+	start := d.cfg.Start
+	var wires [][]byte
+	for i := 0; i < 5; i++ {
+		wires = append(wires, v5wire(t, 0, start.Add(time.Duration(i)*time.Minute+30*time.Second), 1000+100*uint32(i)))
+	}
+	sendWires(t, d, wires)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + d.HTTPAddr().String()
+	const link = "127.0.0.1@0"
+	metrics := getBody(t, base+"/metrics")
+	if err := report.LintExposition(strings.NewReader(metrics)); err != nil {
+		t.Errorf("metrics page fails exposition lint: %v\n%s", err, metrics)
+	}
+	for _, want := range []string{
+		"# TYPE elephantd_step_duration_seconds histogram",
+		"elephantd_step_duration_seconds_bucket{link=\"" + link + "\",le=\"+Inf\"} 5",
+		"elephantd_step_duration_seconds_count{link=\"" + link + "\"} 5",
+		"# TYPE elephantd_detect_duration_seconds histogram",
+		"# TYPE elephantd_classify_duration_seconds histogram",
+		"elephantd_link_promoted_total{link=\"" + link + "\"} 1",
+		"elephantd_link_demoted_total{link=\"" + link + "\"} 0",
+		"elephantd_link_raw_threshold_bps{link=\"" + link + "\"}",
+		"elephantd_link_watermark_lag_seconds{link=\"" + link + "\"} 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The flight recorder journaled every sealed interval, oldest first.
+	body := getBody(t, base+"/links/"+link+"/debug/intervals")
+	var traces []obs.IntervalTrace
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		var tr obs.IntervalTrace
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("debug intervals line %d: %v", len(traces), err)
+		}
+		traces = append(traces, tr)
+	}
+	if len(traces) != 5 {
+		t.Fatalf("flight recorder has %d traces, want 5:\n%s", len(traces), body)
+	}
+	for i, tr := range traces {
+		if tr.Interval != i {
+			t.Errorf("trace %d: interval %d, want %d", i, tr.Interval, i)
+		}
+		if tr.StepNanos <= 0 || tr.SealedUnixNanos <= 0 {
+			t.Errorf("trace %d: missing timings: %+v", i, tr)
+		}
+		if tr.ActiveFlows != 1 {
+			t.Errorf("trace %d: active flows %d, want 1", i, tr.ActiveFlows)
+		}
+	}
+	if traces[0].Promoted != 1 || traces[0].WatermarkLagNanos <= 0 {
+		t.Errorf("first trace = %+v, want one promotion and positive seal-time lag", traces[0])
+	}
+
+	resp, err := http.Get(base + "/links/nope@0/debug/intervals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("debug intervals for unknown link = %s, want 404", resp.Status)
+	}
+
+	var dump bytes.Buffer
+	if err := d.DumpFlightRecorders(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dump.String(), "# link "+link+" (5 of ") {
+		t.Errorf("dump header = %q", strings.SplitN(dump.String(), "\n", 2)[0])
+	}
+	if got := strings.Count(dump.String(), "\n"); got != 6 { // header + 5 traces
+		t.Errorf("dump has %d lines, want 6:\n%s", got, dump.String())
+	}
+}
+
+// TestMetricsScrapesRaceIngest hammers /metrics, /healthz, /readyz and
+// /links from several goroutines while ingest creates new links (one
+// per engine ID) and seals intervals — the scrape paths race link
+// registration and pipeline workers. Every scraped page must pass the
+// exposition lint. Run with -race.
+func TestMetricsScrapesRaceIngest(t *testing.T) {
+	d := newObsDaemon(t, nil)
+	base := "http://" + d.HTTPAddr().String()
+	start := d.cfg.Start
+
+	stop := make(chan struct{})
+	var sender, scrapers sync.WaitGroup
+	sender.Add(1)
+	go func() {
+		defer sender.Done()
+		conn, err := net.Dial("udp", d.UDPAddr().String())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			at := start.Add(time.Duration(i) * 20 * time.Second)
+			wire := v5wire(t, uint8(i%24), at, 500)
+			if _, err := conn.Write(wire); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	for s := 0; s < 4; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 25; i++ {
+				page := getBody(t, base+"/metrics")
+				if err := report.LintExposition(strings.NewReader(page)); err != nil {
+					t.Errorf("scrape %d fails lint: %v", i, err)
+					return
+				}
+				var h Health
+				getJSON(t, base+"/healthz", &h)
+				if h.Status != "ok" || !h.Ready {
+					t.Errorf("healthz mid-ingest = %+v", h)
+					return
+				}
+				getBody(t, base+"/readyz")
+				var lp LinksPage
+				getJSON(t, base+"/links", &lp)
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	sender.Wait()
+}
+
+// TestMetricsByteStableQuietDaemon: once ingest is drained, consecutive
+// /metrics scrapes must be byte-identical — every family renders in a
+// deterministic order (store families in sorted link order, registry
+// families in registration order) and no sample moves on a quiet
+// daemon.
+func TestMetricsByteStableQuietDaemon(t *testing.T) {
+	d := newObsDaemon(t, nil)
+	start := d.cfg.Start
+	var wires [][]byte
+	for e := uint8(0); e < 3; e++ {
+		for i := 0; i < 3; i++ {
+			wires = append(wires, v5wire(t, e, start.Add(time.Duration(i)*time.Minute+15*time.Second), 800))
+		}
+	}
+	sendWires(t, d, wires)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d.HTTPAddr().String()
+	first := getBody(t, base+"/metrics")
+	if err := report.LintExposition(strings.NewReader(first)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if again := getBody(t, base+"/metrics"); again != first {
+			t.Fatalf("scrape %d differs from the first:\n--- first\n%s\n--- again\n%s", i+2, first, again)
+		}
+	}
+}
+
+// TestReadyzStaleness exercises the liveness/readiness split: an empty
+// daemon is ready (cold start, waiting for exporters); once links exist
+// and every one goes StaleAfter without sealing an interval, /readyz
+// flips to 503 while /healthz keeps answering 200; one link sealing
+// again restores readiness.
+func TestReadyzStaleness(t *testing.T) {
+	const staleAfter = 75 * time.Millisecond
+	d := newObsDaemon(t, func(c *Config) { c.StaleAfter = staleAfter })
+	base := "http://" + d.HTTPAddr().String()
+
+	var rd Readiness
+	getJSON(t, base+"/readyz", &rd)
+	if !rd.Ready || len(rd.Links) != 0 {
+		t.Fatalf("empty daemon readiness = %+v, want ready", rd)
+	}
+	if rd.StaleAfterSeconds != staleAfter.Seconds() {
+		t.Errorf("stale_after_seconds = %v, want %v", rd.StaleAfterSeconds, staleAfter.Seconds())
+	}
+
+	// A known link that never seals goes stale past the threshold.
+	ls := d.Store().GetOrCreate("x@0", 4)
+	time.Sleep(2 * staleAfter)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-stale readyz = %s, want 503", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Ready || len(rd.Links) != 1 || !rd.Links[0].Stale || rd.Links[0].StalenessSeconds <= staleAfter.Seconds() {
+		t.Errorf("all-stale readiness = %+v", rd)
+	}
+	// Liveness is unaffected; /healthz mirrors the readiness signal.
+	var h Health
+	getJSON(t, base+"/healthz", &h)
+	if h.Status != "ok" || h.Ready || len(h.LinkHealth) != 1 {
+		t.Errorf("healthz while stale = %+v", h)
+	}
+
+	// A seal resets the link's staleness clock: ready again.
+	ls.RecordResult(0, time.Now(), resultWith(pfx("10.0.0.0/24")), agg.StreamStats{Closed: 1})
+	getJSON(t, base+"/readyz", &rd)
+	if !rd.Ready || rd.Links[0].Stale {
+		t.Errorf("post-seal readiness = %+v", rd)
+	}
+}
+
+// TestPprofGate: the profiling handlers exist only when Config.Pprof is
+// set — the default daemon keeps its debug surface closed.
+func TestPprofGate(t *testing.T) {
+	off := newObsDaemon(t, nil)
+	resp, err := http.Get("http://" + off.HTTPAddr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: GET /debug/pprof/ = %s, want 404", resp.Status)
+	}
+
+	on := newObsDaemon(t, func(c *Config) { c.Pprof = true })
+	base := "http://" + on.HTTPAddr().String()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof on: GET %s = %s, want 200", path, resp.Status)
+		}
+	}
+	if fmt.Sprint(on.cfg.Pprof) != "true" {
+		t.Error("config did not retain Pprof")
+	}
+}

@@ -66,14 +66,17 @@ func TestLinkStateHistoryRing(t *testing.T) {
 	}
 }
 
+// TestChurnCounts pins the store's churn source: RecordResult counts
+// membership churn via core.Churn, the same merge pass the pipeline's
+// stage observer uses, so /metrics and the history ring always agree.
 func TestChurnCounts(t *testing.T) {
 	a := core.NewElephantSet(pfx("10.0.0.0/24"), pfx("10.0.1.0/24"), pfx("10.0.2.0/24"))
 	b := core.NewElephantSet(pfx("10.0.1.0/24"), pfx("10.0.3.0/24"))
-	promoted, demoted := churn(a, b)
+	promoted, demoted := core.Churn(a, b)
 	if promoted != 1 || demoted != 2 {
 		t.Errorf("churn = +%d/-%d, want +1/-2", promoted, demoted)
 	}
-	if p, d := churn(core.ElephantSet{}, a); p != 3 || d != 0 {
+	if p, d := core.Churn(core.ElephantSet{}, a); p != 3 || d != 0 {
 		t.Errorf("churn from empty = +%d/-%d", p, d)
 	}
 }

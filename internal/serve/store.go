@@ -195,6 +195,12 @@ type LinkState struct {
 	hasLast bool
 	failed  string
 
+	// created and lastSeal are wall-clock instants — when the state was
+	// built and when the most recent interval sealed — backing the
+	// readiness staleness check (Staleness).
+	created  time.Time
+	lastSeal time.Time
+
 	// ring is the history: capacity fixed at creation, oldest entries
 	// overwritten in place.
 	ring  []historyEntry
@@ -206,7 +212,7 @@ func newLinkState(id string, history int) *LinkState {
 	if history <= 0 {
 		history = DefaultHistory
 	}
-	return &LinkState{id: id, ring: make([]historyEntry, history)}
+	return &LinkState{id: id, ring: make([]historyEntry, history), created: time.Now()}
 }
 
 // ID returns the link's identifier.
@@ -229,7 +235,7 @@ func (ls *LinkState) ObserveDatagram(records, routed, unrouted, dropped int) {
 func (ls *LinkState) RecordResult(t int, at time.Time, res core.Result, stats agg.StreamStats) {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	promoted, demoted := churn(ls.current, res.Elephants)
+	promoted, demoted := core.Churn(ls.current, res.Elephants)
 	sum := IntervalSummary{
 		Interval:        t,
 		Start:           at,
@@ -251,6 +257,23 @@ func (ls *LinkState) RecordResult(t int, at time.Time, res core.Result, stats ag
 	if ls.count < len(ls.ring) {
 		ls.count++
 	}
+	ls.lastSeal = time.Now()
+}
+
+// Staleness reports how long the link has gone without sealing an
+// interval: now minus the last seal instant, or minus the state's
+// creation when nothing has sealed yet. Never negative.
+func (ls *LinkState) Staleness(now time.Time) time.Duration {
+	ls.mu.RLock()
+	ref := ls.lastSeal
+	if ref.IsZero() {
+		ref = ls.created
+	}
+	ls.mu.RUnlock()
+	if d := now.Sub(ref); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // SetStreamStats records the accumulator's final counters (after the
@@ -340,28 +363,4 @@ func (ls *LinkState) History(n int, includeFlows bool) []IntervalSummary {
 		out = append(out, sum)
 	}
 	return out
-}
-
-// churn counts elephant-set membership changes between consecutive
-// intervals: flows entering (promoted) and leaving (demoted). Both sets
-// are sorted, so one merge pass suffices.
-func churn(prev, cur core.ElephantSet) (promoted, demoted int) {
-	a, b := prev.Flows(), cur.Flows()
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch c := core.ComparePrefix(a[i], b[j]); {
-		case c == 0:
-			i++
-			j++
-		case c < 0:
-			demoted++
-			i++
-		default:
-			promoted++
-			j++
-		}
-	}
-	demoted += len(a) - i
-	promoted += len(b) - j
-	return promoted, demoted
 }
