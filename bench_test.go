@@ -418,7 +418,7 @@ func BenchmarkSnapshotStepInstrumented(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	om := obs.NewLinkMetrics(obs.NewRegistry(), "bench@0", obs.DefaultStageBounds())
+	om := obs.NewLinkMetrics(obs.NewRegistry(), "bench@0", 1, obs.DefaultStageBounds())
 	cfg.Observer = om
 	pipe, err := core.NewPipeline(cfg)
 	if err != nil {

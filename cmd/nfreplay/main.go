@@ -32,6 +32,10 @@
 //	-count N          replay the datagram set N times per sender (default 1)
 //	-duration D       replay until D has elapsed (overrides -count)
 //	-pace D           sleep between datagrams per sender (default 1ms; 0 blasts)
+//	-single-link      all senders keep the first engine ID, so S sockets
+//	                  blast ONE collector link — the intra-link
+//	                  saturation shape (-shards sweeps) instead of the
+//	                  S-links ingest shape
 //
 // On exit it prints the achieved aggregate rate (datagrams/s, records/s,
 // Mbit/s), making saturation runs scriptable: blast with -senders 4
@@ -70,6 +74,7 @@ func main() {
 		count     = flag.Int("count", 1, "replay the datagram set this many times per sender")
 		duration  = flag.Duration("duration", 0, "replay until this much time has elapsed (overrides -count)")
 		pace      = flag.Duration("pace", time.Millisecond, "sleep between datagrams per sender (0 blasts)")
+		single    = flag.Bool("single-link", false, "all senders share the first engine ID (one collector link, many sockets)")
 	)
 	flag.Parse()
 	log.SetPrefix("nfreplay: ")
@@ -78,8 +83,12 @@ func main() {
 	if *senders < 1 {
 		log.Fatalf("-senders %d, want >= 1", *senders)
 	}
-	if *engineID < 0 || *engineID+*senders-1 > 255 {
-		log.Fatalf("engine IDs %d..%d outside 0..255", *engineID, *engineID+*senders-1)
+	idSpan := *senders
+	if *single {
+		idSpan = 1
+	}
+	if *engineID < 0 || *engineID+idSpan-1 > 255 {
+		log.Fatalf("engine IDs %d..%d outside 0..255", *engineID, *engineID+idSpan-1)
 	}
 	if *count < 1 && *duration <= 0 {
 		log.Fatalf("-count %d, want >= 1 (or a positive -duration)", *count)
@@ -168,13 +177,16 @@ func main() {
 			}
 			defer conn.Close()
 			// Private copy: each sender patches its engine ID (its own
-			// link at the collector) and per-repetition clock in place.
+			// link at the collector, unless -single-link pins them all to
+			// one) and per-repetition clock in place.
 			mine := make([][]byte, len(wires))
 			baseSecs := make([]uint32, len(wires))
 			recs := make([]uint64, len(wires))
 			for i, w := range wires {
 				mine[i] = append([]byte(nil), w...)
-				mine[i][21] = byte(*engineID + s) // v5 header engine ID
+				if !*single {
+					mine[i][21] = byte(*engineID + s) // v5 header engine ID
+				}
 				baseSecs[i] = binary.BigEndian.Uint32(w[8:12])
 				recs[i] = uint64(binary.BigEndian.Uint16(w[2:4]))
 			}

@@ -68,7 +68,15 @@ func main() {
 // linksPage, linkSummary, intervalSummary and elephantsPage mirror the
 // daemon's JSON shapes (only the fields the dashboard renders).
 type linksPage struct {
-	Links []linkSummary `json:"links"`
+	Links     []linkSummary  `json:"links"`
+	Pipelines []linkPipeline `json:"pipelines"`
+}
+
+type linkPipeline struct {
+	Link         string   `json:"link"`
+	Shards       int      `json:"shards"`
+	ShardRecords []uint64 `json:"shard_records"`
+	Stalls       uint64   `json:"stalls"`
 }
 
 type linkSummary struct {
@@ -105,6 +113,10 @@ func monitorDaemon(base string) error {
 	if len(links) == 0 {
 		fmt.Println("daemon knows no links yet — point an exporter (e.g. cmd/nfreplay) at its UDP port")
 		return nil
+	}
+	pipes := make(map[string]linkPipeline, len(page.Pipelines))
+	for _, p := range page.Pipelines {
+		pipes[p.Link] = p
 	}
 	for _, l := range links {
 		if l.Error != "" {
@@ -157,23 +169,41 @@ func monitorDaemon(base string) error {
 		}
 
 		// The flight recorder adds the operational view the summaries
-		// lack: per-interval stage timings and the watermark lag each
-		// interval was sealed under. Links known only from a previous run
-		// have no live recorder; skip quietly then.
+		// lack: per-interval stage timings, the watermark lag each
+		// interval was sealed under, and how much of each classify ran
+		// overlapped with accumulation. Links known only from a previous
+		// run have no live recorder; skip quietly then.
 		if traces, err := getTraces(base + "/links/" + url.PathEscape(l.ID) + "/debug/intervals"); err == nil && len(traces) > 0 {
 			stepUs := make([]float64, len(traces))
 			lagS := make([]float64, len(traces))
+			overlapUs := make([]float64, len(traces))
 			for i, tr := range traces {
 				stepUs[i] = float64(tr.StepNanos) / 1e3
 				lagS[i] = float64(tr.WatermarkLagNanos) / 1e9
+				overlapUs[i] = float64(tr.StageOverlapNanos) / 1e3
 			}
 			last := traces[len(traces)-1]
 			fmt.Printf("flight recorder (%d traces): step µs %s  watermark lag s %s\n",
 				len(traces), report.Sparkline(stepUs), report.Sparkline(lagS))
+			fmt.Printf("  stage overlap µs %s (classify time spent alongside accumulation)\n",
+				report.Sparkline(overlapUs))
 			fmt.Printf("  last seal: step %.0f µs (detect %.0f, classify %.0f), lag %.1fs, churn +%d/-%d\n",
 				float64(last.StepNanos)/1e3, float64(last.DetectNanos)/1e3,
 				float64(last.ClassifyNanos)/1e3, float64(last.WatermarkLagNanos)/1e9,
 				last.Promoted, last.Demoted)
+		}
+		// The pipeline row shows where the link's in-window records landed
+		// across its accumulation shards and whether ingest ever stalled
+		// on a full queue.
+		if p, ok := pipes[l.ID]; ok && p.Shards > 0 {
+			counts := make([]float64, len(p.ShardRecords))
+			var total uint64
+			for i, n := range p.ShardRecords {
+				counts[i] = float64(n)
+				total += n
+			}
+			fmt.Printf("shards (%d): records %s (%d in window), stalls %d\n",
+				p.Shards, report.Sparkline(counts), total, p.Stalls)
 		}
 		fmt.Println()
 	}
@@ -254,7 +284,7 @@ func runLocal() {
 	// local pipeline: the metrics bundle observes every step (stage
 	// histograms, churn counters) and the flight recorder keeps the last
 	// traces — both allocation-free on the hot path.
-	om := obs.NewLinkMetrics(obs.NewRegistry(), "live@0", obs.DefaultStageBounds())
+	om := obs.NewLinkMetrics(obs.NewRegistry(), "live@0", 1, obs.DefaultStageBounds())
 	cfg.Observer = om
 	fr := obs.NewFlightRecorder(intervals)
 	pipe, err := core.NewPipeline(cfg)

@@ -1,0 +1,238 @@
+package agg
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestShardedStreamMatchesSeries is the tentpole contract: at every
+// shard count the sharded accumulator must emit snapshots bit-identical
+// (keys, bandwidths, running totals) to both the batch Series path and
+// the serial streaming path — same float folds, same merge order.
+func TestShardedStreamMatchesSeries(t *testing.T) {
+	const intervals = 20
+	iv := time.Minute
+	recs := synthRecords(7, intervals, 40, iv)
+
+	batch := NewSeries(start, iv, intervals)
+	for _, rec := range recs {
+		if !batch.AddRecord(rec) {
+			t.Fatalf("batch dropped record %+v", rec)
+		}
+	}
+
+	_, serial := collectStream(t, StreamConfig{Start: start, Interval: iv, Window: 4}, recs)
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			acc, got := collectStream(t, StreamConfig{Start: start, Interval: iv, Window: 4, Shards: shards}, recs)
+			if want := shards; acc.Shards() != want {
+				t.Fatalf("Shards() = %d, want %d", acc.Shards(), want)
+			}
+			if len(got) != intervals {
+				t.Fatalf("emitted %d intervals, want %d", len(got), intervals)
+			}
+			for tt, snap := range got {
+				ref := batch.Snapshot(tt, nil)
+				if snap.Len() != ref.Len() {
+					t.Fatalf("interval %d: %d flows, batch has %d", tt, snap.Len(), ref.Len())
+				}
+				for i := 0; i < snap.Len(); i++ {
+					if snap.Key(i) != ref.Key(i) {
+						t.Fatalf("interval %d flow %d: key %v != %v", tt, i, snap.Key(i), ref.Key(i))
+					}
+					if snap.Bandwidth(i) != ref.Bandwidth(i) {
+						t.Fatalf("interval %d flow %d: bw %v != %v (must be bit-identical)", tt, i, snap.Bandwidth(i), ref.Bandwidth(i))
+					}
+				}
+				if snap.TotalLoad() != ref.TotalLoad() {
+					t.Fatalf("interval %d: total %v != %v", tt, snap.TotalLoad(), ref.TotalLoad())
+				}
+				if snap.TotalLoad() != serial[tt].TotalLoad() {
+					t.Fatalf("interval %d: total %v != serial %v", tt, snap.TotalLoad(), serial[tt].TotalLoad())
+				}
+			}
+		})
+	}
+}
+
+// TestShardedStreamStats: the coordinator owns every gate and counter,
+// so sharded runs must report exactly the serial StreamStats — including
+// EvictedFlows, whose sharded value is summed across shard dirty sets.
+func TestShardedStreamStats(t *testing.T) {
+	iv := time.Minute
+	recs := synthRecords(11, 16, 30, iv)
+	// Provoke late and far-future drops too.
+	recs = append(recs,
+		Record{Prefix: pfxA, Time: start.Add(-time.Hour), Bits: 8},
+		Record{Prefix: pfxA, Time: start.Add(1e6 * time.Hour), Bits: 8},
+	)
+
+	serialAcc, _ := collectStream(t, StreamConfig{Start: start, Interval: iv, Window: 3}, recs)
+	want := serialAcc.Stats()
+
+	for _, shards := range []int{2, 4} {
+		acc, _ := collectStream(t, StreamConfig{Start: start, Interval: iv, Window: 3, Shards: shards}, recs)
+		if got := acc.Stats(); got != want {
+			t.Fatalf("shards=%d: stats %+v, want serial %+v", shards, got, want)
+		}
+		var total uint64
+		for _, n := range acc.ShardRecords(nil) {
+			total += n
+		}
+		if total != want.InWindow {
+			t.Fatalf("shards=%d: shard records sum %d, want InWindow %d", shards, total, want.InWindow)
+		}
+	}
+}
+
+// TestShardedStreamEvictionRecycling drives the sharded path through
+// heavy flow churn — enough interval closes that shard tables release,
+// quarantine and re-bind IDs — and requires bit-equality with batch
+// throughout (the PR 5 eviction/resurrection regression surface).
+func TestShardedStreamEvictionRecycling(t *testing.T) {
+	const intervals = 40
+	iv := time.Minute
+	// Few persistent flows + many one-interval flows: every close evicts
+	// most of the interval's rows, so IDs cycle through release,
+	// quarantine and rebinding continuously.
+	var recs []Record
+	for tt := 0; tt < intervals; tt++ {
+		at := start.Add(time.Duration(tt) * iv)
+		for f := 0; f < 4; f++ { // anchors live forever
+			p := netip.MustParsePrefix(fmt.Sprintf("10.0.%d.0/24", f))
+			recs = append(recs, Record{Prefix: p, Time: at.Add(time.Second), Bits: 5e4 + float64(tt*f)})
+		}
+		for f := 0; f < 12; f++ { // churners live one interval
+			p := netip.MustParsePrefix(fmt.Sprintf("172.16.%d.%d/32", tt%200, f))
+			recs = append(recs, Record{Prefix: p, Time: at.Add(2 * time.Second), Bits: 1e4 * float64(1+f)})
+		}
+	}
+
+	batch := NewSeries(start, iv, intervals)
+	for _, rec := range recs {
+		if !batch.AddRecord(rec) {
+			t.Fatalf("batch dropped record %+v", rec)
+		}
+	}
+
+	for _, window := range []int{1, 2, 4} {
+		for _, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("window=%d/shards=%d", window, shards), func(t *testing.T) {
+				_, got := collectStream(t, StreamConfig{Start: start, Interval: iv, Window: window, Shards: shards}, recs)
+				if len(got) != intervals {
+					t.Fatalf("emitted %d intervals, want %d", len(got), intervals)
+				}
+				for tt, snap := range got {
+					ref := batch.Snapshot(tt, nil)
+					if snap.Len() != ref.Len() {
+						t.Fatalf("interval %d: %d flows, batch has %d", tt, snap.Len(), ref.Len())
+					}
+					for i := 0; i < snap.Len(); i++ {
+						if snap.Key(i) != ref.Key(i) || snap.Bandwidth(i) != ref.Bandwidth(i) {
+							t.Fatalf("interval %d flow %d: (%v, %v) != (%v, %v)",
+								tt, i, snap.Key(i), snap.Bandwidth(i), ref.Key(i), ref.Bandwidth(i))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedStreamOpenQueries: TotalBandwidth / ActiveFlows barrier
+// across the shards and agree with the serial accumulator (ActiveFlows
+// exactly; TotalBandwidth up to the documented regrouping tolerance).
+func TestShardedStreamOpenQueries(t *testing.T) {
+	iv := time.Minute
+	recs := synthRecords(3, 6, 25, iv)
+
+	serial, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 8, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	for _, rec := range recs {
+		if err := serial.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tt := 0; tt < 6; tt++ {
+		if got, want := sharded.ActiveFlows(tt), serial.ActiveFlows(tt); got != want {
+			t.Fatalf("interval %d: ActiveFlows %d != %d", tt, got, want)
+		}
+		got, want := sharded.TotalBandwidth(tt), serial.TotalBandwidth(tt)
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("interval %d: TotalBandwidth %v != %v", tt, got, want)
+		}
+	}
+}
+
+// TestShardedConfigValidation: a caller-supplied table and an absurd
+// shard count are rejected; Close is idempotent.
+func TestShardedConfigValidation(t *testing.T) {
+	if _, err := NewStreamAccumulator(StreamConfig{Interval: time.Minute, Shards: 2, Table: core.NewFlowTable()}); err == nil {
+		t.Fatal("Shards>1 with a caller Table must be rejected")
+	}
+	if _, err := NewStreamAccumulator(StreamConfig{Interval: time.Minute, Shards: MaxShards + 1}); err == nil {
+		t.Fatal("Shards > MaxShards must be rejected")
+	}
+	acc, err := NewStreamAccumulator(StreamConfig{Interval: time.Minute, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Table() != nil {
+		t.Fatal("sharded Table() must be nil")
+	}
+	acc.Close()
+	acc.Close()
+}
+
+// TestShardedMergeEmitAllocs pins the steady-state merge-emit path at
+// zero allocations per interval: once tables and columns are warm,
+// sealing an interval (flush, barrier, k-way merge, recycle) must not
+// allocate.
+func TestShardedMergeEmitAllocs(t *testing.T) {
+	iv := time.Minute
+	const flows = 64
+	acc, err := NewStreamAccumulator(StreamConfig{Start: start, Interval: iv, Window: 2, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	acc.Emit = func(tt int, snap *core.FlowSnapshot) error { return nil }
+
+	prefixes := make([]netip.Prefix, flows)
+	for f := range prefixes {
+		prefixes[f] = netip.MustParsePrefix(fmt.Sprintf("10.9.%d.0/24", f))
+	}
+	interval := 0
+	step := func() {
+		at := start.Add(time.Duration(interval) * iv)
+		for _, p := range prefixes {
+			if err := acc.Add(Record{Prefix: p, Time: at, Bits: 1e4}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		interval++
+	}
+	// Warm every slot, table and batch buffer past the growth phase.
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(32, step)
+	if avg != 0 {
+		t.Errorf("sharded accumulate+seal allocates %.2f times per interval, want 0", avg)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -48,7 +49,17 @@ type StreamConfig struct {
 	// Nil allocates a private table. The accumulator raises the table's
 	// quarantine to at least Window, so an ID released downstream can
 	// never be re-bound while an open slot still references it.
+	// Incompatible with Shards > 1 (sharded accumulation interns into
+	// per-shard private tables).
 	Table *core.FlowTable
+	// Shards selects sharded accumulation: values above 1 split the
+	// flow columns across that many concurrent shard workers (each flow
+	// hashed to exactly one shard), with sealed intervals reassembled
+	// by a k-way merge that is bit-identical to the single-shard path.
+	// 0 and 1 select the serial accumulator. Sharded snapshots carry no
+	// dense-ID column (consumers re-intern via core.FlowTable.FillIDs),
+	// and a sharded accumulator must be released with Close.
+	Shards int
 }
 
 // StreamStats counts streaming attribution outcomes.
@@ -155,9 +166,16 @@ type StreamAccumulator struct {
 	newest     time.Time // newest bit-carrying instant accepted past the far-future gate
 	table      *core.FlowTable
 	slots      []streamSlot
+	sh         *shardedAcc // non-nil in sharded mode (Shards > 1)
+	closed     bool        // shard workers released (Close called)
 
 	snap  *core.FlowSnapshot // reused emission buffer
 	stats StreamStats
+
+	// pubRecords is the serial-mode counterpart of the per-shard record
+	// atomics: total records accepted as of the last interval close,
+	// readable from any goroutine via ShardRecords.
+	pubRecords atomic.Uint64
 }
 
 // NewStreamAccumulator validates cfg and returns an empty accumulator.
@@ -176,6 +194,24 @@ func NewStreamAccumulator(cfg StreamConfig) (*StreamAccumulator, error) {
 	}
 	if cfg.MaxGap < 1 {
 		return nil, fmt.Errorf("agg: NewStreamAccumulator: max gap %d < 1", cfg.MaxGap)
+	}
+	if cfg.Shards > 1 {
+		if cfg.Table != nil {
+			return nil, fmt.Errorf("agg: NewStreamAccumulator: Shards %d is incompatible with a caller-supplied Table (shards intern into private tables)", cfg.Shards)
+		}
+		if cfg.Shards > MaxShards {
+			return nil, fmt.Errorf("agg: NewStreamAccumulator: shards %d > %d", cfg.Shards, MaxShards)
+		}
+		a := &StreamAccumulator{
+			cfg:        cfg,
+			start:      cfg.Start,
+			clip:       cfg.Start,
+			began:      !cfg.Start.IsZero(),
+			maxTouched: -1,
+			sh:         newShardedAcc(cfg.Shards, cfg.Window, cfg.Interval.Seconds()),
+			snap:       core.NewFlowSnapshot(0),
+		}
+		return a, nil
 	}
 	if cfg.Table == nil {
 		cfg.Table = core.NewFlowTable()
@@ -200,8 +236,48 @@ func NewStreamAccumulator(cfg StreamConfig) (*StreamAccumulator, error) {
 	return a, nil
 }
 
+// MaxShards bounds StreamConfig.Shards — far past the point where the
+// coordinator's fan-out becomes the bottleneck.
+const MaxShards = 64
+
 // Table returns the flow identity table the accumulator interns into.
+// Nil in sharded mode: flows then live in per-shard private tables and
+// emitted snapshots carry no ID column.
 func (a *StreamAccumulator) Table() *core.FlowTable { return a.table }
+
+// Shards returns the number of accumulation shards (1 in serial mode).
+func (a *StreamAccumulator) Shards() int {
+	if a.sh != nil {
+		return len(a.sh.shards)
+	}
+	return 1
+}
+
+// ShardRecords appends each shard's cumulative record count (as of the
+// last interval close) to dst and returns it — one entry per shard, or
+// a single total in serial mode. Safe from any goroutine: the counters
+// are published atomically at every seal.
+func (a *StreamAccumulator) ShardRecords(dst []uint64) []uint64 {
+	if a.sh == nil {
+		return append(dst, a.pubRecords.Load())
+	}
+	for i := range a.sh.pub {
+		dst = append(dst, a.sh.pub[i].Load())
+	}
+	return dst
+}
+
+// Close releases the accumulator's shard workers. It does not flush —
+// call Flush first if remaining open intervals should be emitted. A
+// serial accumulator's Close is a no-op, and Close is idempotent.
+// Add/Flush must not be called after Close; Shards, ShardRecords and
+// Stats remain valid.
+func (a *StreamAccumulator) Close() {
+	if a.sh != nil && !a.closed {
+		a.closed = true
+		a.sh.close()
+	}
+}
 
 // Start returns the resolved left edge of interval 0 — the configured
 // Start, or the first record's Time when aligning automatically (zero
@@ -292,9 +368,23 @@ func (a *StreamAccumulator) addBits(id uint32, g int, bits float64) {
 // TotalBandwidth returns the aggregate load accumulated so far in open
 // interval t (bit/s) — the streaming counterpart of
 // Series.TotalBandwidth, defined only while t is open.
+// In sharded mode it is a barrier: the coordinator waits for every
+// shard to drain, then sums the per-shard partials in shard order (the
+// float sum's grouping differs from the serial single-column fold, so
+// the value may differ in final ulps; ActiveFlows is exact).
 func (a *StreamAccumulator) TotalBandwidth(t int) float64 {
 	if t < a.base || t >= a.base+a.cfg.Window {
 		panic(fmt.Sprintf("agg: TotalBandwidth: interval %d outside open window [%d,%d)", t, a.base, a.base+a.cfg.Window))
+	}
+	if a.sh != nil {
+		a.sh.sync()
+		total := 0.0
+		for _, s := range a.sh.shards {
+			if sl := &s.slots[t%a.cfg.Window]; sl.cur == int32(t) {
+				total += sl.total
+			}
+		}
+		return total
 	}
 	return a.slot(t).total
 }
@@ -307,6 +397,16 @@ func (a *StreamAccumulator) TotalBandwidth(t int) float64 {
 func (a *StreamAccumulator) ActiveFlows(t int) int {
 	if t < a.base || t >= a.base+a.cfg.Window {
 		panic(fmt.Sprintf("agg: ActiveFlows: interval %d outside open window [%d,%d)", t, a.base, a.base+a.cfg.Window))
+	}
+	if a.sh != nil {
+		a.sh.sync()
+		active := 0
+		for _, s := range a.sh.shards {
+			if sl := &s.slots[t%a.cfg.Window]; sl.cur == int32(t) {
+				active += sl.active
+			}
+		}
+		return active
 	}
 	return a.slot(t).active
 }
@@ -386,13 +486,31 @@ func (a *StreamAccumulator) Add(rec Record) error {
 		a.stats.InWindow++
 		return nil
 	}
-	// One intern per record, shared by every interval the span touches —
-	// the only hash on the accumulation path.
-	id := a.table.Intern(rec.Prefix)
 	clip := a.clip
-	landed := spreadRecord(rec, a.start, a.cfg.Interval, clip, a.openIntervalOf, func(t int, bits float64) {
-		a.addBits(id, t, bits)
-	})
+	var landed bool
+	if a.sh != nil {
+		// Sharded mode defers the intern to the flow's home shard — the
+		// prefix hash leaves the coordinator's serial section entirely.
+		// The routing hash is computed once per record, shared by every
+		// interval the span touches.
+		si := a.sh.shardOf(rec.Prefix)
+		landed = spreadRecord(rec, a.start, a.cfg.Interval, clip, a.openIntervalOf, func(t int, bits float64) {
+			a.sh.enqueue(si, rec.Prefix, t, bits)
+			if t > a.maxTouched {
+				a.maxTouched = t
+			}
+		})
+		if landed {
+			a.sh.recs[si]++
+		}
+	} else {
+		// One intern per record, shared by every interval the span
+		// touches — the only hash on the accumulation path.
+		id := a.table.Intern(rec.Prefix)
+		landed = spreadRecord(rec, a.start, a.cfg.Interval, clip, a.openIntervalOf, func(t int, bits float64) {
+			a.addBits(id, t, bits)
+		})
+	}
 	if landed {
 		a.stats.InWindow++
 		if rec.Span > 0 && rec.Time.Before(clip) {
@@ -428,6 +546,23 @@ func (a *StreamAccumulator) advanceTo(newBase int) error {
 // if the addition order is the same sorted order Series.Snapshot uses.
 func (a *StreamAccumulator) closeOldest() error {
 	g := a.base
+	if a.sh != nil {
+		// Sharded close: each shard sorts its own dirty subset, the
+		// coordinator k-way-merges the sorted runs (shardedAcc.seal).
+		// Each flow's bandwidth was folded in one shard in arrival
+		// order, and the merge appends in the same global ComparePrefix
+		// order closeOldest uses below, so both the per-flow values and
+		// the snapshot's running total are bit-identical to serial.
+		evicted := a.sh.seal(g, a.snap)
+		a.stats.Closed++
+		a.stats.EvictedFlows += uint64(evicted)
+		a.base++
+		a.clip = a.clip.Add(a.cfg.Interval)
+		if a.Emit != nil {
+			return a.Emit(g, a.snap)
+		}
+		return nil
+	}
 	sl := a.slot(g)
 	pf := a.table.Prefixes()
 	// Rank-based ordering (integer compares) when the table's rank
@@ -465,6 +600,7 @@ func (a *StreamAccumulator) closeOldest() error {
 	sl.active = 0
 	a.base++
 	a.clip = a.clip.Add(a.cfg.Interval)
+	a.pubRecords.Store(a.stats.Records)
 	if a.Emit != nil {
 		return a.Emit(g, a.snap)
 	}

@@ -46,6 +46,7 @@ func collectStream(t *testing.T, cfg StreamConfig, recs []Record) (*StreamAccumu
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(acc.Close)
 	var got []*core.FlowSnapshot
 	acc.Emit = func(tt int, snap *core.FlowSnapshot) error {
 		if tt != len(got) {

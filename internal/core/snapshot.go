@@ -77,6 +77,26 @@ func (s *FlowSnapshot) Reset() {
 	s.sortedBWOK = false
 }
 
+// CopyFrom replaces the snapshot's contents with a copy of src's
+// prefix and bandwidth columns, reusing the backing arrays. It is the
+// stage-boundary handoff of a pipelined consumer: the producer's
+// snapshot (owned and about to be reused for the next interval) is
+// copied into a transfer buffer the consumer owns. The ID column is
+// deliberately dropped — IDs are only meaningful against the
+// producer's table, which the consumer must not share once the stages
+// run concurrently — so consumers re-intern via FlowTable.FillIDs.
+// The running total is copied bit-for-bit, not recomputed, preserving
+// the producer's exact fold.
+func (s *FlowSnapshot) CopyFrom(src *FlowSnapshot) {
+	s.keys = append(s.keys[:0], src.keys...)
+	s.bw = append(s.bw[:0], src.bw...)
+	s.ids = s.ids[:0]
+	s.idTable = nil
+	s.total = src.total
+	s.sorted = src.sorted
+	s.sortedBWOK = false
+}
+
 // Append adds one flow. Non-positive bandwidths are dropped (an idle
 // flow is simply absent from the interval). Appending in ComparePrefix
 // order keeps the snapshot sorted for free; out-of-order appends are

@@ -14,10 +14,12 @@ type constDetector struct{ theta float64 }
 func (d constDetector) DetectThreshold([]float64) (float64, error) { return d.theta, nil }
 func (d constDetector) Name() string                               { return "const" }
 
-// TestLivePipelineWatermarkLag: the worker publishes the accumulator's
+// TestLivePipelineWatermarkLag: the accumulate stage publishes the
 // watermark lag at every seal, readable from any goroutine; a result
-// hook observes the lag its interval was classified under. Run with
-// -race: WatermarkLag crosses the worker boundary like a scrape does.
+// hook observes the lag its interval was sealed under via LastSealLag
+// (the classify stage runs behind the accumulate stage, so the fresh
+// WatermarkLag may already reflect later records). Run with -race:
+// both readings cross the stage boundary like a scrape does.
 func TestLivePipelineWatermarkLag(t *testing.T) {
 	const iv = time.Minute
 	p := netip.MustParsePrefix("10.0.0.0/24")
@@ -38,7 +40,7 @@ func TestLivePipelineWatermarkLag(t *testing.T) {
 			}, nil
 		},
 		OnResult: func(tt int, at time.Time, res core.Result, stats agg.StreamStats) error {
-			lags = append(lags, lp.WatermarkLag())
+			lags = append(lags, lp.LastSealLag())
 			return nil
 		},
 	})

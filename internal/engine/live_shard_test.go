@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+// TestRunStreamLinkShardedMatchesBatch pins the sharded accumulate
+// path against the batch reference on the eviction/resurrection churn
+// trace: at every shard count the classification results — thresholds,
+// loads, elephant sets — must equal the batch run exactly. (Sharded
+// snapshots carry no dense-ID column, so the classifier re-interns;
+// results are ID-numbering independent by contract.)
+func TestRunStreamLinkShardedMatchesBatch(t *testing.T) {
+	iv := time.Minute
+	const intervals = 64
+	for seed := int64(0); seed < 3; seed++ {
+		recs := churnRecords(seed, intervals, iv)
+
+		s := agg.NewSeries(start, iv, intervals)
+		if _, err := agg.Collect(&sliceSource{recs: recs}, s); err != nil {
+			t.Fatal(err)
+		}
+		want := RunLink(Link{ID: "l", Series: s, Config: churnConfig})
+		if want.Err != nil {
+			t.Fatal(want.Err)
+		}
+
+		for _, window := range []int{1, 3} {
+			for _, shards := range []int{1, 2, 4} {
+				got := RunStreamLink(StreamLink{
+					ID:     "l",
+					Source: &sliceSource{recs: recs},
+					Start:  start, Interval: iv, Window: window,
+					Shards: shards,
+					Config: churnConfig,
+				})
+				if got.Err != nil {
+					t.Fatalf("seed %d window %d shards %d: %v", seed, window, shards, got.Err)
+				}
+				if len(got.Results) != len(want.Results) {
+					t.Fatalf("seed %d window %d shards %d: %d intervals, want %d",
+						seed, window, shards, len(got.Results), len(want.Results))
+				}
+				for i := range want.Results {
+					w, g := want.Results[i], got.Results[i]
+					if g.RawThreshold != w.RawThreshold || g.Threshold != w.Threshold ||
+						g.TotalLoad != w.TotalLoad || g.ElephantLoad != w.ElephantLoad ||
+						g.ActiveFlows != w.ActiveFlows || !g.Elephants.Equal(w.Elephants) {
+						t.Fatalf("seed %d window %d shards %d interval %d:\n got %+v\nwant %+v",
+							seed, window, shards, i, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLivePipelineShardedMatchesRunStreamLink: the full pipelined live
+// path — sharded accumulation, double-buffered seal handoff, classify
+// stage — must produce exactly the sequential reference results for
+// every shard count.
+func TestLivePipelineShardedMatchesRunStreamLink(t *testing.T) {
+	s := synthSeries(23, 30, 24)
+	recs := seriesRecords(s)
+	want := RunStreamLink(StreamLink{
+		ID: "live", Source: &sliceSource{recs: recs},
+		Start: start, Interval: s.Interval, Config: schemeConfig,
+	})
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			var got []core.Result
+			lp, err := NewLivePipeline(LiveLink{
+				ID:       "live",
+				Start:    start,
+				Interval: s.Interval,
+				Buffer:   8,
+				Shards:   shards,
+				Config:   schemeConfig,
+				OnResult: func(tt int, at time.Time, res core.Result, stats agg.StreamStats) error {
+					if tt != len(got) {
+						t.Errorf("interval %d delivered out of order (want %d)", tt, len(got))
+					}
+					if want := s.IntervalTime(tt); !at.Equal(want) {
+						t.Errorf("interval %d at %v, want %v", tt, at, want)
+					}
+					got = append(got, res)
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lp.Shards() != max(shards, 1) {
+				t.Fatalf("Shards() = %d, want %d", lp.Shards(), shards)
+			}
+			for _, rec := range recs {
+				if err := lp.Send(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := lp.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want.Results) {
+				t.Fatalf("shards=%d: pipelined live results diverge from sequential reference", shards)
+			}
+			var sum uint64
+			for _, n := range lp.ShardRecords(nil) {
+				sum += n
+			}
+			if sum != lp.Stats().InWindow {
+				t.Fatalf("shard records sum %d, want InWindow %d", sum, lp.Stats().InWindow)
+			}
+		})
+	}
+}
+
+// oneFlowConfig classifies single-flow intervals (the stall tests feed
+// one record per interval).
+func oneFlowConfig() (core.Config, error) {
+	return core.Config{
+		Detector:   constDetector{100},
+		Alpha:      0.5,
+		Classifier: core.SingleFeatureClassifier{},
+		MinFlows:   1,
+	}, nil
+}
+
+// TestLivePipelineStalls: a full record queue makes Send block — and
+// the block is counted, surfacing backpressure instead of swallowing
+// it. The classify stage is gated shut so the whole pipeline wedges
+// deterministically: transfer buffers fill, the accumulate stage
+// blocks on the seal handoff, the record queue fills, and further
+// sends must stall.
+func TestLivePipelineStalls(t *testing.T) {
+	iv := time.Minute
+	gate := make(chan struct{})
+	gated := false
+	lp, err := NewLivePipeline(LiveLink{
+		ID:       "stall",
+		Start:    start,
+		Interval: iv,
+		Window:   1,
+		Buffer:   1,
+		Config:   oneFlowConfig,
+		OnResult: func(tt int, at time.Time, res core.Result, stats agg.StreamStats) error {
+			if !gated {
+				gated = true
+				<-gate
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Stalls() != 0 {
+		t.Fatalf("fresh link stalls = %d", lp.Stalls())
+	}
+	// Each record opens a new interval, sealing the previous one. With
+	// the classify stage parked, at most window+transfer+queue records
+	// can be absorbed; 16 sends must overflow and stall.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p := synthSeries(1, 4, 1).Flows()[0]
+		for i := 0; i < 16; i++ {
+			rec := agg.Record{Prefix: p, Time: start.Add(time.Duration(i) * iv), Bits: 1e4}
+			if err := lp.Send(rec); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// The pipeline is wedged until the gate opens, and 16 records exceed
+	// its total buffering, so a stall MUST register; wait for it, then
+	// release the gate so the sender can finish.
+	waitForStall(t, lp)
+	close(gate)
+	<-done
+	if err := lp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Stalls() == 0 {
+		t.Fatal("no stalls counted despite a wedged pipeline and 16 sends into a 1-slot queue")
+	}
+}
+
+// waitForStall blocks until the link's stall counter moves (the
+// producer is then provably parked inside a counted blocking send).
+func waitForStall(t *testing.T, lp *LivePipeline) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for lp.Stalls() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for a stall")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLivePipelineSendBatchStalls mirrors the stall contract for the
+// batch path: records are never dropped, the blocking waits are
+// counted.
+func TestLivePipelineSendBatchStalls(t *testing.T) {
+	iv := time.Minute
+	gate := make(chan struct{})
+	gated := false
+	lp, err := NewLivePipeline(LiveLink{
+		ID:       "stall-batch",
+		Start:    start,
+		Interval: iv,
+		Window:   1,
+		Buffer:   1,
+		Config:   oneFlowConfig,
+		OnResult: func(int, time.Time, core.Result, agg.StreamStats) error {
+			if !gated {
+				gated = true
+				<-gate
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]agg.Record, 16)
+	p := synthSeries(1, 4, 1).Flows()[0]
+	for i := range recs {
+		recs[i] = agg.Record{Prefix: p, Time: start.Add(time.Duration(i) * iv), Bits: 1e4}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sent, err := lp.SendBatch(recs)
+		if err != nil || sent != len(recs) {
+			t.Errorf("SendBatch = (%d, %v), want (%d, nil)", sent, err, len(recs))
+		}
+	}()
+	waitForStall(t, lp)
+	close(gate)
+	<-done
+	if err := lp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Stalls() == 0 {
+		t.Fatal("no stalls counted despite a wedged pipeline")
+	}
+	if got := lp.Stats().Records; got != uint64(len(recs)) {
+		t.Fatalf("accumulator saw %d records, want %d (stalls must not drop)", got, len(recs))
+	}
+}

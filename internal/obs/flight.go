@@ -26,6 +26,7 @@ type IntervalTrace struct {
 	Promoted          int     `json:"promoted"`
 	Demoted           int     `json:"demoted"`
 	WatermarkLagNanos int64   `json:"watermark_lag_nanos"`
+	StageOverlapNanos int64   `json:"stage_overlap_nanos"`
 }
 
 // DefaultFlightRecorder is the default per-link flight-recorder

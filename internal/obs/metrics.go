@@ -20,6 +20,13 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Store replaces the count. It exists for mirroring: when the
+// authoritative monotone count lives elsewhere (a pipeline-internal
+// atomic, say), a scrape-time Store keeps the exposed series current
+// without threading the metric into the hot path. Callers must only
+// ever store non-decreasing values.
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
 // Gauge is a settable float64. The zero value reads 0; all methods are
 // safe for concurrent use and allocation-free.
 type Gauge struct{ bits atomic.Uint64 }

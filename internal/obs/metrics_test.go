@@ -128,7 +128,7 @@ d_step_seconds_count{link="a@0"} 3
 func TestRegistryRenderByteStable(t *testing.T) {
 	r := NewRegistry()
 	for _, link := range []string{"b@1", "a@0"} { // registration order, not sorted
-		NewLinkMetrics(r, link, DefaultStageBounds())
+		NewLinkMetrics(r, link, 1, DefaultStageBounds())
 	}
 	render := func() string {
 		var buf bytes.Buffer
@@ -171,7 +171,7 @@ func TestRegistryPanics(t *testing.T) {
 // registration must not tear (run under -race).
 func TestRegistryConcurrentRenderAndRegister(t *testing.T) {
 	r := NewRegistry()
-	NewLinkMetrics(r, "seed@0", DefaultStageBounds())
+	NewLinkMetrics(r, "seed@0", 1, DefaultStageBounds())
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	wg.Add(1)
@@ -183,7 +183,7 @@ func TestRegistryConcurrentRenderAndRegister(t *testing.T) {
 				return
 			default:
 			}
-			NewLinkMetrics(r, fmt.Sprintf("link%d@0", i), DefaultStageBounds())
+			NewLinkMetrics(r, fmt.Sprintf("link%d@0", i), 1, DefaultStageBounds())
 		}
 	}()
 	for i := 0; i < 50; i++ {

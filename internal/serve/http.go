@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -165,13 +166,41 @@ type LinksPage struct {
 	ReusePort bool           `json:"reuseport"`
 	Readers   []ReaderStatus `json:"readers"`
 	Links     []LinkSummary  `json:"links"`
+	// Pipelines carries live-pipeline internals the store summaries
+	// don't know: intra-link shard balance and backpressure stalls.
+	Pipelines []LinkPipeline `json:"pipelines"`
+}
+
+// LinkPipeline is one link's live-pipeline row in /links: the
+// accumulation shard layout, where the link's in-window records landed,
+// queue-full stall count and the last interval's classify/accumulate
+// stage overlap.
+type LinkPipeline struct {
+	Link              string   `json:"link"`
+	Shards            int      `json:"shards"`
+	ShardRecords      []uint64 `json:"shard_records"`
+	Stalls            uint64   `json:"stalls"`
+	StageOverlapNanos int64    `json:"stage_overlap_nanos"`
 }
 
 func (d *Daemon) handleLinks(w http.ResponseWriter, r *http.Request) {
+	links := *d.links.Load()
+	pipes := make([]LinkPipeline, 0, len(links))
+	for _, ll := range links {
+		pipes = append(pipes, LinkPipeline{
+			Link:              ll.id,
+			Shards:            ll.lp.Shards(),
+			ShardRecords:      ll.lp.ShardRecords(nil),
+			Stalls:            ll.lp.Stalls(),
+			StageOverlapNanos: int64(ll.lp.LastOverlap()),
+		})
+	}
+	sort.Slice(pipes, func(i, j int) bool { return pipes[i].Link < pipes[j].Link })
 	d.writeJSON(w, http.StatusOK, LinksPage{
 		ReusePort: d.reuseport,
 		Readers:   d.readerStatus(),
 		Links:     d.store.Summaries(),
+		Pipelines: pipes,
 	})
 }
 

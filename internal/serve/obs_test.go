@@ -217,6 +217,92 @@ func TestMetricsObservabilityFamilies(t *testing.T) {
 	}
 }
 
+// TestMetricsShardFamilies runs a sharded daemon and checks the
+// intra-link parallelism surface: /metrics carries the stall counter,
+// one shard-records gauge per shard, the imbalance gauge and the
+// stage-overlap histogram, and /links reports the pipeline row with
+// per-shard record counts summing to the link's in-window records.
+func TestMetricsShardFamilies(t *testing.T) {
+	const shards = 4
+	d := newObsDaemon(t, func(c *Config) { c.Shards = shards })
+	start := d.cfg.Start
+	var wires [][]byte
+	for i := 0; i < 5; i++ {
+		wires = append(wires, v5wire(t, 0, start.Add(time.Duration(i)*time.Minute+30*time.Second), 1000))
+	}
+	sendWires(t, d, wires)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + d.HTTPAddr().String()
+	const link = "127.0.0.1@0"
+	metrics := getBody(t, base+"/metrics")
+	if err := report.LintExposition(strings.NewReader(metrics)); err != nil {
+		t.Errorf("metrics page fails exposition lint: %v\n%s", err, metrics)
+	}
+	wants := []string{
+		"# TYPE elephantd_link_stalls_total counter",
+		"elephantd_link_stalls_total{link=\"" + link + "\"} 0",
+		"# TYPE elephantd_link_shard_records gauge",
+		"# TYPE elephantd_link_shard_imbalance gauge",
+		"elephantd_link_shard_imbalance{link=\"" + link + "\"}",
+		"# TYPE elephantd_stage_overlap_seconds histogram",
+		"elephantd_stage_overlap_seconds_count{link=\"" + link + "\"} 5",
+	}
+	for s := 0; s < shards; s++ {
+		wants = append(wants, fmt.Sprintf("elephantd_link_shard_records{link=%q,shard=\"%d\"}", link, s))
+	}
+	for _, want := range wants {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	var lp LinksPage
+	getJSON(t, base+"/links", &lp)
+	if len(lp.Pipelines) != 1 {
+		t.Fatalf("links page has %d pipeline rows, want 1: %+v", len(lp.Pipelines), lp.Pipelines)
+	}
+	row := lp.Pipelines[0]
+	if row.Link != link || row.Shards != shards || len(row.ShardRecords) != shards {
+		t.Fatalf("pipeline row = %+v, want link %s with %d shards", row, link, shards)
+	}
+	var sum uint64
+	for _, n := range row.ShardRecords {
+		sum += n
+	}
+	// One flow, one record per interval; the newest record is still in
+	// the open window.
+	if sum == 0 {
+		t.Errorf("per-shard records sum to 0, want the in-window records: %+v", row)
+	}
+	if row.Stalls != 0 {
+		t.Errorf("stalls = %d on an unpressured link", row.Stalls)
+	}
+
+	// The flight recorder carries the stage-overlap column (zero or
+	// positive; never negative by the clamp).
+	body := getBody(t, base+"/links/"+link+"/debug/intervals")
+	sc := bufio.NewScanner(strings.NewReader(body))
+	n := 0
+	for sc.Scan() {
+		var tr obs.IntervalTrace
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("debug intervals line %d: %v", n, err)
+		}
+		if tr.StageOverlapNanos < 0 {
+			t.Errorf("trace %d: negative stage overlap %d", n, tr.StageOverlapNanos)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("flight recorder has %d traces, want 5", n)
+	}
+}
+
 // TestMetricsScrapesRaceIngest hammers /metrics, /healthz, /readyz and
 // /links from several goroutines while ingest creates new links (one
 // per engine ID) and seals intervals — the scrape paths race link
